@@ -1,0 +1,51 @@
+//! Figure 1 — Idle DRAM during a week.
+//!
+//! Regenerates the paper's week-long idle-memory profile: 16 workstations,
+//! 800 MB total, Thursday Feb 2 through Wednesday Feb 8, 1995. The paper's
+//! findings: >700 MB free at night and on the weekend, dips at noon and
+//! afternoon of working days, never below 300 MB.
+
+use rmp_sim::idle::DAYS;
+use rmp_sim::{IdleTrace, IdleTraceConfig};
+
+fn main() {
+    let trace = IdleTrace::generate(IdleTraceConfig::default(), 4);
+    println!("Figure 1: Unused memory in a workstation cluster");
+    println!(
+        "({} workstations, {:.0} MB total; week of Feb 2nd till 8th 1995)\n",
+        16, trace.total_mb
+    );
+    // Sparkline-style: one row per 2 hours.
+    println!("{:<10} {:>5}  {:>9}  profile", "day", "hour", "free (MB)");
+    let samples_per_hour = trace.samples.len() / (7 * 24);
+    for (i, s) in trace.samples.iter().enumerate() {
+        if i % (2 * samples_per_hour) != 0 {
+            continue;
+        }
+        let day = DAYS[(s.hour / 24.0) as usize % 7];
+        let hour = s.hour % 24.0;
+        let bar_len = (s.free_mb / trace.total_mb * 60.0) as usize;
+        println!(
+            "{:<10} {:>5.0}  {:>9.0}  {}",
+            day,
+            hour,
+            s.free_mb,
+            "#".repeat(bar_len)
+        );
+    }
+    println!("\nsummary:");
+    println!(
+        "  minimum free : {:>6.0} MB (paper: never below 300 MB)",
+        trace.min_free_mb()
+    );
+    println!("  mean free    : {:>6.0} MB", trace.mean_free_mb());
+    println!(
+        "  maximum free : {:>6.0} MB (paper: above 700 MB at night/weekend)",
+        trace.max_free_mb()
+    );
+    println!(
+        "  >= 700 MB free {:.0} % of the week; >= 400 MB free {:.0} % of the week",
+        trace.fraction_at_least(700.0) * 100.0,
+        trace.fraction_at_least(400.0) * 100.0
+    );
+}

@@ -1,0 +1,145 @@
+//! Shared machinery for the figure-regeneration harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md` for the index); this library holds
+//! the pieces they share: running the standard workloads against a
+//! cluster, converting real transfer counts into 1996-scale completion
+//! times with the models in `rmp-sim`, and printing aligned tables.
+
+use rmp_blockdev::{ModeledDisk, RamDisk};
+use rmp_sim::{CompletionModel, PolicyCosts, RunBreakdown};
+use rmp_types::Policy;
+use rmp_vm::{FaultStats, PagedMemory, VmConfig};
+use rmp_workloads::{Workload, WorkloadReport};
+
+/// Nanoseconds of 1996 DEC-Alpha CPU time per workload operation.
+///
+/// The single calibration constant of the harnesses: it converts each
+/// workload's operation count into `utime`. 150 MHz Alpha 21064 at ~1
+/// element-operation per 20 cycles (loads, FP, index arithmetic through
+/// a paged-array abstraction) is ~133 ns/op; the precise value shifts the
+/// bars' absolute heights, never their ordering.
+pub const NS_PER_OP: f64 = 133.0;
+
+/// Result of running one workload once and costing it under a policy.
+#[derive(Clone, Debug)]
+pub struct CostedRun {
+    /// Workload name.
+    pub name: &'static str,
+    /// Measured fault statistics (real request counts).
+    pub faults: FaultStats,
+    /// Modeled user time, seconds.
+    pub utime: f64,
+}
+
+impl CostedRun {
+    /// Builds the policy-costs input from the measured counts.
+    pub fn costs(&self, servers: usize) -> PolicyCosts {
+        PolicyCosts {
+            pageins: self.faults.pageins,
+            pageouts: self.faults.pageouts,
+            servers,
+        }
+    }
+
+    /// Completion time under `policy` on the paper's hardware.
+    pub fn completion(
+        &self,
+        model: &CompletionModel,
+        policy: Policy,
+        servers: usize,
+    ) -> RunBreakdown {
+        model.run(self.utime, self.costs(servers), policy)
+    }
+}
+
+/// Runs `workload` once on a memory of `frames` resident frames, returning
+/// the measured counts and modeled utime. The device is a RAM store — the
+/// counts depend only on the VM and workload, not on where pages land.
+pub fn measure<W: Workload>(workload: &W, frames: usize) -> CostedRun {
+    let mut vm = PagedMemory::new(RamDisk::unbounded(), VmConfig::with_frames(frames));
+    let report: WorkloadReport = workload
+        .run(&mut vm)
+        .unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
+    assert!(report.verified, "{} must verify", report.name);
+    CostedRun {
+        name: report.name,
+        faults: report.faults,
+        utime: report.ops as f64 * NS_PER_OP / 1e9,
+    }
+}
+
+/// Runs `workload` against the RZ55 disk model and returns the *measured*
+/// virtual disk time (seconds) — a sequentiality-aware DISK cost that the
+/// simple 17 ms/page model cannot capture.
+pub fn measure_disk_time<W: Workload>(workload: &W, frames: usize) -> (CostedRun, f64) {
+    let mut vm = PagedMemory::new(
+        ModeledDisk::rz55(RamDisk::unbounded()),
+        VmConfig::with_frames(frames),
+    );
+    let report = workload
+        .run(&mut vm)
+        .unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
+    assert!(report.verified);
+    let disk_s = vm.device().elapsed_ms() / 1000.0;
+    (
+        CostedRun {
+            name: report.name,
+            faults: report.faults,
+            utime: report.ops as f64 * NS_PER_OP / 1e9,
+        },
+        disk_s,
+    )
+}
+
+/// Frames that give the paper's memory-pressure ratio: the working set
+/// exceeds resident memory by roughly `overcommit` (e.g. 1.3 means the
+/// working set is 30 % larger than memory).
+pub fn frames_for_overcommit(working_set_pages: u64, overcommit: f64) -> usize {
+    ((working_set_pages as f64 / overcommit) as usize).max(3)
+}
+
+/// Prints one row of an aligned table.
+pub fn print_row(name: &str, cells: &[(String, usize)]) {
+    print!("{name:<10}");
+    for (cell, width) in cells {
+        print!(" {cell:>width$}");
+    }
+    println!();
+}
+
+/// Formats seconds with two decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmp_workloads::Gauss;
+
+    #[test]
+    fn measure_produces_paging_activity() {
+        let w = Gauss::new(64);
+        let frames = frames_for_overcommit(w.working_set_pages(), 1.5);
+        let run = measure(&w, frames);
+        assert!(run.faults.pageins > 0);
+        assert!(run.utime > 0.0);
+    }
+
+    #[test]
+    fn frames_never_zero() {
+        assert_eq!(frames_for_overcommit(1, 10.0), 3);
+    }
+
+    #[test]
+    fn disk_time_reflects_seeks() {
+        let w = Gauss::new(64);
+        let frames = frames_for_overcommit(w.working_set_pages(), 1.5);
+        let (run, disk_s) = measure_disk_time(&w, frames);
+        assert!(disk_s > 0.0);
+        // The virtual disk time must be at least transfer-bound.
+        let min = (run.faults.pageins + run.faults.pageouts) as f64 * 0.00655;
+        assert!(disk_s >= min * 0.9, "disk {disk_s} vs floor {min}");
+    }
+}

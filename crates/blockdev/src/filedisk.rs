@@ -1,0 +1,208 @@
+//! File-backed swap partition.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use rmp_types::{Page, PageId, Result, RmpError, TransferStats, PAGE_SIZE};
+
+/// A [`crate::PagingDevice`] backed by a regular file, addressed like a
+/// swap partition: page `id` lives at byte offset `slot * PAGE_SIZE` where
+/// `slot` is assigned on first write.
+///
+/// This is the local-disk path of the paper's RMP: "it may forward them ...
+/// to the local disk using either a specified partition or a file". Slots
+/// are recycled after a `free`, so the file grows to the high-water
+/// mark of live pages, not the total number of pageouts.
+///
+/// # Examples
+///
+/// ```no_run
+/// use rmp_blockdev::{FileDisk, PagingDevice};
+/// use rmp_types::{Page, PageId};
+///
+/// let mut disk = FileDisk::create("/tmp/swapfile").unwrap();
+/// disk.page_out(PageId(1), &Page::filled(1)).unwrap();
+/// assert_eq!(disk.page_in(PageId(1)).unwrap(), Page::filled(1));
+/// ```
+#[derive(Debug)]
+pub struct FileDisk {
+    file: File,
+    slots: HashMap<PageId, u64>,
+    free_slots: Vec<u64>,
+    next_slot: u64,
+    stats: TransferStats,
+}
+
+impl FileDisk {
+    /// Creates (or truncates) a swap file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileDisk {
+            file,
+            slots: HashMap::new(),
+            free_slots: Vec::new(),
+            next_slot: 0,
+            stats: TransferStats::default(),
+        })
+    }
+
+    /// Creates a swap device backed by an anonymous temporary file that is
+    /// removed when dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn temp() -> Result<Self> {
+        let dir = std::env::temp_dir();
+        // Use pid + a counter to avoid collisions without external crates.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("rmp-swap-{}-{n}", std::process::id()));
+        let disk = FileDisk::create(&path)?;
+        // Unlink immediately; the open handle keeps the storage alive.
+        let _ = std::fs::remove_file(&path);
+        Ok(disk)
+    }
+
+    /// Number of live pages.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when no pages are stored.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// High-water mark of slots ever allocated (the file size in pages).
+    pub fn allocated_slots(&self) -> u64 {
+        self.next_slot
+    }
+
+    fn slot_for(&mut self, id: PageId) -> u64 {
+        if let Some(&slot) = self.slots.get(&id) {
+            return slot;
+        }
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            let s = self.next_slot;
+            self.next_slot += 1;
+            s
+        });
+        self.slots.insert(id, slot);
+        slot
+    }
+}
+
+impl crate::traits::PagingDevice for FileDisk {
+    fn page_out(&mut self, id: PageId, page: &Page) -> Result<()> {
+        let slot = self.slot_for(id);
+        self.file.seek(SeekFrom::Start(slot * PAGE_SIZE as u64))?;
+        self.file.write_all(page.as_ref())?;
+        self.stats.pageouts += 1;
+        self.stats.disk_writes += 1;
+        Ok(())
+    }
+
+    fn page_in(&mut self, id: PageId) -> Result<Page> {
+        self.stats.pageins += 1;
+        let &slot = self.slots.get(&id).ok_or(RmpError::PageNotFound(id))?;
+        self.file.seek(SeekFrom::Start(slot * PAGE_SIZE as u64))?;
+        let mut page = Page::zeroed();
+        self.file.read_exact(page.as_mut())?;
+        self.stats.disk_reads += 1;
+        Ok(page)
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        if let Some(slot) = self.slots.remove(&id) {
+            self.free_slots.push(slot);
+        }
+        Ok(())
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.slots.contains_key(&id)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.file.flush()?;
+        Ok(())
+    }
+
+    fn stats(&self) -> TransferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::PagingDevice;
+
+    #[test]
+    fn round_trips_many_pages() {
+        let mut d = FileDisk::temp().expect("temp file");
+        for i in 0..32u64 {
+            d.page_out(PageId(i), &Page::deterministic(i))
+                .expect("store");
+        }
+        for i in (0..32u64).rev() {
+            assert_eq!(d.page_in(PageId(i)).expect("load"), Page::deterministic(i));
+        }
+        assert_eq!(d.len(), 32);
+    }
+
+    #[test]
+    fn overwrite_reuses_slot() {
+        let mut d = FileDisk::temp().expect("temp file");
+        d.page_out(PageId(1), &Page::filled(1)).expect("store");
+        d.page_out(PageId(1), &Page::filled(2)).expect("overwrite");
+        assert_eq!(d.allocated_slots(), 1);
+        assert_eq!(d.page_in(PageId(1)).expect("load"), Page::filled(2));
+    }
+
+    #[test]
+    fn freed_slots_are_recycled() {
+        let mut d = FileDisk::temp().expect("temp file");
+        d.page_out(PageId(1), &Page::filled(1)).expect("store");
+        d.page_out(PageId(2), &Page::filled(2)).expect("store");
+        d.free(PageId(1)).expect("free");
+        d.page_out(PageId(3), &Page::filled(3)).expect("store");
+        assert_eq!(d.allocated_slots(), 2, "slot of page 1 recycled");
+        assert_eq!(d.page_in(PageId(3)).expect("load"), Page::filled(3));
+        assert!(matches!(
+            d.page_in(PageId(1)),
+            Err(RmpError::PageNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn missing_page_not_found() {
+        let mut d = FileDisk::temp().expect("temp file");
+        assert!(matches!(
+            d.page_in(PageId(0)),
+            Err(RmpError::PageNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn stats_track_disk_ops() {
+        let mut d = FileDisk::temp().expect("temp file");
+        d.page_out(PageId(0), &Page::zeroed()).expect("store");
+        let _ = d.page_in(PageId(0));
+        assert_eq!(d.stats().disk_writes, 1);
+        assert_eq!(d.stats().disk_reads, 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! In-memory paging device.
+
+use std::collections::HashMap;
+
+use rmp_types::{Page, PageId, Result, RmpError, TransferStats};
+
+use crate::traits::PagingDevice;
+
+/// A [`PagingDevice`] backed by a `HashMap` in local memory.
+///
+/// Used as the reference device in tests, and by simulations that need a
+/// correct store without I/O. An optional capacity limit makes it useful
+/// for modelling a server that runs out of swap frames.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_blockdev::{PagingDevice, RamDisk};
+/// use rmp_types::{Page, PageId};
+///
+/// let mut disk = RamDisk::unbounded();
+/// disk.page_out(PageId(0), &Page::filled(7)).unwrap();
+/// assert_eq!(disk.page_in(PageId(0)).unwrap(), Page::filled(7));
+/// ```
+#[derive(Debug, Default)]
+pub struct RamDisk {
+    pages: HashMap<PageId, Page>,
+    capacity: Option<usize>,
+    stats: TransferStats,
+}
+
+impl RamDisk {
+    /// Creates a RAM disk with no capacity limit.
+    pub fn unbounded() -> Self {
+        RamDisk::default()
+    }
+
+    /// Creates a RAM disk that holds at most `pages` pages.
+    pub fn with_capacity(pages: usize) -> Self {
+        RamDisk {
+            capacity: Some(pages),
+            ..RamDisk::default()
+        }
+    }
+
+    /// Number of pages currently stored.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Returns `true` when no pages are stored.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Remaining free frames, or `usize::MAX` when unbounded.
+    pub fn free_frames(&self) -> usize {
+        match self.capacity {
+            Some(cap) => cap.saturating_sub(self.pages.len()),
+            None => usize::MAX,
+        }
+    }
+}
+
+impl PagingDevice for RamDisk {
+    fn page_out(&mut self, id: PageId, page: &Page) -> Result<()> {
+        if let Some(cap) = self.capacity {
+            if !self.pages.contains_key(&id) && self.pages.len() >= cap {
+                return Err(RmpError::Io(std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    format!("ram disk full at {cap} pages"),
+                )));
+            }
+        }
+        self.pages.insert(id, page.clone());
+        self.stats.pageouts += 1;
+        Ok(())
+    }
+
+    fn page_in(&mut self, id: PageId) -> Result<Page> {
+        self.stats.pageins += 1;
+        self.pages
+            .get(&id)
+            .cloned()
+            .ok_or(RmpError::PageNotFound(id))
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        self.pages.remove(&id);
+        Ok(())
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.pages.contains_key(&id)
+    }
+
+    fn stats(&self) -> TransferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_pages() {
+        let mut d = RamDisk::unbounded();
+        let p = Page::deterministic(1);
+        d.page_out(PageId(5), &p).expect("store");
+        assert!(d.contains(PageId(5)));
+        assert_eq!(d.page_in(PageId(5)).expect("load"), p);
+    }
+
+    #[test]
+    fn missing_page_is_not_found() {
+        let mut d = RamDisk::unbounded();
+        assert!(matches!(
+            d.page_in(PageId(1)),
+            Err(RmpError::PageNotFound(PageId(1)))
+        ));
+    }
+
+    #[test]
+    fn free_is_idempotent() {
+        let mut d = RamDisk::unbounded();
+        d.page_out(PageId(1), &Page::zeroed()).expect("store");
+        d.free(PageId(1)).expect("free");
+        assert!(!d.contains(PageId(1)));
+        d.free(PageId(1)).expect("free again");
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let mut d = RamDisk::with_capacity(2);
+        d.page_out(PageId(0), &Page::zeroed()).expect("store");
+        d.page_out(PageId(1), &Page::zeroed()).expect("store");
+        assert!(d.page_out(PageId(2), &Page::zeroed()).is_err());
+        // Overwriting an existing page does not need a free frame.
+        d.page_out(PageId(1), &Page::filled(1)).expect("overwrite");
+        assert_eq!(d.free_frames(), 0);
+        d.free(PageId(0)).expect("free");
+        d.page_out(PageId(2), &Page::zeroed()).expect("now fits");
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut d = RamDisk::unbounded();
+        d.page_out(PageId(0), &Page::zeroed()).expect("store");
+        d.page_out(PageId(1), &Page::zeroed()).expect("store");
+        let _ = d.page_in(PageId(0));
+        let _ = d.page_in(PageId(9)); // Miss still counts as a request.
+        assert_eq!(d.stats().pageouts, 2);
+        assert_eq!(d.stats().pageins, 2);
+    }
+
+    #[test]
+    fn boxed_dyn_device_works() {
+        let mut d: Box<dyn PagingDevice> = Box::new(RamDisk::unbounded());
+        d.page_out(PageId(3), &Page::filled(3)).expect("store");
+        assert!(d.contains(PageId(3)));
+        assert_eq!(d.stats().pageouts, 1);
+    }
+}

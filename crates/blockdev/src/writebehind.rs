@@ -1,0 +1,256 @@
+//! Asynchronous write-behind queueing for pageouts.
+//!
+//! The DEC OSF/1 kernel does not block the faulting process on pageouts —
+//! the paging daemon writes evicted pages in the background, and only
+//! pageins are synchronous. [`WriteBehind`] reproduces that structure for
+//! any [`PagingDevice`]: pageouts enqueue onto a bounded channel drained
+//! by a worker thread, pageins are answered from the pending queue when
+//! the page has not reached the device yet (read-your-writes), and
+//! `flush` forms a barrier.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use rmp_types::{Page, PageId, Result, RmpError, TransferStats};
+
+use crate::traits::PagingDevice;
+
+enum Job {
+    Write(PageId, Page),
+    Free(PageId),
+    /// Barrier: flush the device and signal completion.
+    Flush(Sender<Result<()>>),
+    Stop,
+}
+
+struct SharedState<D> {
+    /// Pages enqueued but not yet on the device, for read-your-writes.
+    pending: Mutex<HashMap<PageId, Page>>,
+    /// The device, owned by the worker but accessed for synchronous
+    /// pageins under the lock.
+    device: Mutex<D>,
+    /// First asynchronous error, surfaced on the next caller operation.
+    error: Mutex<Option<RmpError>>,
+}
+
+/// A [`PagingDevice`] wrapper whose pageouts complete asynchronously.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_blockdev::{PagingDevice, RamDisk, WriteBehind};
+/// use rmp_types::{Page, PageId};
+///
+/// let mut dev = WriteBehind::new(RamDisk::unbounded(), 64);
+/// dev.page_out(PageId(1), &Page::filled(7)).unwrap();
+/// // Read-your-writes even before the worker drains the queue.
+/// assert_eq!(dev.page_in(PageId(1)).unwrap(), Page::filled(7));
+/// dev.flush().unwrap(); // Barrier: everything durable on the device.
+/// ```
+pub struct WriteBehind<D: PagingDevice + 'static> {
+    shared: Arc<SharedState<D>>,
+    sender: Sender<Job>,
+    worker: Option<JoinHandle<()>>,
+    stats: TransferStats,
+}
+
+impl<D: PagingDevice + 'static> WriteBehind<D> {
+    /// Wraps `device` with a queue of at most `queue_depth` pending
+    /// pageouts; a full queue applies back-pressure (like a paging daemon
+    /// falling behind).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queue_depth` is zero.
+    pub fn new(device: D, queue_depth: usize) -> Self {
+        assert!(queue_depth > 0, "queue depth must be positive");
+        let shared = Arc::new(SharedState {
+            pending: Mutex::new(HashMap::new()),
+            device: Mutex::new(device),
+            error: Mutex::new(None),
+        });
+        let (sender, receiver) = bounded::<Job>(queue_depth);
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("rmp-writebehind".into())
+            .spawn(move || {
+                while let Ok(job) = receiver.recv() {
+                    match job {
+                        Job::Write(id, page) => {
+                            let result = worker_shared.device.lock().page_out(id, &page);
+                            match result {
+                                Ok(()) => {
+                                    // Only clear the pending copy if it is
+                                    // still this version (a newer write may
+                                    // have replaced it meanwhile).
+                                    let mut pending = worker_shared.pending.lock();
+                                    if pending.get(&id) == Some(&page) {
+                                        pending.remove(&id);
+                                    }
+                                }
+                                Err(e) => {
+                                    worker_shared.error.lock().get_or_insert(e);
+                                }
+                            }
+                        }
+                        Job::Free(id) => {
+                            if let Err(e) = worker_shared.device.lock().free(id) {
+                                worker_shared.error.lock().get_or_insert(e);
+                            }
+                        }
+                        Job::Flush(done) => {
+                            let result = worker_shared.device.lock().flush();
+                            let _ = done.send(result);
+                        }
+                        Job::Stop => break,
+                    }
+                }
+            })
+            .expect("spawn write-behind worker");
+        WriteBehind {
+            shared,
+            sender,
+            worker: Some(worker),
+            stats: TransferStats::default(),
+        }
+    }
+
+    /// Pages enqueued but not yet written to the device.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.lock().len()
+    }
+
+    fn take_error(&self) -> Result<()> {
+        match self.shared.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<D: PagingDevice + 'static> PagingDevice for WriteBehind<D> {
+    fn page_out(&mut self, id: PageId, page: &Page) -> Result<()> {
+        self.take_error()?;
+        self.stats.pageouts += 1;
+        self.shared.pending.lock().insert(id, page.clone());
+        self.sender
+            .send(Job::Write(id, page.clone()))
+            .map_err(|_| RmpError::Io(std::io::Error::other("write-behind worker gone")))?;
+        Ok(())
+    }
+
+    fn page_in(&mut self, id: PageId) -> Result<Page> {
+        self.take_error()?;
+        self.stats.pageins += 1;
+        // Read-your-writes: the queue may hold a newer version than the
+        // device.
+        if let Some(page) = self.shared.pending.lock().get(&id).cloned() {
+            return Ok(page);
+        }
+        self.shared.device.lock().page_in(id)
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        self.take_error()?;
+        self.shared.pending.lock().remove(&id);
+        self.sender
+            .send(Job::Free(id))
+            .map_err(|_| RmpError::Io(std::io::Error::other("write-behind worker gone")))?;
+        Ok(())
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.shared.pending.lock().contains_key(&id) || self.shared.device.lock().contains(id)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.take_error()?;
+        let (tx, rx) = bounded(1);
+        self.sender
+            .send(Job::Flush(tx))
+            .map_err(|_| RmpError::Io(std::io::Error::other("write-behind worker gone")))?;
+        rx.recv()
+            .map_err(|_| RmpError::Io(std::io::Error::other("write-behind worker gone")))??;
+        self.take_error()
+    }
+
+    fn stats(&self) -> TransferStats {
+        self.stats
+    }
+}
+
+impl<D: PagingDevice + 'static> Drop for WriteBehind<D> {
+    fn drop(&mut self) {
+        let _ = self.sender.send(Job::Stop);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ramdisk::RamDisk;
+
+    #[test]
+    fn read_your_writes_before_drain() {
+        let mut dev = WriteBehind::new(RamDisk::unbounded(), 256);
+        for i in 0..50u64 {
+            dev.page_out(PageId(i), &Page::deterministic(i))
+                .expect("out");
+        }
+        for i in 0..50u64 {
+            assert_eq!(dev.page_in(PageId(i)).expect("in"), Page::deterministic(i));
+        }
+    }
+
+    #[test]
+    fn flush_is_a_barrier() {
+        let mut dev = WriteBehind::new(RamDisk::unbounded(), 256);
+        for i in 0..100u64 {
+            dev.page_out(PageId(i), &Page::deterministic(i))
+                .expect("out");
+        }
+        dev.flush().expect("flush");
+        assert_eq!(dev.pending(), 0, "queue drained by the barrier");
+    }
+
+    #[test]
+    fn last_write_wins_under_rewrites() {
+        let mut dev = WriteBehind::new(RamDisk::unbounded(), 256);
+        for round in 0..10u64 {
+            dev.page_out(PageId(7), &Page::deterministic(round))
+                .expect("out");
+        }
+        assert_eq!(dev.page_in(PageId(7)).expect("in"), Page::deterministic(9));
+        dev.flush().expect("flush");
+        assert_eq!(dev.page_in(PageId(7)).expect("in"), Page::deterministic(9));
+    }
+
+    #[test]
+    fn free_cancels_pending_write_visibility() {
+        let mut dev = WriteBehind::new(RamDisk::unbounded(), 256);
+        dev.page_out(PageId(1), &Page::filled(1)).expect("out");
+        dev.free(PageId(1)).expect("free");
+        dev.flush().expect("flush");
+        assert!(!dev.contains(PageId(1)));
+        assert!(dev.page_in(PageId(1)).is_err());
+    }
+
+    #[test]
+    fn async_errors_surface_on_later_calls() {
+        // A bounded RamDisk fills up; the failure arrives asynchronously
+        // but must not be lost.
+        let mut dev = WriteBehind::new(RamDisk::with_capacity(4), 64);
+        for i in 0..20u64 {
+            // Sends succeed; the worker hits StorageFull on the device.
+            let _ = dev.page_out(PageId(i), &Page::zeroed());
+        }
+        let err = dev.flush();
+        assert!(err.is_err(), "capacity error surfaced at the barrier");
+    }
+}

@@ -1,0 +1,228 @@
+//! The common registration file.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use rmp_types::{Result, RmpError, ServerId};
+
+/// One registered server workstation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerInfo {
+    /// Stable identifier of the server.
+    pub id: ServerId,
+    /// Address the server listens on (`host:port`).
+    pub addr: String,
+    /// Relative cost of transferring a page to this server; 1.0 for the
+    /// local LAN, larger for more distant links (Section 5,
+    /// "Heterogeneous networks": "on a wider area network the time it
+    /// takes to transfer a page may not be identical for each server").
+    pub link_cost: f64,
+}
+
+/// The paper's "common file" of participating workstations.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_cluster::Registry;
+///
+/// let text = "0 127.0.0.1:9000 1.0\n1 127.0.0.1:9001 1.0\n# comment\n";
+/// let reg = Registry::parse(text).unwrap();
+/// assert_eq!(reg.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    servers: Vec<ServerInfo>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Builds a registry from entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmpError::Config`] on duplicate server ids.
+    pub fn from_entries(servers: Vec<ServerInfo>) -> Result<Self> {
+        let mut reg = Registry::new();
+        for s in servers {
+            reg.add(s)?;
+        }
+        Ok(reg)
+    }
+
+    /// Adds a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmpError::Config`] when the id is already registered or
+    /// the link cost is not positive and finite.
+    pub fn add(&mut self, info: ServerInfo) -> Result<()> {
+        if self.get(info.id).is_some() {
+            return Err(RmpError::Config(format!("duplicate server {}", info.id)));
+        }
+        if !(info.link_cost.is_finite() && info.link_cost > 0.0) {
+            return Err(RmpError::Config(format!(
+                "bad link cost {} for {}",
+                info.link_cost, info.id
+            )));
+        }
+        self.servers.push(info);
+        Ok(())
+    }
+
+    /// Number of registered servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Returns `true` when no servers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Looks up a server by id.
+    pub fn get(&self, id: ServerId) -> Option<&ServerInfo> {
+        self.servers.iter().find(|s| s.id == id)
+    }
+
+    /// Iterates all registered servers.
+    pub fn iter(&self) -> impl Iterator<Item = &ServerInfo> {
+        self.servers.iter()
+    }
+
+    /// Parses the common-file format: one `id host:port [link_cost]` entry
+    /// per line; `#` starts a comment; blank lines ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmpError::Config`] on malformed lines or duplicates.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut reg = Registry::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let id: u32 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| RmpError::Config(format!("line {}: bad id", lineno + 1)))?;
+            let addr = parts
+                .next()
+                .ok_or_else(|| RmpError::Config(format!("line {}: missing address", lineno + 1)))?
+                .to_string();
+            let link_cost: f64 = match parts.next() {
+                Some(t) => t
+                    .parse()
+                    .map_err(|_| RmpError::Config(format!("line {}: bad link cost", lineno + 1)))?,
+                None => 1.0,
+            };
+            if parts.next().is_some() {
+                return Err(RmpError::Config(format!(
+                    "line {}: trailing fields",
+                    lineno + 1
+                )));
+            }
+            reg.add(ServerInfo {
+                id: ServerId(id),
+                addr,
+                link_cost,
+            })?;
+        }
+        Ok(reg)
+    }
+
+    /// Serializes back to the common-file format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        for s in &self.servers {
+            let _ = writeln!(out, "{} {} {}", s.id.0, s.addr, s.link_cost);
+        }
+        out
+    }
+
+    /// Loads a registry from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and parse errors.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Registry::parse(&std::fs::read_to_string(path)?)
+    }
+
+    /// Writes the registry to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        std::fs::write(path, self.serialize())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_serialize_round_trip() {
+        let text = "0 host0:9000 1.0\n1 host1:9001 2.5\n";
+        let reg = Registry::parse(text).expect("parses");
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get(ServerId(1)).expect("exists").link_cost, 2.5);
+        let again = Registry::parse(&reg.serialize()).expect("round trips");
+        assert_eq!(again, reg);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# cluster\n\n0 a:1 # inline comment\n";
+        let reg = Registry::parse(text).expect("parses");
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get(ServerId(0)).expect("exists").link_cost, 1.0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Registry::parse("x a:1\n").is_err());
+        assert!(Registry::parse("0\n").is_err());
+        assert!(Registry::parse("0 a:1 nan\n").is_err());
+        assert!(Registry::parse("0 a:1 1.0 extra\n").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_costs() {
+        assert!(Registry::parse("0 a:1\n0 b:2\n").is_err());
+        let mut reg = Registry::new();
+        assert!(reg
+            .add(ServerInfo {
+                id: ServerId(0),
+                addr: "a:1".into(),
+                link_cost: -1.0,
+            })
+            .is_err());
+        assert!(reg
+            .add(ServerInfo {
+                id: ServerId(0),
+                addr: "a:1".into(),
+                link_cost: f64::INFINITY,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let reg = Registry::parse("0 a:1 1.5\n").expect("parses");
+        let path = std::env::temp_dir().join(format!("rmp-registry-{}", std::process::id()));
+        reg.save(&path).expect("saves");
+        let loaded = Registry::load(&path).expect("loads");
+        assert_eq!(loaded, reg);
+        let _ = std::fs::remove_file(&path);
+    }
+}

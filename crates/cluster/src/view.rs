@@ -1,0 +1,295 @@
+//! The client's live view of server load.
+
+use std::collections::BTreeMap;
+
+use rmp_types::ServerId;
+
+/// Liveness/pressure condition of a server as seen by the client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Condition {
+    /// Healthy, accepting pages.
+    #[default]
+    Healthy,
+    /// Under memory pressure; usable but dispreferred.
+    Pressure,
+    /// Asked the client to stop sending pages (native load took its
+    /// memory); usable for pageins of already-stored pages only.
+    StopSending,
+    /// Crashed or unreachable.
+    Dead,
+}
+
+/// Load snapshot of one server.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStatus {
+    /// Free page frames reported by the server.
+    pub free_pages: u64,
+    /// Pages the server stores for this client.
+    pub stored_pages: u64,
+    /// Host CPU utilization, per-mille.
+    pub cpu_permille: u16,
+    /// Current condition.
+    pub condition: Condition,
+    /// Exponentially-smoothed service time of recent requests, ms — the
+    /// signal the adaptive network-load policy thresholds on (Section 5).
+    pub avg_service_ms: f64,
+    /// Relative link cost from the registry.
+    pub link_cost: f64,
+}
+
+/// The client's view of every registered server, driving the "most
+/// promising server" choice and migration decisions of Section 2.1.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_cluster::{ClusterView, Condition};
+/// use rmp_types::ServerId;
+///
+/// let mut view = ClusterView::new();
+/// view.register(ServerId(0), 1.0);
+/// view.register(ServerId(1), 1.0);
+/// view.update_load(ServerId(0), 100, 0, 0, Condition::Healthy);
+/// view.update_load(ServerId(1), 900, 0, 0, Condition::Healthy);
+/// assert_eq!(view.most_promising(&[]), Some(ServerId(1)));
+/// view.mark_dead(ServerId(1));
+/// assert_eq!(view.most_promising(&[]), Some(ServerId(0)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ClusterView {
+    servers: BTreeMap<ServerId, ServerStatus>,
+}
+
+impl ClusterView {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        ClusterView::default()
+    }
+
+    /// Registers a server with its link cost; status starts healthy and
+    /// unknown (zero free pages until the first report).
+    pub fn register(&mut self, id: ServerId, link_cost: f64) {
+        self.servers.entry(id).or_insert(ServerStatus {
+            link_cost,
+            ..ServerStatus::default()
+        });
+    }
+
+    /// Returns the status of `id`, if registered.
+    pub fn status(&self, id: ServerId) -> Option<&ServerStatus> {
+        self.servers.get(&id)
+    }
+
+    /// Updates a server's load report.
+    pub fn update_load(
+        &mut self,
+        id: ServerId,
+        free_pages: u64,
+        stored_pages: u64,
+        cpu_permille: u16,
+        condition: Condition,
+    ) {
+        let entry = self.servers.entry(id).or_default();
+        entry.free_pages = free_pages;
+        entry.stored_pages = stored_pages;
+        entry.cpu_permille = cpu_permille;
+        if entry.condition != Condition::Dead {
+            entry.condition = condition;
+        }
+    }
+
+    /// Folds one request's service time into the smoothed average
+    /// (EWMA with factor 1/8, the classic TCP RTT estimator weight).
+    pub fn record_service_time(&mut self, id: ServerId, ms: f64) {
+        let entry = self.servers.entry(id).or_default();
+        if entry.avg_service_ms == 0.0 {
+            entry.avg_service_ms = ms;
+        } else {
+            entry.avg_service_ms += (ms - entry.avg_service_ms) / 8.0;
+        }
+    }
+
+    /// Marks a server crashed/unreachable.
+    pub fn mark_dead(&mut self, id: ServerId) {
+        if let Some(s) = self.servers.get_mut(&id) {
+            s.condition = Condition::Dead;
+        }
+    }
+
+    /// Marks a server alive again (rebooted workstation rejoining).
+    pub fn mark_alive(&mut self, id: ServerId) {
+        if let Some(s) = self.servers.get_mut(&id) {
+            s.condition = Condition::Healthy;
+        }
+    }
+
+    /// Returns `true` when the server is registered and not dead.
+    pub fn is_alive(&self, id: ServerId) -> bool {
+        self.servers
+            .get(&id)
+            .is_some_and(|s| s.condition != Condition::Dead)
+    }
+
+    /// Picks the *most promising server*: the healthy server with the most
+    /// free memory per unit link cost, excluding `exclude`. Servers under
+    /// pressure are considered only when no healthy server exists;
+    /// stop-sending and dead servers never qualify.
+    pub fn most_promising(&self, exclude: &[ServerId]) -> Option<ServerId> {
+        let candidates = |cond: Condition| {
+            self.servers
+                .iter()
+                .filter(|(id, s)| s.condition == cond && !exclude.contains(id))
+                .max_by(|(aid, a), (bid, b)| {
+                    let score_a = a.free_pages as f64 / a.link_cost.max(1e-9);
+                    let score_b = b.free_pages as f64 / b.link_cost.max(1e-9);
+                    score_a
+                        .partial_cmp(&score_b)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        // Deterministic tie-break: lower id wins, so prefer
+                        // the *greater* id on the "less" side of max_by.
+                        .then_with(|| bid.cmp(aid))
+                })
+                .map(|(&id, _)| id)
+        };
+        candidates(Condition::Healthy).or_else(|| candidates(Condition::Pressure))
+    }
+
+    /// Finds a server (other than `exclude`) with at least `needed_pages`
+    /// free — the migration target search of Section 2.1 ("the client will
+    /// try to find another server having enough free memory").
+    pub fn server_with_capacity(
+        &self,
+        needed_pages: u64,
+        exclude: &[ServerId],
+    ) -> Option<ServerId> {
+        self.servers
+            .iter()
+            .filter(|(id, s)| {
+                s.condition == Condition::Healthy
+                    && s.free_pages >= needed_pages
+                    && !exclude.contains(id)
+            })
+            .max_by_key(|(id, s)| (s.free_pages, std::cmp::Reverse(**id)))
+            .map(|(&id, _)| id)
+    }
+
+    /// All live (non-dead) server ids in ascending order.
+    pub fn live_servers(&self) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .filter(|(_, s)| s.condition != Condition::Dead)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// All registered server ids in ascending order.
+    pub fn all_servers(&self) -> Vec<ServerId> {
+        self.servers.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view3() -> ClusterView {
+        let mut v = ClusterView::new();
+        for id in 0..3 {
+            v.register(ServerId(id), 1.0);
+        }
+        v
+    }
+
+    #[test]
+    fn most_promising_prefers_most_free_memory() {
+        let mut v = view3();
+        v.update_load(ServerId(0), 100, 0, 0, Condition::Healthy);
+        v.update_load(ServerId(1), 500, 0, 0, Condition::Healthy);
+        v.update_load(ServerId(2), 200, 0, 0, Condition::Healthy);
+        assert_eq!(v.most_promising(&[]), Some(ServerId(1)));
+        assert_eq!(v.most_promising(&[ServerId(1)]), Some(ServerId(2)));
+    }
+
+    #[test]
+    fn link_cost_discounts_distant_servers() {
+        let mut v = ClusterView::new();
+        v.register(ServerId(0), 1.0);
+        v.register(ServerId(1), 10.0); // Ten times more expensive link.
+        v.update_load(ServerId(0), 100, 0, 0, Condition::Healthy);
+        v.update_load(ServerId(1), 500, 0, 0, Condition::Healthy);
+        // 100/1 beats 500/10.
+        assert_eq!(v.most_promising(&[]), Some(ServerId(0)));
+    }
+
+    #[test]
+    fn pressure_servers_are_last_resort() {
+        let mut v = view3();
+        v.update_load(ServerId(0), 50, 0, 0, Condition::Pressure);
+        v.update_load(ServerId(1), 10, 0, 0, Condition::Healthy);
+        v.update_load(ServerId(2), 900, 0, 0, Condition::StopSending);
+        assert_eq!(
+            v.most_promising(&[]),
+            Some(ServerId(1)),
+            "healthy beats bigger pressured/stopped servers"
+        );
+        v.mark_dead(ServerId(1));
+        assert_eq!(
+            v.most_promising(&[]),
+            Some(ServerId(0)),
+            "pressure is acceptable when nothing healthy remains"
+        );
+    }
+
+    #[test]
+    fn dead_servers_never_selected() {
+        let mut v = view3();
+        for id in 0..3 {
+            v.update_load(ServerId(id), 100, 0, 0, Condition::Healthy);
+            v.mark_dead(ServerId(id));
+        }
+        assert_eq!(v.most_promising(&[]), None);
+        assert!(v.live_servers().is_empty());
+    }
+
+    #[test]
+    fn dead_state_is_sticky_against_updates() {
+        let mut v = view3();
+        v.mark_dead(ServerId(0));
+        v.update_load(ServerId(0), 100, 0, 0, Condition::Healthy);
+        assert!(!v.is_alive(ServerId(0)), "load update cannot resurrect");
+        v.mark_alive(ServerId(0));
+        assert!(v.is_alive(ServerId(0)));
+    }
+
+    #[test]
+    fn ties_break_deterministically_to_lower_id() {
+        let mut v = view3();
+        for id in 0..3 {
+            v.update_load(ServerId(id), 100, 0, 0, Condition::Healthy);
+        }
+        assert_eq!(v.most_promising(&[]), Some(ServerId(0)));
+    }
+
+    #[test]
+    fn capacity_search_respects_threshold() {
+        let mut v = view3();
+        v.update_load(ServerId(0), 10, 0, 0, Condition::Healthy);
+        v.update_load(ServerId(1), 50, 0, 0, Condition::Healthy);
+        v.update_load(ServerId(2), 100, 0, 0, Condition::Pressure);
+        assert_eq!(v.server_with_capacity(40, &[]), Some(ServerId(1)));
+        assert_eq!(v.server_with_capacity(60, &[]), None, "pressured excluded");
+        assert_eq!(v.server_with_capacity(40, &[ServerId(1)]), None);
+    }
+
+    #[test]
+    fn service_time_ewma_converges() {
+        let mut v = view3();
+        v.record_service_time(ServerId(0), 10.0);
+        assert!((v.status(ServerId(0)).unwrap().avg_service_ms - 10.0).abs() < 1e-12);
+        for _ in 0..200 {
+            v.record_service_time(ServerId(0), 30.0);
+        }
+        let avg = v.status(ServerId(0)).unwrap().avg_service_ms;
+        assert!((avg - 30.0).abs() < 0.5, "EWMA converged to {avg}");
+    }
+}

@@ -1,0 +1,152 @@
+//! `rmpctl` — operator CLI for a remote memory cluster.
+//!
+//! ```text
+//! rmpctl <registry-file> status            # load report from every server
+//! rmpctl <registry-file> ping              # round-trip latency per server
+//! rmpctl <registry-file> bench [pages]     # pageout+pagein throughput probe
+//! rmpctl <registry-file> crash <server-id> # inject a crash (testing!)
+//! rmpctl <registry-file> list <server-id>  # enumerate stored keys
+//! ```
+//!
+//! The registry file is the paper's "common file": one
+//! `<id> <host:port> [link-cost]` line per registered workstation.
+
+use std::time::Instant;
+
+use rmp_cluster::Registry;
+use rmp_core::ServerPool;
+use rmp_types::{Page, ServerId, StoreKey};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: rmpctl <registry-file> <status|ping|bench|crash> [args]");
+        std::process::exit(2);
+    }
+    let registry = match Registry::load(&args[0]) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rmpctl: cannot load registry {}: {e}", args[0]);
+            std::process::exit(1);
+        }
+    };
+    let mut pool = match ServerPool::connect(&registry) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("rmpctl: cannot connect to cluster: {e}");
+            std::process::exit(1);
+        }
+    };
+    let result = match args[1].as_str() {
+        "status" => status(&mut pool),
+        "ping" => ping(&mut pool),
+        "bench" => bench(
+            &mut pool,
+            args.get(2).and_then(|a| a.parse().ok()).unwrap_or(512),
+        ),
+        "crash" => match args.get(2).and_then(|a| a.parse::<u32>().ok()) {
+            Some(id) => crash(&mut pool, ServerId(id)),
+            None => {
+                eprintln!("usage: rmpctl <registry> crash <server-id>");
+                std::process::exit(2);
+            }
+        },
+        "list" => match args.get(2).and_then(|a| a.parse::<u32>().ok()) {
+            Some(id) => list(&mut pool, ServerId(id)),
+            None => {
+                eprintln!("usage: rmpctl <registry> list <server-id>");
+                std::process::exit(2);
+            }
+        },
+        other => {
+            eprintln!("rmpctl: unknown command {other}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("rmpctl: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn status(pool: &mut ServerPool) -> rmp_types::Result<()> {
+    println!(
+        "{:<8} {:>12} {:>12} {:>8} {:>12}",
+        "server", "free pages", "stored", "cpu", "hint"
+    );
+    for id in pool.server_ids() {
+        match pool.query_load(id) {
+            Ok((free, stored, cpu, hint)) => println!(
+                "{:<8} {:>12} {:>12} {:>7.1}% {:>12?}",
+                id.to_string(),
+                free,
+                stored,
+                cpu as f64 / 10.0,
+                hint
+            ),
+            Err(e) => println!("{:<8} unreachable: {e}", id.to_string()),
+        }
+    }
+    Ok(())
+}
+
+fn ping(pool: &mut ServerPool) -> rmp_types::Result<()> {
+    for id in pool.server_ids() {
+        let mut best = f64::MAX;
+        for _ in 0..5 {
+            let start = Instant::now();
+            if pool.query_load(id).is_err() {
+                best = f64::NAN;
+                break;
+            }
+            best = best.min(start.elapsed().as_secs_f64() * 1000.0);
+        }
+        println!("{id}: {best:.3} ms");
+    }
+    Ok(())
+}
+
+fn bench(pool: &mut ServerPool, pages: u64) -> rmp_types::Result<()> {
+    let Some(&id) = pool.server_ids().first() else {
+        eprintln!("no servers");
+        return Ok(());
+    };
+    let page = Page::deterministic(1);
+    let start = Instant::now();
+    for i in 0..pages {
+        pool.reserve_frame(id)?;
+        pool.page_out(id, StoreKey(1_000_000 + i), &page)?;
+    }
+    let out_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for i in 0..pages {
+        pool.page_in(id, StoreKey(1_000_000 + i))?;
+    }
+    let in_s = start.elapsed().as_secs_f64();
+    for i in 0..pages {
+        pool.free(id, StoreKey(1_000_000 + i))?;
+    }
+    let mb = pages as f64 * 8192.0 / 1048576.0;
+    println!(
+        "{id}: pageout {:.1} MB/s, pagein {:.1} MB/s ({pages} pages of 8 KB)",
+        mb / out_s,
+        mb / in_s
+    );
+    Ok(())
+}
+
+fn crash(pool: &mut ServerPool, id: ServerId) -> rmp_types::Result<()> {
+    pool.inject_crash(id)?;
+    println!("{id}: crash injected");
+    Ok(())
+}
+
+fn list(pool: &mut ServerPool, id: ServerId) -> rmp_types::Result<()> {
+    let keys = pool.list_keys(id)?;
+    println!("{id}: {} keys", keys.len());
+    for chunk in keys.chunks(8) {
+        let row: Vec<String> = chunk.iter().map(|k| k.to_string()).collect();
+        println!("  {}", row.join(" "));
+    }
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! The basic PARITY policy: RAID-style fixed parity groups.
+
+use rmp_parity::xor::reconstruct;
+use rmp_parity::BasicParityMap;
+use rmp_types::{Page, PageId, Result, RmpError, ServerId};
+
+use crate::engine::{Ctx, Engine};
+use crate::recovery::RecoveryReport;
+
+/// Fixed-layout parity (Section 2.2, "Parity"): page `(i, j)` is bound to
+/// server `i`, stripe slot `j`; parity page `j` covers all `j`th pages.
+/// Every pageout costs two transfers — the page to its server and the
+/// `old XOR new` delta to the parity server — and the parity memory
+/// overhead is `1/S`.
+///
+/// Recovery rebuilds lost pages *in place*: the crashed workstation must
+/// rejoin (rebooted, empty) before [`Engine::recover`] runs, mirroring a
+/// RAID rebuild onto a replaced disk. This rigidity is exactly why the
+/// paper moves on to parity logging.
+pub struct BasicParity {
+    map: BasicParityMap,
+}
+
+impl BasicParity {
+    /// Creates the engine over `data_servers` plus `parity_server`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BasicParityMap::new`] configuration errors.
+    pub fn new(data_servers: Vec<ServerId>, parity_server: ServerId) -> Result<Self> {
+        Ok(BasicParity {
+            map: BasicParityMap::new(data_servers, parity_server)?,
+        })
+    }
+}
+
+impl Engine for BasicParity {
+    fn page_out(&mut self, ctx: &mut Ctx<'_>, id: PageId, page: &Page) -> Result<()> {
+        ctx.stats.pageouts += 1;
+        // Overwrites reuse the page's frame; only first-time assignments
+        // consume a grant (otherwise rewrites leak the server's grant
+        // budget and eventually hit a spurious denial).
+        let is_new = self.map.location(id).is_none();
+        let slot = self.map.assign(id);
+        // Step 1: ship the page; the server answers with old XOR new.
+        if is_new {
+            ctx.pool.reserve_frame(slot.server)?;
+        }
+        let (delta, _hint) = ctx.pool.page_out_delta(slot.server, slot.key, page)?;
+        ctx.stats.net_data_transfers += 1;
+        // Step 2: fold the delta into the parity page. The client must not
+        // drop `page` before this completes (footnote in Section 2.2) —
+        // trivially satisfied here because the call is synchronous.
+        ctx.pool
+            .xor_into(self.map.parity_server(), slot.parity_key, &delta)?;
+        ctx.stats.net_parity_transfers += 1;
+        Ok(())
+    }
+
+    fn page_in(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<Page> {
+        ctx.stats.pageins += 1;
+        let slot = self.map.location(id).ok_or(RmpError::PageNotFound(id))?;
+        let page = ctx.pool.page_in(slot.server, slot.key)?;
+        ctx.stats.net_fetches += 1;
+        Ok(page)
+    }
+
+    fn free(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<()> {
+        let Some(slot) = self.map.location(id) else {
+            return Ok(());
+        };
+        // Cancel the page out of its parity before dropping it.
+        let old = ctx.pool.page_in(slot.server, slot.key)?;
+        ctx.stats.net_fetches += 1;
+        ctx.pool
+            .xor_into(self.map.parity_server(), slot.parity_key, &old)?;
+        ctx.stats.net_parity_transfers += 1;
+        ctx.pool.free(slot.server, slot.key)?;
+        self.map.free(id);
+        Ok(())
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.map.location(id).is_some()
+    }
+
+    fn recover(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
+        let start = std::time::Instant::now();
+        let mut report = RecoveryReport::new(server);
+        if !ctx.pool.view().is_alive(server) {
+            return Err(RmpError::Unrecoverable(format!(
+                "basic parity rebuilds in place: reconnect {server} (rebooted) first"
+            )));
+        }
+        if server == self.map.parity_server() {
+            // Parity-server crash: recompute every parity page from its
+            // members.
+            for (parity_key, members) in self.map.parity_rebuild_plan() {
+                let mut acc = Page::zeroed();
+                for (s, k) in members {
+                    let piece = ctx.pool.page_in(s, k)?;
+                    ctx.stats.net_fetches += 1;
+                    report.transfers += 1;
+                    acc.xor_with(&piece);
+                }
+                ctx.pool.reserve_frame(server)?;
+                ctx.pool.page_out(server, parity_key, &acc)?;
+                ctx.stats.net_parity_transfers += 1;
+                report.transfers += 1;
+                report.parity_rebuilt += 1;
+            }
+        } else {
+            for plan in self.map.recovery_plan(server)? {
+                let mut survivors = Vec::with_capacity(plan.fetch.len());
+                for (s, k) in &plan.fetch {
+                    survivors.push(ctx.pool.page_in(*s, *k)?);
+                    ctx.stats.net_fetches += 1;
+                    report.transfers += 1;
+                }
+                let parity = ctx.pool.page_in(plan.parity.0, plan.parity.1)?;
+                ctx.stats.net_fetches += 1;
+                report.transfers += 1;
+                let rebuilt = reconstruct(&parity, survivors.iter());
+                ctx.pool.reserve_frame(server)?;
+                ctx.pool.page_out(server, plan.lost.key, &rebuilt)?;
+                ctx.stats.net_data_transfers += 1;
+                report.transfers += 1;
+                report.pages_rebuilt += 1;
+            }
+        }
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
+
+    fn migrate_from(&mut self, _ctx: &mut Ctx<'_>, _server: ServerId) -> Result<u64> {
+        Err(RmpError::Unsupported(
+            "basic parity binds pages to fixed stripes and cannot migrate",
+        ))
+    }
+
+    fn rebalance(&mut self, _ctx: &mut Ctx<'_>) -> Result<u64> {
+        Ok(0)
+    }
+}

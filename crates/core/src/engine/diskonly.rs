@@ -1,0 +1,65 @@
+//! The DISK baseline: traditional local-disk paging.
+
+use std::collections::HashSet;
+
+use rmp_types::{Page, PageId, Result, RmpError, ServerId};
+
+use crate::engine::{Ctx, Engine};
+use crate::recovery::RecoveryReport;
+
+/// Pass-through to the local disk — the configuration the paper's figures
+/// label DISK, where "the page transfer requests go directly from the DEC
+/// OSF/1 kernel to the disk driver without the intervention of our pager".
+#[derive(Debug, Default)]
+pub struct DiskOnly {
+    present: HashSet<PageId>,
+}
+
+impl DiskOnly {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        DiskOnly::default()
+    }
+}
+
+impl Engine for DiskOnly {
+    fn page_out(&mut self, ctx: &mut Ctx<'_>, id: PageId, page: &Page) -> Result<()> {
+        ctx.stats.pageouts += 1;
+        ctx.disk_write(id, page)?;
+        self.present.insert(id);
+        Ok(())
+    }
+
+    fn page_in(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<Page> {
+        ctx.stats.pageins += 1;
+        if !self.present.contains(&id) {
+            return Err(RmpError::PageNotFound(id));
+        }
+        ctx.disk_read(id)
+    }
+
+    fn free(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<()> {
+        if self.present.remove(&id) {
+            ctx.disk_free(id)?;
+        }
+        Ok(())
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.present.contains(&id)
+    }
+
+    fn recover(&mut self, _ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
+        // Disk paging involves no remote servers; a workstation crash
+        // elsewhere loses nothing of ours.
+        Ok(RecoveryReport::new(server))
+    }
+
+    fn migrate_from(&mut self, _ctx: &mut Ctx<'_>, _server: ServerId) -> Result<u64> {
+        Ok(0)
+    }
+
+    fn rebalance(&mut self, _ctx: &mut Ctx<'_>) -> Result<u64> {
+        Ok(0)
+    }
+}

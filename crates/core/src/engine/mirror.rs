@@ -1,0 +1,291 @@
+//! The MIRRORING policy: two copies on two servers.
+
+use std::collections::HashMap;
+
+use rmp_types::{Page, PageId, Result, RmpError, ServerId};
+
+use crate::engine::{Ctx, Engine, Location};
+use crate::recovery::RecoveryReport;
+
+/// A mirrored page: two copies at distinct locations.
+#[derive(Clone, Copy, Debug)]
+struct MirrorEntry {
+    primary: Location,
+    mirror: Location,
+}
+
+/// "In mirroring, there exist two copies of each page. When the client
+/// swaps out a page, the page is sent to two different servers. Even when
+/// one of the servers crashes, the application is able to complete its
+/// execution" (Section 2.2). Two transfers per pageout, double memory.
+#[derive(Debug, Default)]
+pub struct Mirroring {
+    map: HashMap<PageId, MirrorEntry>,
+    cursor: usize,
+}
+
+impl Mirroring {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Mirroring::default()
+    }
+
+    fn location_server(loc: Location) -> Option<ServerId> {
+        match loc {
+            Location::Remote { server, .. } => Some(server),
+            Location::LocalDisk => None,
+        }
+    }
+
+    /// Pages with at least one copy on `server`.
+    fn pages_on(&self, server: ServerId) -> Vec<PageId> {
+        self.map
+            .iter()
+            .filter(|(_, e)| {
+                Self::location_server(e.primary) == Some(server)
+                    || Self::location_server(e.mirror) == Some(server)
+            })
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    fn store_copy(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: PageId,
+        page: &Page,
+        exclude: &[ServerId],
+    ) -> Result<Location> {
+        let live = ctx.pool.view().live_servers();
+        let preferred = if live.is_empty() {
+            None
+        } else {
+            let pick = live[self.cursor % live.len()];
+            self.cursor += 1;
+            Some(pick)
+        };
+        let key = ctx.pool.fresh_key();
+        ctx.store_with_fallback(id, key, page, preferred, exclude)
+    }
+
+    fn overwrite(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: PageId,
+        loc: Location,
+        page: &Page,
+        exclude: &[ServerId],
+    ) -> Result<Location> {
+        match loc {
+            Location::Remote { server, key } if ctx.pool.view().is_alive(server) => {
+                match ctx.pool.page_out(server, key, page) {
+                    Ok(_) => {
+                        ctx.stats.net_data_transfers += 1;
+                        Ok(loc)
+                    }
+                    Err(RmpError::ServerCrashed(_)) | Err(RmpError::NoSpace(_)) => {
+                        self.store_copy(ctx, id, page, exclude)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Location::Remote { .. } => self.store_copy(ctx, id, page, exclude),
+            Location::LocalDisk => {
+                ctx.disk_write(id, page)?;
+                Ok(Location::LocalDisk)
+            }
+        }
+    }
+}
+
+impl Engine for Mirroring {
+    fn page_out(&mut self, ctx: &mut Ctx<'_>, id: PageId, page: &Page) -> Result<()> {
+        ctx.stats.pageouts += 1;
+        match self.map.get(&id).copied() {
+            Some(entry) => {
+                let p_excl: Vec<ServerId> =
+                    Self::location_server(entry.mirror).into_iter().collect();
+                let primary = self.overwrite(ctx, id, entry.primary, page, &p_excl)?;
+                let m_excl: Vec<ServerId> = Self::location_server(primary).into_iter().collect();
+                let mirror = self.overwrite(ctx, id, entry.mirror, page, &m_excl)?;
+                self.map.insert(id, MirrorEntry { primary, mirror });
+            }
+            None => {
+                let primary = self.store_copy(ctx, id, page, &[])?;
+                let excl: Vec<ServerId> = Self::location_server(primary).into_iter().collect();
+                let mirror = self.store_copy(ctx, id, page, &excl)?;
+                if primary == Location::LocalDisk && mirror == Location::LocalDisk {
+                    return Err(RmpError::ClusterFull);
+                }
+                self.map.insert(id, MirrorEntry { primary, mirror });
+            }
+        }
+        Ok(())
+    }
+
+    fn page_in(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<Page> {
+        ctx.stats.pageins += 1;
+        let entry = self
+            .map
+            .get(&id)
+            .copied()
+            .ok_or(RmpError::PageNotFound(id))?;
+        for loc in [entry.primary, entry.mirror] {
+            match loc {
+                Location::Remote { server, key } if ctx.pool.view().is_alive(server) => {
+                    match ctx.pool.page_in(server, key) {
+                        Ok(page) => {
+                            ctx.stats.net_fetches += 1;
+                            return Ok(page);
+                        }
+                        Err(RmpError::ServerCrashed(_)) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Location::Remote { .. } => continue,
+                Location::LocalDisk => return ctx.disk_read(id),
+            }
+        }
+        Err(RmpError::Unrecoverable(format!(
+            "both copies of {id} unavailable"
+        )))
+    }
+
+    fn free(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<()> {
+        let Some(entry) = self.map.remove(&id) else {
+            return Ok(());
+        };
+        for loc in [entry.primary, entry.mirror] {
+            match loc {
+                Location::Remote { server, key } if ctx.pool.view().is_alive(server) => {
+                    ctx.pool.free(server, key)?;
+                }
+                Location::Remote { .. } => {}
+                Location::LocalDisk => ctx.disk_free(id)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    fn recover(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
+        let start = std::time::Instant::now();
+        let mut report = RecoveryReport::new(server);
+        for id in self.pages_on(server) {
+            let entry = self.map[&id];
+            let (lost_is_primary, survivor) =
+                if Self::location_server(entry.primary) == Some(server) {
+                    (true, entry.mirror)
+                } else {
+                    (false, entry.primary)
+                };
+            // Fetch the surviving copy.
+            let page = match survivor {
+                Location::Remote { server: s, key } => {
+                    let p = ctx.pool.page_in(s, key)?;
+                    ctx.stats.net_fetches += 1;
+                    report.transfers += 1;
+                    p
+                }
+                Location::LocalDisk => ctx.disk_read(id)?,
+            };
+            // Re-mirror onto a live server distinct from the survivor.
+            let mut exclude = vec![server];
+            exclude.extend(Self::location_server(survivor));
+            let key = ctx.pool.fresh_key();
+            let new_copy = ctx.store_with_fallback(id, key, &page, None, &exclude)?;
+            report.transfers += 1;
+            report.pages_rebuilt += 1;
+            let entry = if lost_is_primary {
+                MirrorEntry {
+                    primary: new_copy,
+                    mirror: survivor,
+                }
+            } else {
+                MirrorEntry {
+                    primary: survivor,
+                    mirror: new_copy,
+                }
+            };
+            self.map.insert(id, entry);
+        }
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
+
+    fn migrate_from(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {
+        let mut moved = 0;
+        for id in self.pages_on(server) {
+            let entry = self.map[&id];
+            let (lost, survivor) = if Self::location_server(entry.primary) == Some(server) {
+                (entry.primary, entry.mirror)
+            } else {
+                (entry.mirror, entry.primary)
+            };
+            let Location::Remote { key, .. } = lost else {
+                continue;
+            };
+            let page = ctx.pool.page_in(server, key)?;
+            ctx.stats.net_fetches += 1;
+            let mut exclude = vec![server];
+            exclude.extend(Self::location_server(survivor));
+            let new_key = ctx.pool.fresh_key();
+            let new_copy = ctx.store_with_fallback(id, new_key, &page, None, &exclude)?;
+            ctx.pool.free(server, key)?;
+            self.map.insert(
+                id,
+                MirrorEntry {
+                    primary: survivor,
+                    mirror: new_copy,
+                },
+            );
+            ctx.stats.migrations += 1;
+            moved += 1;
+        }
+        Ok(moved)
+    }
+
+    fn rebalance(&mut self, ctx: &mut Ctx<'_>) -> Result<u64> {
+        let candidates: Vec<PageId> = self
+            .map
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e.primary, Location::LocalDisk) || matches!(e.mirror, Location::LocalDisk)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        let mut promoted = 0;
+        for id in candidates {
+            let entry = self.map[&id];
+            let survivor = if matches!(entry.primary, Location::LocalDisk) {
+                entry.mirror
+            } else {
+                entry.primary
+            };
+            let mut exclude = Vec::new();
+            exclude.extend(Self::location_server(survivor));
+            if ctx.pool.view().server_with_capacity(1, &exclude).is_none() {
+                break;
+            }
+            let page = ctx.disk_read(id)?;
+            let key = ctx.pool.fresh_key();
+            let new_copy = ctx.store_with_fallback(id, key, &page, None, &exclude)?;
+            if new_copy == Location::LocalDisk {
+                continue;
+            }
+            ctx.disk_free(id)?;
+            self.map.insert(
+                id,
+                MirrorEntry {
+                    primary: survivor,
+                    mirror: new_copy,
+                },
+            );
+            promoted += 1;
+        }
+        Ok(promoted)
+    }
+}

@@ -1,0 +1,228 @@
+//! Policy engines.
+//!
+//! Each reliability policy of the paper is one [`Engine`] implementation;
+//! the [`crate::Pager`] dispatches pagein/pageout/free/flush to the
+//! configured engine and handles cross-cutting concerns (crash recovery
+//! retry, adaptive disk switching, statistics).
+
+pub mod basic;
+pub mod diskonly;
+pub mod mirror;
+pub mod norel;
+pub mod paritylog;
+pub mod writethrough;
+
+use rmp_blockdev::PagingDevice;
+use rmp_cluster::Condition;
+use rmp_types::{Page, PageId, Result, RmpError, ServerId, StoreKey, TransferStats};
+
+use crate::pool::ServerPool;
+use crate::recovery::RecoveryReport;
+
+/// Where a logical page currently lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Location {
+    /// On a remote memory server under a storage key.
+    Remote {
+        /// Holding server.
+        server: ServerId,
+        /// Storage key of the current version.
+        key: StoreKey,
+    },
+    /// In the local swap file/partition.
+    LocalDisk,
+}
+
+/// Per-call context handed to engines: the connection pool, the optional
+/// local disk, shared statistics, and routing preferences.
+pub struct Ctx<'a> {
+    /// Server connections and load view.
+    pub pool: &'a mut ServerPool,
+    /// Local disk backend, when configured.
+    pub disk: Option<&'a mut Box<dyn PagingDevice>>,
+    /// Pager-wide transfer statistics.
+    pub stats: &'a mut TransferStats,
+    /// When set, route *new* pageouts to the local disk (the adaptive
+    /// network-load switch of Section 5).
+    pub prefer_disk: bool,
+}
+
+impl Ctx<'_> {
+    /// Writes `page` to the local disk under the logical id.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::Unsupported`] when no disk is configured.
+    pub fn disk_write(&mut self, id: PageId, page: &Page) -> Result<()> {
+        let disk = self
+            .disk
+            .as_deref_mut()
+            .ok_or(RmpError::Unsupported("no local disk configured"))?;
+        disk.page_out(id, page)?;
+        self.stats.disk_writes += 1;
+        Ok(())
+    }
+
+    /// Reads the page under the logical id from the local disk.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::Unsupported`] when no disk is configured.
+    pub fn disk_read(&mut self, id: PageId) -> Result<Page> {
+        let disk = self
+            .disk
+            .as_deref_mut()
+            .ok_or(RmpError::Unsupported("no local disk configured"))?;
+        let page = disk.page_in(id)?;
+        self.stats.disk_reads += 1;
+        Ok(page)
+    }
+
+    /// Removes the page under the logical id from the local disk (no-op
+    /// without a disk).
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk failures.
+    pub fn disk_free(&mut self, id: PageId) -> Result<()> {
+        if let Some(disk) = self.disk.as_deref_mut() {
+            disk.free(id)?;
+        }
+        Ok(())
+    }
+
+    /// Returns `true` when a local disk is configured.
+    pub fn has_disk(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Picks the best server to receive a new page, skipping `exclude`.
+    pub fn pick_server(&self, exclude: &[ServerId]) -> Option<ServerId> {
+        self.pool.view().most_promising(exclude)
+    }
+
+    /// Stores a page remotely with full Section 2.1 dynamics: start from
+    /// `preferred` (if given and healthy), fall back through the other
+    /// servers by promise order on allocation denial or crash, and
+    /// finally to the local disk. Returns where the page landed.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::ClusterFull`] when no server accepts the page and no
+    /// disk is configured.
+    pub fn store_with_fallback(
+        &mut self,
+        id: PageId,
+        key: StoreKey,
+        page: &Page,
+        preferred: Option<ServerId>,
+        exclude: &[ServerId],
+    ) -> Result<Location> {
+        if !self.prefer_disk {
+            let mut tried: Vec<ServerId> = exclude.to_vec();
+            let mut candidate = preferred
+                .filter(|s| {
+                    !tried.contains(s)
+                        && self.pool.view().is_alive(*s)
+                        && self
+                            .pool
+                            .view()
+                            .status(*s)
+                            .is_some_and(|st| st.condition != Condition::StopSending)
+                })
+                .or_else(|| self.pick_server(&tried));
+            while let Some(server) = candidate {
+                match self
+                    .pool
+                    .reserve_frame(server)
+                    .and_then(|()| self.pool.page_out(server, key, page))
+                {
+                    Ok(_hint) => {
+                        self.stats.net_data_transfers += 1;
+                        return Ok(Location::Remote { server, key });
+                    }
+                    Err(RmpError::NoSpace(_)) | Err(RmpError::ServerCrashed(_)) => {
+                        tried.push(server);
+                        candidate = self.pick_server(&tried);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        // "If no server having enough free memory can be found the
+        // client's local disk will be used to house these pages."
+        if self.has_disk() {
+            self.disk_write(id, page)?;
+            Ok(Location::LocalDisk)
+        } else {
+            Err(RmpError::ClusterFull)
+        }
+    }
+}
+
+/// A reliability-policy engine.
+pub trait Engine: Send {
+    /// Services one pageout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable storage failures; transient server crashes
+    /// are retried internally across servers where the policy allows.
+    fn page_out(&mut self, ctx: &mut Ctx<'_>, id: PageId, page: &Page) -> Result<()>;
+
+    /// Services one pagein.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::PageNotFound`] for unknown pages;
+    /// [`RmpError::ServerCrashed`] when the holding server died (the pager
+    /// then runs recovery and retries).
+    fn page_in(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<Page>;
+
+    /// Releases a page everywhere it is stored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    fn free(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<()>;
+
+    /// Returns `true` when the engine tracks a current version of `id`.
+    fn contains(&self, id: PageId) -> bool;
+
+    /// Flushes buffered redundancy state (e.g. seals a partial parity
+    /// group so every stored page is covered).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    fn flush(&mut self, _ctx: &mut Ctx<'_>) -> Result<()> {
+        Ok(())
+    }
+
+    /// Recovers from the crash of `server`, reconstructing lost pages onto
+    /// the surviving servers (or the same server after it rejoined, for
+    /// the fixed-layout basic parity).
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::Unrecoverable`] when the policy keeps no redundancy or
+    /// more than one fault hit the same redundancy group.
+    fn recover(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport>;
+
+    /// Moves every page off `server` (which asked us to stop sending) to
+    /// other servers or the local disk. Returns pages moved.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::Unsupported`] for fixed-layout policies.
+    fn migrate_from(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64>;
+
+    /// Promotes disk-resident pages back to remote memory when servers
+    /// have free space again (the paper's periodic re-replication).
+    /// Returns pages promoted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    fn rebalance(&mut self, ctx: &mut Ctx<'_>) -> Result<u64>;
+}

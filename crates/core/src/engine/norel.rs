@@ -1,0 +1,190 @@
+//! The NO RELIABILITY policy: single copies striped over servers.
+
+use std::collections::HashMap;
+
+use rmp_types::{Page, PageId, Result, RmpError, ServerId};
+
+use crate::engine::{Ctx, Engine, Location};
+use crate::recovery::RecoveryReport;
+
+/// Single-copy remote paging: each page lives on exactly one server (or
+/// the local disk as fallback). Fastest policy, no crash tolerance — the
+/// baseline of every figure.
+#[derive(Debug, Default)]
+pub struct NoReliability {
+    map: HashMap<PageId, Location>,
+    cursor: usize,
+}
+
+impl NoReliability {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        NoReliability::default()
+    }
+
+    /// Pages currently tracked.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Ids of pages stored on `server`.
+    fn pages_on(&self, server: ServerId) -> Vec<PageId> {
+        self.map
+            .iter()
+            .filter_map(|(&id, loc)| match loc {
+                Location::Remote { server: s, .. } if *s == server => Some(id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Round-robin preference across live servers, so pages spread evenly
+    /// rather than all landing on the single most promising server.
+    fn preferred(&mut self, ctx: &Ctx<'_>) -> Option<ServerId> {
+        let live = ctx.pool.view().live_servers();
+        if live.is_empty() {
+            return None;
+        }
+        let pick = live[self.cursor % live.len()];
+        self.cursor += 1;
+        Some(pick)
+    }
+}
+
+impl Engine for NoReliability {
+    fn page_out(&mut self, ctx: &mut Ctx<'_>, id: PageId, page: &Page) -> Result<()> {
+        ctx.stats.pageouts += 1;
+        // Overwrite in place when possible: the page already owns a frame.
+        match self.map.get(&id).copied() {
+            Some(Location::Remote { server, key })
+                if !ctx.prefer_disk && ctx.pool.view().is_alive(server) =>
+            {
+                match ctx.pool.page_out(server, key, page) {
+                    Ok(_) => {
+                        ctx.stats.net_data_transfers += 1;
+                        return Ok(());
+                    }
+                    Err(RmpError::ServerCrashed(_)) | Err(RmpError::NoSpace(_)) => {
+                        // Fall through to fresh placement.
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Some(Location::LocalDisk)
+                if ctx.prefer_disk || ctx.pool.view().live_servers().is_empty() =>
+            {
+                return ctx.disk_write(id, page);
+            }
+            _ => {}
+        }
+        let key = ctx.pool.fresh_key();
+        let preferred = self.preferred(ctx);
+        let loc = ctx.store_with_fallback(id, key, page, preferred, &[])?;
+        if let Some(Location::LocalDisk) = self.map.insert(id, loc) {
+            if loc != Location::LocalDisk {
+                ctx.disk_free(id)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn page_in(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<Page> {
+        ctx.stats.pageins += 1;
+        match self.map.get(&id).copied() {
+            Some(Location::Remote { server, key }) => {
+                let page = ctx.pool.page_in(server, key)?;
+                ctx.stats.net_fetches += 1;
+                Ok(page)
+            }
+            Some(Location::LocalDisk) => ctx.disk_read(id),
+            None => Err(RmpError::PageNotFound(id)),
+        }
+    }
+
+    fn free(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<()> {
+        match self.map.remove(&id) {
+            Some(Location::Remote { server, key }) => {
+                if ctx.pool.view().is_alive(server) {
+                    ctx.pool.free(server, key)?;
+                }
+                Ok(())
+            }
+            Some(Location::LocalDisk) => ctx.disk_free(id),
+            None => Ok(()),
+        }
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    fn recover(&mut self, _ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
+        let lost = self.pages_on(server);
+        if lost.is_empty() {
+            return Ok(RecoveryReport::new(server));
+        }
+        // Purge the lost locations so later pageins fail cleanly instead
+        // of hammering a dead server.
+        for id in &lost {
+            self.map.remove(id);
+        }
+        Err(RmpError::Unrecoverable(format!(
+            "no-reliability lost {} page(s) with {server}",
+            lost.len()
+        )))
+    }
+
+    fn migrate_from(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {
+        let mut moved = 0;
+        for id in self.pages_on(server) {
+            let Some(Location::Remote { key, .. }) = self.map.get(&id).copied() else {
+                continue;
+            };
+            let page = ctx.pool.page_in(server, key)?;
+            ctx.stats.net_fetches += 1;
+            let new_key = ctx.pool.fresh_key();
+            let loc = ctx.store_with_fallback(id, new_key, &page, None, &[server])?;
+            ctx.pool.free(server, key)?;
+            self.map.insert(id, loc);
+            ctx.stats.migrations += 1;
+            moved += 1;
+        }
+        Ok(moved)
+    }
+
+    fn rebalance(&mut self, ctx: &mut Ctx<'_>) -> Result<u64> {
+        let disk_pages: Vec<PageId> = self
+            .map
+            .iter()
+            .filter(|(_, loc)| matches!(loc, Location::LocalDisk))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut promoted = 0;
+        for id in disk_pages {
+            let Some(server) = ctx.pool.view().server_with_capacity(1, &[]) else {
+                break;
+            };
+            let page = ctx.disk_read(id)?;
+            let key = ctx.pool.fresh_key();
+            if ctx.pool.reserve_frame(server).is_err() {
+                continue;
+            }
+            match ctx.pool.page_out(server, key, &page) {
+                Ok(_) => {
+                    ctx.stats.net_data_transfers += 1;
+                    ctx.disk_free(id)?;
+                    self.map.insert(id, Location::Remote { server, key });
+                    promoted += 1;
+                }
+                Err(RmpError::NoSpace(_)) | Err(RmpError::ServerCrashed(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(promoted)
+    }
+}

@@ -1,0 +1,549 @@
+//! PARITY LOGGING — the paper's novel policy.
+
+use std::collections::{HashMap, HashSet};
+
+use rmp_parity::xor::reconstruct;
+use rmp_parity::{GroupTable, ParityBuffer, SealedGroup};
+use rmp_types::{Page, PageId, Result, RmpError, ServerId};
+
+use crate::engine::{Ctx, Engine, Location};
+use crate::recovery::RecoveryReport;
+
+/// Active-fraction threshold below which garbage collection compacts a
+/// group when a server runs short of memory.
+const GC_ACTIVE_FRACTION: f64 = 0.5;
+
+/// The log-structured parity policy of Section 2.2: each paged-out page is
+/// XORed into a client-side buffer and shipped round-robin to one of `S`
+/// servers; every `S` pages the buffer goes to the parity server, costing
+/// `1 + 1/S` transfers per pageout. Old versions stay on their servers
+/// (inside the overflow memory) until their whole group goes inactive.
+pub struct ParityLogging {
+    data_servers: Vec<ServerId>,
+    parity_server: ServerId,
+    buffer: ParityBuffer,
+    groups: GroupTable,
+    /// Current-version location per page (pending and sealed alike).
+    location: HashMap<PageId, Location>,
+    /// Pages freed while still pending in the buffer; dropped from the
+    /// group table right after their group seals.
+    freed_pending: HashSet<PageId>,
+    cursor: usize,
+    gc_in_progress: bool,
+}
+
+impl ParityLogging {
+    /// Creates the engine over `data_servers` (the stripe) plus a
+    /// dedicated `parity_server`, sealing groups of `group_size` pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmpError::Config`] when the stripe is empty, the parity
+    /// server is part of it, or `group_size` exceeds the stripe width
+    /// (which would put two group members on one server and break
+    /// single-crash recovery).
+    pub fn new(
+        data_servers: Vec<ServerId>,
+        parity_server: ServerId,
+        group_size: usize,
+    ) -> Result<Self> {
+        if data_servers.is_empty() {
+            return Err(RmpError::Config("parity logging needs data servers".into()));
+        }
+        if data_servers.contains(&parity_server) {
+            return Err(RmpError::Config(
+                "parity server must be distinct from data servers".into(),
+            ));
+        }
+        if group_size == 0 || group_size > data_servers.len() {
+            return Err(RmpError::Config(format!(
+                "group size {group_size} must be in 1..={}",
+                data_servers.len()
+            )));
+        }
+        Ok(ParityLogging {
+            data_servers,
+            parity_server,
+            buffer: ParityBuffer::new(group_size),
+            groups: GroupTable::new(),
+            location: HashMap::new(),
+            freed_pending: HashSet::new(),
+            cursor: 0,
+            gc_in_progress: false,
+        })
+    }
+
+    /// Live groups currently in the log.
+    pub fn live_groups(&self) -> usize {
+        self.groups.live_groups()
+    }
+
+    /// Fraction of stored versions that are stale (inactive).
+    pub fn fragmentation(&self) -> f64 {
+        self.groups.fragmentation()
+    }
+
+    /// Groups reclaimed so far.
+    pub fn reclaimed_groups(&self) -> u64 {
+        self.groups.reclaimed_groups()
+    }
+
+    /// The next data server in round-robin order that is alive and
+    /// accepting, skipping `exclude`.
+    fn next_server(&mut self, ctx: &Ctx<'_>, exclude: &[ServerId]) -> Option<ServerId> {
+        let n = self.data_servers.len();
+        for _ in 0..n {
+            let s = self.data_servers[self.cursor % n];
+            self.cursor += 1;
+            if exclude.contains(&s) {
+                continue;
+            }
+            if ctx.pool.view().is_alive(s) {
+                use rmp_cluster::Condition;
+                let stopped = ctx
+                    .pool
+                    .view()
+                    .status(s)
+                    .is_some_and(|st| st.condition == Condition::StopSending);
+                if !stopped {
+                    return Some(s);
+                }
+            }
+        }
+        None
+    }
+
+    /// Ships a sealed group's parity and registers the group, freeing any
+    /// storage whose groups went fully inactive.
+    fn commit_group(&mut self, ctx: &mut Ctx<'_>, sealed: SealedGroup) -> Result<()> {
+        let pkey = ctx.pool.fresh_key();
+        ctx.pool.reserve_frame(self.parity_server)?;
+        ctx.pool
+            .page_out(self.parity_server, pkey, &sealed.parity)?;
+        ctx.stats.net_parity_transfers += 1;
+        let members: Vec<PageId> = sealed.members.iter().map(|m| m.page_id).collect();
+        let (_gid, reclaimed) = self
+            .groups
+            .register(sealed.members, self.parity_server, pkey);
+        self.release_reclaimed(ctx, reclaimed)?;
+        // Pages freed while pending are dropped now that their group is
+        // sealed and registered.
+        for page in members {
+            if self.freed_pending.remove(&page) {
+                let reclaimed = self.groups.drop_page(page).into_iter().collect();
+                self.release_reclaimed(ctx, reclaimed)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn release_reclaimed(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        reclaimed: Vec<rmp_parity::group::ReclaimedGroup>,
+    ) -> Result<()> {
+        for group in reclaimed {
+            for (server, key) in group.member_storage {
+                if ctx.pool.view().is_alive(server) {
+                    ctx.pool.free(server, key)?;
+                }
+            }
+            let (pserver, pkey) = group.parity_storage;
+            if ctx.pool.view().is_alive(pserver) {
+                ctx.pool.free(pserver, pkey)?;
+            }
+            ctx.stats.groups_reclaimed += 1;
+        }
+        Ok(())
+    }
+
+    /// Garbage collection: re-log the active pages of fragmented groups so
+    /// those groups drain and their storage frees up (Section 2.2: "one
+    /// has to perform garbage collection freeing parity sets by combining
+    /// their active pages to new ones").
+    fn collect_garbage(&mut self, ctx: &mut Ctx<'_>) -> Result<u64> {
+        if self.gc_in_progress {
+            return Ok(0);
+        }
+        self.gc_in_progress = true;
+        let result = self.collect_garbage_inner(ctx);
+        self.gc_in_progress = false;
+        result
+    }
+
+    fn collect_garbage_inner(&mut self, ctx: &mut Ctx<'_>) -> Result<u64> {
+        let plan = self.groups.gc_plan(GC_ACTIVE_FRACTION);
+        let mut relogged = 0;
+        for member in plan.relog {
+            // Skip members superseded since the plan was taken.
+            let still_current = matches!(
+                self.location.get(&member.page_id),
+                Some(Location::Remote { server, key }) if *server == member.server && *key == member.key
+            );
+            if !still_current {
+                continue;
+            }
+            let page = ctx.pool.page_in(member.server, member.key)?;
+            ctx.stats.net_fetches += 1;
+            self.page_out_inner(ctx, member.page_id, &page, &[])?;
+            relogged += 1;
+        }
+        if relogged > 0 {
+            // Seal the partial group so the re-logged pages supersede
+            // their old versions and the victims actually drain.
+            if let Some(sealed) = self.buffer.flush() {
+                self.commit_group(ctx, sealed)?;
+            }
+            ctx.stats.gc_passes += 1;
+        }
+        Ok(relogged)
+    }
+
+    fn page_out_inner(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: PageId,
+        page: &Page,
+        exclude: &[ServerId],
+    ) -> Result<()> {
+        if ctx.prefer_disk {
+            if ctx.has_disk() {
+                ctx.disk_write(id, page)?;
+                self.set_location(ctx, id, Location::LocalDisk)?;
+                return Ok(());
+            }
+            return Err(RmpError::Unsupported("no local disk configured"));
+        }
+        let mut tried: Vec<ServerId> = exclude.to_vec();
+        // Keep every member of the pending group on a distinct server —
+        // two members co-located would break single-crash recovery.
+        tried.extend(self.buffer.members().iter().map(|m| m.server));
+        let base_tried = tried.clone();
+        let mut refreshed = false;
+        while let Some(server) = self.next_server(ctx, &tried) {
+            let key = ctx.pool.fresh_key();
+            let stored = ctx
+                .pool
+                .reserve_frame(server)
+                .and_then(|()| ctx.pool.page_out(server, key, page));
+            match stored {
+                Ok(_hint) => {
+                    ctx.stats.net_data_transfers += 1;
+                    self.set_location(ctx, id, Location::Remote { server, key })?;
+                    if let Some(sealed) = self.buffer.absorb(id, key, server, page) {
+                        self.commit_group(ctx, sealed)?;
+                    } else {
+                        // With fewer live servers than the configured
+                        // group size the buffer could never fill; seal at
+                        // the effective stripe width so the log keeps
+                        // making progress on a degraded cluster.
+                        let live = self
+                            .data_servers
+                            .iter()
+                            .filter(|s| ctx.pool.view().is_alive(**s))
+                            .count();
+                        if live > 0 && self.buffer.pending() >= live.min(self.buffer.group_size()) {
+                            if let Some(sealed) = self.buffer.flush() {
+                                self.commit_group(ctx, sealed)?;
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
+                Err(RmpError::NoSpace(_)) => {
+                    // Try to make room before writing this server off.
+                    if !self.gc_in_progress && self.collect_garbage(ctx)? > 0 {
+                        // GC freed server memory; take fresh load reports
+                        // so stop-sending verdicts get revisited.
+                        ctx.pool.refresh_loads();
+                        continue;
+                    }
+                    tried.push(server);
+                }
+                Err(RmpError::ServerCrashed(_)) => tried.push(server),
+                Err(e) => return Err(e),
+            }
+            if self.next_server(ctx, &tried).is_none() && !refreshed {
+                // Every server looks full or stopped; a stale view can
+                // say that long after frees and GC made room. Refresh
+                // once before conceding to the disk.
+                refreshed = true;
+                ctx.pool.refresh_loads();
+                tried = base_tried.clone();
+            }
+        }
+        if ctx.has_disk() {
+            ctx.disk_write(id, page)?;
+            self.set_location(ctx, id, Location::LocalDisk)?;
+            Ok(())
+        } else {
+            Err(RmpError::ClusterFull)
+        }
+    }
+
+    /// Updates the location map; a page that moves to disk drops out of
+    /// the parity log (the disk is stable storage and needs no parity).
+    fn set_location(&mut self, ctx: &mut Ctx<'_>, id: PageId, loc: Location) -> Result<()> {
+        let old = self.location.insert(id, loc);
+        if loc == Location::LocalDisk {
+            let reclaimed = self.groups.drop_page(id).into_iter().collect();
+            self.release_reclaimed(ctx, reclaimed)?;
+            if self.buffer.members().iter().any(|m| m.page_id == id) {
+                // A pending version exists; drop it from the group table
+                // right after its group seals.
+                self.freed_pending.insert(id);
+            }
+        } else if old == Some(Location::LocalDisk) {
+            ctx.disk_free(id)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a pending (unsealed) page lost with `crashed` using the
+    /// client-side parity buffer.
+    /// Recovers pending (unsealed) pages lost with `crashed` using the
+    /// client-side parity buffer, then re-logs *every* pending page
+    /// through fresh groups so full single-crash tolerance is restored
+    /// even when the stripe shrank.
+    fn recover_pending(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        crashed: ServerId,
+        report: &mut RecoveryReport,
+    ) -> Result<()> {
+        let pending: Vec<_> = self.buffer.members().to_vec();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let lost: Vec<_> = pending.iter().filter(|m| m.server == crashed).collect();
+        if lost.len() > 1 {
+            return Err(RmpError::Unrecoverable(format!(
+                "{} pending pages lost with {crashed} in one unsealed group",
+                lost.len()
+            )));
+        }
+        // Fetch the surviving pending contents and reconstruct the lost
+        // one (if any) from the buffer's accumulator.
+        let mut contents: Vec<(rmp_parity::GroupMember, Page)> = Vec::new();
+        let mut rebuilt = self.buffer.accumulated().clone();
+        for m in pending.iter().filter(|m| m.server != crashed) {
+            let piece = ctx.pool.page_in(m.server, m.key)?;
+            ctx.stats.net_fetches += 1;
+            report.transfers += 1;
+            rebuilt.xor_with(&piece);
+            contents.push((*m, piece));
+        }
+        if let Some(&&lost) = lost.first() {
+            report.pages_rebuilt += 1;
+            contents.push((lost, rebuilt));
+        }
+        // Re-log the current version of each pending page and release the
+        // old copies.
+        self.buffer.reset();
+        for (m, page) in contents {
+            let is_current = self.location.get(&m.page_id)
+                == Some(&Location::Remote {
+                    server: m.server,
+                    key: m.key,
+                });
+            if is_current && !self.freed_pending.contains(&m.page_id) {
+                self.page_out_inner(ctx, m.page_id, &page, &[crashed])?;
+                report.transfers += 1;
+            }
+            self.freed_pending.remove(&m.page_id);
+            if m.server != crashed && ctx.pool.view().is_alive(m.server) {
+                ctx.pool.free(m.server, m.key)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Engine for ParityLogging {
+    fn page_out(&mut self, ctx: &mut Ctx<'_>, id: PageId, page: &Page) -> Result<()> {
+        ctx.stats.pageouts += 1;
+        self.freed_pending.remove(&id);
+        self.page_out_inner(ctx, id, page, &[])
+    }
+
+    fn page_in(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<Page> {
+        ctx.stats.pageins += 1;
+        match self.location.get(&id).copied() {
+            Some(Location::Remote { server, key }) => {
+                let page = ctx.pool.page_in(server, key)?;
+                ctx.stats.net_fetches += 1;
+                Ok(page)
+            }
+            Some(Location::LocalDisk) => ctx.disk_read(id),
+            None => Err(RmpError::PageNotFound(id)),
+        }
+    }
+
+    fn free(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<()> {
+        match self.location.remove(&id) {
+            None => Ok(()),
+            Some(Location::LocalDisk) => ctx.disk_free(id),
+            Some(Location::Remote { .. }) => {
+                if self.buffer.members().iter().any(|m| m.page_id == id) {
+                    // Still pending: its storage must survive until the
+                    // group seals (other pending pages recover through it).
+                    self.freed_pending.insert(id);
+                    Ok(())
+                } else {
+                    let reclaimed = self.groups.drop_page(id).into_iter().collect();
+                    self.release_reclaimed(ctx, reclaimed)
+                }
+            }
+        }
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.location.contains_key(&id)
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>) -> Result<()> {
+        if let Some(sealed) = self.buffer.flush() {
+            self.commit_group(ctx, sealed)?;
+        }
+        Ok(())
+    }
+
+    fn recover(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
+        let start = std::time::Instant::now();
+        let mut report = RecoveryReport::new(server);
+        // Pending pages first — the unsealed group's parity lives in the
+        // client's buffer.
+        self.recover_pending(ctx, server, &mut report)?;
+        let (recoveries, rebuilds) = self.groups.recovery_plan(server)?;
+        for plan in recoveries {
+            // Work from the full group state: we need every member's
+            // page id and active flag, not just the storage addresses.
+            // A group reclaimed by an earlier plan's re-logging holds no
+            // current data any more — nothing to rebuild from it.
+            let Some(state) = self.groups.group(plan.group).cloned() else {
+                continue;
+            };
+            // Fetch the survivors (all slots except the lost one).
+            let mut contents: Vec<Option<Page>> = vec![None; state.members.len()];
+            for (slot, m) in state.members.iter().enumerate() {
+                if slot == plan.slot {
+                    continue;
+                }
+                let piece = ctx.pool.page_in(m.server, m.key)?;
+                ctx.stats.net_fetches += 1;
+                report.transfers += 1;
+                contents[slot] = Some(piece);
+            }
+            let (ps, pk) = plan.parity.expect("data-member plans carry parity");
+            let parity = ctx.pool.page_in(ps, pk)?;
+            ctx.stats.net_fetches += 1;
+            report.transfers += 1;
+            let rebuilt = reconstruct(&parity, contents.iter().flatten());
+            contents[plan.slot] = Some(rebuilt);
+            report.pages_rebuilt += 1;
+            // Restore full redundancy by re-logging the *current* version
+            // of every active member through fresh parity groups; the
+            // damaged group drains to fully-inactive and is reclaimed
+            // (freeing the survivors' old copies and the parity page).
+            for (slot, m) in state.members.iter().enumerate() {
+                if !m.active {
+                    continue;
+                }
+                let is_current = self.location.get(&m.page_id)
+                    == Some(&Location::Remote {
+                        server: m.server,
+                        key: m.key,
+                    });
+                if !is_current {
+                    continue;
+                }
+                let page = contents[slot].as_ref().expect("fetched or rebuilt");
+                self.page_out_inner(ctx, m.page_id, page, &[server])?;
+                report.transfers += 1;
+            }
+        }
+        if !rebuilds.is_empty() {
+            // The parity server died: pick a replacement and recompute
+            // every group's parity page onto it.
+            let replacement = ctx
+                .pool
+                .view()
+                .most_promising(&[server])
+                .filter(|s| !self.data_servers.contains(s))
+                .or_else(|| ctx.pool.view().most_promising(&[server]))
+                .ok_or_else(|| RmpError::Unrecoverable("no live server to host parity".into()))?;
+            self.parity_server = replacement;
+            for plan in rebuilds {
+                let mut acc = Page::zeroed();
+                for (s, k) in &plan.fetch {
+                    let piece = ctx.pool.page_in(*s, *k)?;
+                    ctx.stats.net_fetches += 1;
+                    report.transfers += 1;
+                    acc.xor_with(&piece);
+                }
+                let pkey = ctx.pool.fresh_key();
+                ctx.pool.reserve_frame(replacement)?;
+                ctx.pool.page_out(replacement, pkey, &acc)?;
+                ctx.stats.net_parity_transfers += 1;
+                report.transfers += 1;
+                report.parity_rebuilt += 1;
+                self.groups.relocate_parity(plan.group, replacement, pkey)?;
+            }
+        }
+        // Seal whatever the re-logging left pending so the damaged groups
+        // drain out of the table before the next fault.
+        self.flush(ctx)?;
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
+
+    fn migrate_from(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {
+        // Re-log every current page living on `server`; old versions drain
+        // as their groups go inactive.
+        let pages: Vec<PageId> = self
+            .location
+            .iter()
+            .filter_map(|(&id, loc)| match loc {
+                Location::Remote { server: s, .. } if *s == server => Some(id),
+                _ => None,
+            })
+            .collect();
+        let mut moved = 0;
+        for id in pages {
+            let Some(Location::Remote { key, .. }) = self.location.get(&id).copied() else {
+                continue;
+            };
+            let page = ctx.pool.page_in(server, key)?;
+            ctx.stats.net_fetches += 1;
+            self.page_out_inner(ctx, id, &page, &[server])?;
+            ctx.stats.migrations += 1;
+            moved += 1;
+        }
+        // Seal so the re-logged versions supersede the old ones.
+        if moved > 0 {
+            self.flush(ctx)?;
+        }
+        Ok(moved)
+    }
+
+    fn rebalance(&mut self, ctx: &mut Ctx<'_>) -> Result<u64> {
+        let disk_pages: Vec<PageId> = self
+            .location
+            .iter()
+            .filter(|(_, loc)| matches!(loc, Location::LocalDisk))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut promoted = 0;
+        for id in disk_pages {
+            if ctx.pool.view().server_with_capacity(1, &[]).is_none() {
+                break;
+            }
+            let page = ctx.disk_read(id)?;
+            self.page_out_inner(ctx, id, &page, &[])?;
+            if matches!(self.location.get(&id), Some(Location::Remote { .. })) {
+                promoted += 1;
+            }
+        }
+        Ok(promoted)
+    }
+}

@@ -1,0 +1,200 @@
+//! WRITE THROUGH — remote memory as a cache of the local disk (§4.7).
+
+use std::collections::HashMap;
+
+use rmp_types::{Page, PageId, Result, RmpError, ServerId};
+
+use crate::engine::{Ctx, Engine, Location};
+use crate::recovery::RecoveryReport;
+
+/// "Another approach would be to store all remote pages to the local disk
+/// as well, effectively treating remote memory as a write-through cache of
+/// the disk." Reads come from remote memory (no disk-head movement);
+/// every write goes to both the disk and a server, in parallel on the
+/// paper's hardware. Reliability is free — the disk always has everything
+/// — but write throughput is capped by the disk.
+#[derive(Debug, Default)]
+pub struct WriteThrough {
+    /// Remote cache location per page; every page is *also* on disk.
+    remote: HashMap<PageId, Option<Location>>,
+    cursor: usize,
+}
+
+impl WriteThrough {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        WriteThrough::default()
+    }
+
+    fn pages_on(&self, server: ServerId) -> Vec<PageId> {
+        self.remote
+            .iter()
+            .filter_map(|(&id, loc)| match loc {
+                Some(Location::Remote { server: s, .. }) if *s == server => Some(id),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Engine for WriteThrough {
+    fn page_out(&mut self, ctx: &mut Ctx<'_>, id: PageId, page: &Page) -> Result<()> {
+        ctx.stats.pageouts += 1;
+        // The disk copy is unconditional — that is the "write through".
+        ctx.disk_write(id, page)?;
+        // Best-effort remote copy for fast reads.
+        let existing = self.remote.get(&id).copied().flatten();
+        let loc = match existing {
+            Some(Location::Remote { server, key }) if ctx.pool.view().is_alive(server) => {
+                match ctx.pool.page_out(server, key, page) {
+                    Ok(_) => {
+                        ctx.stats.net_data_transfers += 1;
+                        Some(Location::Remote { server, key })
+                    }
+                    Err(RmpError::ServerCrashed(_)) | Err(RmpError::NoSpace(_)) => None,
+                    Err(e) => return Err(e),
+                }
+            }
+            _ => None,
+        };
+        let loc = match loc {
+            Some(l) => Some(l),
+            None => {
+                let live = ctx.pool.view().live_servers();
+                let preferred = if live.is_empty() {
+                    None
+                } else {
+                    let p = live[self.cursor % live.len()];
+                    self.cursor += 1;
+                    Some(p)
+                };
+                let key = ctx.pool.fresh_key();
+                match ctx.store_with_fallback(id, key, page, preferred, &[]) {
+                    Ok(Location::LocalDisk) | Err(RmpError::ClusterFull) => None,
+                    Ok(remote) => Some(remote),
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        self.remote.insert(id, loc);
+        Ok(())
+    }
+
+    fn page_in(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<Page> {
+        ctx.stats.pageins += 1;
+        if !self.remote.contains_key(&id) {
+            return Err(RmpError::PageNotFound(id));
+        }
+        if let Some(Some(Location::Remote { server, key })) = self.remote.get(&id) {
+            let (server, key) = (*server, *key);
+            if ctx.pool.view().is_alive(server) {
+                match ctx.pool.page_in(server, key) {
+                    Ok(page) => {
+                        ctx.stats.net_fetches += 1;
+                        return Ok(page);
+                    }
+                    Err(RmpError::ServerCrashed(_)) | Err(RmpError::PageNotFound(_)) => {
+                        self.remote.insert(id, None);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        // The disk always has the truth.
+        ctx.disk_read(id)
+    }
+
+    fn free(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<()> {
+        if let Some(loc) = self.remote.remove(&id) {
+            if let Some(Location::Remote { server, key }) = loc {
+                if ctx.pool.view().is_alive(server) {
+                    ctx.pool.free(server, key)?;
+                }
+            }
+            ctx.disk_free(id)?;
+        }
+        Ok(())
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.remote.contains_key(&id)
+    }
+
+    fn recover(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
+        let start = std::time::Instant::now();
+        let mut report = RecoveryReport::new(server);
+        // Nothing is lost — the disk has every page. Re-populate the
+        // remote cache from disk so reads stay at memory speed.
+        for id in self.pages_on(server) {
+            let page = ctx.disk_read(id)?;
+            let key = ctx.pool.fresh_key();
+            match ctx.store_with_fallback(id, key, &page, None, &[server]) {
+                Ok(Location::LocalDisk) | Err(RmpError::ClusterFull) => {
+                    self.remote.insert(id, None);
+                }
+                Ok(loc) => {
+                    report.transfers += 1;
+                    report.pages_rebuilt += 1;
+                    self.remote.insert(id, Some(loc));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
+
+    fn migrate_from(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {
+        // Identical mechanics to recovery: refresh cache copies elsewhere,
+        // then free the old ones.
+        let mut moved = 0;
+        for id in self.pages_on(server) {
+            let Some(Some(Location::Remote { key, .. })) = self.remote.get(&id).copied() else {
+                continue;
+            };
+            let page = ctx.disk_read(id)?;
+            let new_key = ctx.pool.fresh_key();
+            match ctx.store_with_fallback(id, new_key, &page, None, &[server]) {
+                Ok(Location::LocalDisk) | Err(RmpError::ClusterFull) => {
+                    self.remote.insert(id, None);
+                }
+                Ok(loc) => {
+                    self.remote.insert(id, Some(loc));
+                    moved += 1;
+                    ctx.stats.migrations += 1;
+                }
+                Err(e) => return Err(e),
+            }
+            if ctx.pool.view().is_alive(server) {
+                ctx.pool.free(server, key)?;
+            }
+        }
+        Ok(moved)
+    }
+
+    fn rebalance(&mut self, ctx: &mut Ctx<'_>) -> Result<u64> {
+        let uncached: Vec<PageId> = self
+            .remote
+            .iter()
+            .filter(|(_, loc)| loc.is_none())
+            .map(|(&id, _)| id)
+            .collect();
+        let mut promoted = 0;
+        for id in uncached {
+            if ctx.pool.view().server_with_capacity(1, &[]).is_none() {
+                break;
+            }
+            let page = ctx.disk_read(id)?;
+            let key = ctx.pool.fresh_key();
+            match ctx.store_with_fallback(id, key, &page, None, &[]) {
+                Ok(Location::LocalDisk) | Err(RmpError::ClusterFull) => break,
+                Ok(loc) => {
+                    self.remote.insert(id, Some(loc));
+                    promoted += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(promoted)
+    }
+}

@@ -1,0 +1,36 @@
+//! The Reliable Remote Memory Pager (RMP) — the paper's contribution.
+//!
+//! [`Pager`] is the client: it implements
+//! [`rmp_blockdev::PagingDevice`], so the virtual-memory layer (standing in
+//! for the DEC OSF/1 kernel) pages through it transparently, while the
+//! pager forwards requests to remote memory servers over the wire
+//! protocol, to the local disk, or both — under one of the six policies of
+//! the paper:
+//!
+//! * **No reliability** — pages stripe over servers, one transfer per
+//!   pageout, no redundancy (a server crash loses pages).
+//! * **Mirroring** — two copies on two servers.
+//! * **Basic parity** — RAID-style fixed parity groups.
+//! * **Parity logging** — the paper's novel log-structured parity policy.
+//! * **Write-through** — remote memory as a write-through cache of the
+//!   local disk (Section 4.7).
+//! * **Disk** — traditional local-disk paging, the baseline.
+//!
+//! The pager detects server crashes (connection failures), reconstructs
+//! the lost pages from redundancy, and keeps running — the property the
+//! paper demonstrates. It also implements the Section 2.1 dynamics
+//! (most-promising-server selection, allocation denial, stop-sending
+//! advisories, migration, disk fallback, re-replication) and the Section 5
+//! future work (adaptive network-load switching, heterogeneous link
+//! costs).
+
+pub mod engine;
+pub mod pager;
+pub mod pool;
+pub mod recovery;
+pub mod transport;
+
+pub use pager::{Pager, PagerBuilder};
+pub use pool::ServerPool;
+pub use recovery::RecoveryReport;
+pub use transport::{ServerTransport, TcpTransport};

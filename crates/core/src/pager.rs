@@ -1,0 +1,355 @@
+//! The pager: policy dispatch, crash handling, adaptive switching.
+
+use rmp_blockdev::PagingDevice;
+use rmp_types::{Page, PageId, PagerConfig, Policy, Result, RmpError, ServerId, TransferStats};
+
+use crate::engine::{
+    basic::BasicParity, diskonly::DiskOnly, mirror::Mirroring, norel::NoReliability,
+    paritylog::ParityLogging, writethrough::WriteThrough, Ctx, Engine,
+};
+use crate::pool::ServerPool;
+use crate::recovery::RecoveryReport;
+
+/// Builder for [`Pager`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use rmp_blockdev::FileDisk;
+/// use rmp_cluster::Registry;
+/// use rmp_core::{Pager, ServerPool};
+/// use rmp_types::{PagerConfig, Policy};
+///
+/// let registry = Registry::load("/etc/rmp/servers").unwrap();
+/// let pool = ServerPool::connect(&registry).unwrap();
+/// let pager = Pager::builder(PagerConfig::new(Policy::ParityLogging))
+///     .pool(pool)
+///     .disk(Box::new(FileDisk::create("/var/rmp/swapfile").unwrap()))
+///     .build()
+///     .unwrap();
+/// ```
+pub struct PagerBuilder {
+    config: PagerConfig,
+    pool: ServerPool,
+    disk: Option<Box<dyn PagingDevice>>,
+}
+
+impl PagerBuilder {
+    /// Sets the server pool.
+    pub fn pool(mut self, pool: ServerPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Sets the local-disk backend (required for disk-only, write-through
+    /// and the disk fallback).
+    pub fn disk(mut self, disk: Box<dyn PagingDevice>) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// Builds the pager.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmpError::Config`] when the configuration is internally
+    /// inconsistent or the pool does not provide the servers the policy
+    /// needs (parity policies want `servers + 1`: the stripe plus a
+    /// dedicated parity server — the highest-numbered one).
+    pub fn build(self) -> Result<Pager> {
+        Pager::new(self.config, self.pool, self.disk)
+    }
+}
+
+/// The Remote Memory Pager client (Section 3.1).
+///
+/// Implements [`PagingDevice`], so any [`rmp_vm::PagedMemory`] — or any
+/// other block-level consumer — can page through it without knowing
+/// whether pages land on remote workstations, the local disk, or both.
+///
+/// [`rmp_vm::PagedMemory`]: ../rmp_vm/struct.PagedMemory.html
+pub struct Pager {
+    config: PagerConfig,
+    pool: ServerPool,
+    disk: Option<Box<dyn PagingDevice>>,
+    engine: Box<dyn Engine>,
+    stats: TransferStats,
+    prefer_disk: bool,
+}
+
+impl Pager {
+    /// Starts building a pager for `config`.
+    pub fn builder(config: PagerConfig) -> PagerBuilder {
+        PagerBuilder {
+            config,
+            pool: ServerPool::new(),
+            disk: None,
+        }
+    }
+
+    /// Creates a pager.
+    ///
+    /// # Errors
+    ///
+    /// See [`PagerBuilder::build`].
+    pub fn new(
+        config: PagerConfig,
+        pool: ServerPool,
+        disk: Option<Box<dyn PagingDevice>>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let ids = pool.server_ids();
+        let engine: Box<dyn Engine> = match config.policy {
+            Policy::NoReliability => {
+                if ids.len() < config.servers {
+                    return Err(RmpError::Config(format!(
+                        "policy wants {} servers, pool has {}",
+                        config.servers,
+                        ids.len()
+                    )));
+                }
+                Box::new(NoReliability::new())
+            }
+            Policy::Mirroring => {
+                if ids.len() < 2 {
+                    return Err(RmpError::Config("mirroring needs two servers".into()));
+                }
+                Box::new(Mirroring::new())
+            }
+            Policy::BasicParity | Policy::ParityLogging => {
+                if ids.len() < config.servers + 1 {
+                    return Err(RmpError::Config(format!(
+                        "parity policies want {} data servers plus a parity server, pool has {}",
+                        config.servers,
+                        ids.len()
+                    )));
+                }
+                let data: Vec<ServerId> = ids[..config.servers].to_vec();
+                let parity = ids[ids.len() - 1];
+                if config.policy == Policy::BasicParity {
+                    Box::new(BasicParity::new(data, parity)?)
+                } else {
+                    Box::new(ParityLogging::new(data, parity, config.group_size)?)
+                }
+            }
+            Policy::WriteThrough => {
+                if disk.is_none() {
+                    return Err(RmpError::Config("write-through needs a local disk".into()));
+                }
+                Box::new(WriteThrough::new())
+            }
+            Policy::DiskOnly => {
+                if disk.is_none() {
+                    return Err(RmpError::Config("disk paging needs a local disk".into()));
+                }
+                Box::new(DiskOnly::new())
+            }
+        };
+        Ok(Pager {
+            config,
+            pool,
+            disk,
+            engine,
+            stats: TransferStats::default(),
+            prefer_disk: false,
+        })
+    }
+
+    /// Runs `f` with the engine and a context over the pager's fields.
+    fn with_engine<R>(&mut self, f: impl FnOnce(&mut dyn Engine, &mut Ctx<'_>) -> R) -> R {
+        let mut ctx = Ctx {
+            pool: &mut self.pool,
+            disk: self.disk.as_mut(),
+            stats: &mut self.stats,
+            prefer_disk: self.prefer_disk,
+        };
+        f(self.engine.as_mut(), &mut ctx)
+    }
+
+    /// Re-evaluates the adaptive network-load switch (Section 5): when the
+    /// mean service time exceeds the configured threshold, new pageouts go
+    /// to the local disk; once it falls below half the threshold, remote
+    /// paging resumes.
+    fn update_adaptive(&mut self) {
+        let Some(threshold) = self.config.adaptive_threshold_ms else {
+            return;
+        };
+        if self.disk.is_none() {
+            return;
+        }
+        let avg = self.pool.avg_service_ms();
+        if self.prefer_disk {
+            if avg < threshold * 0.5 {
+                self.prefer_disk = false;
+            }
+        } else if avg > threshold {
+            self.prefer_disk = true;
+        }
+    }
+
+    /// Returns `true` while the adaptive switch routes pageouts to disk.
+    pub fn prefers_disk(&self) -> bool {
+        self.prefer_disk
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PagerConfig {
+        &self.config
+    }
+
+    /// The connection pool (load view, service times, wire counters).
+    pub fn pool(&self) -> &ServerPool {
+        &self.pool
+    }
+
+    /// Mutable access to the pool (fault injection, load refresh).
+    pub fn pool_mut(&mut self) -> &mut ServerPool {
+        &mut self.pool
+    }
+
+    /// Recovers from the crash of `server`: reconstructs every lost page
+    /// from the policy's redundancy and re-homes it on surviving servers.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::Unrecoverable`] when the policy cannot restore the
+    /// data (no-reliability, or multiple faults in one redundancy group).
+    pub fn recover_from_crash(&mut self, server: ServerId) -> Result<RecoveryReport> {
+        // Basic parity rebuilds in place onto the rebooted workstation, so
+        // the server must stay usable; every other policy treats it as
+        // gone until it reconnects.
+        if self.config.policy != Policy::BasicParity {
+            self.pool.view_mut().mark_dead(server);
+        }
+        self.with_engine(|engine, ctx| engine.recover(ctx, server))
+    }
+
+    /// Moves every page off `server` in response to a stop-sending
+    /// advisory. Returns pages moved.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::Unsupported`] for fixed-layout policies.
+    pub fn migrate_from(&mut self, server: ServerId) -> Result<u64> {
+        self.with_engine(|engine, ctx| engine.migrate_from(ctx, server))
+    }
+
+    /// One round of the paper's periodic background duties: refresh every
+    /// server's load report, migrate away from servers that asked us to
+    /// stop sending, and promote disk-fallback pages back to remote
+    /// memory where space opened up. Call this from a timer (the paper's
+    /// client "periodically checks the memory load of all possible remote
+    /// memory servers"). Returns `(pages_migrated, pages_promoted)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn periodic_maintenance(&mut self) -> Result<(u64, u64)> {
+        self.pool.refresh_loads();
+        let migrated = self.service_advisories()?;
+        let promoted = self.with_engine(|engine, ctx| engine.rebalance(ctx))?;
+        Ok((migrated, promoted))
+    }
+
+    /// Reacts to stop-sending advisories: every server currently asking
+    /// the client to stop sending gets its pages migrated away — the
+    /// paper's "on reception of this message, the client will try to find
+    /// another server ... and migrate the pages that were stored by the
+    /// loaded server". Returns pages moved. Policies without migration
+    /// support (basic parity) are left alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures from the migration itself.
+    pub fn service_advisories(&mut self) -> Result<u64> {
+        use rmp_cluster::Condition;
+        let stopped: Vec<ServerId> = self
+            .pool
+            .view()
+            .all_servers()
+            .into_iter()
+            .filter(|&id| {
+                self.pool
+                    .view()
+                    .status(id)
+                    .is_some_and(|st| st.condition == Condition::StopSending)
+            })
+            .collect();
+        let mut moved = 0;
+        for server in stopped {
+            match self.migrate_from(server) {
+                Ok(n) => moved += n,
+                Err(RmpError::Unsupported(_)) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Promotes disk-fallback pages back to remote memory where space
+    /// exists — the paper's periodic re-replication check. Returns pages
+    /// promoted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn rebalance(&mut self) -> Result<u64> {
+        self.pool.refresh_loads();
+        self.with_engine(|engine, ctx| engine.rebalance(ctx))
+    }
+
+    /// Handles a failure from the engine: when it names a crashed server
+    /// and the policy is redundant, recover and signal "retry".
+    fn try_recover(&mut self, err: &RmpError) -> bool {
+        let RmpError::ServerCrashed(server) = err else {
+            return false;
+        };
+        if !self.config.policy.survives_single_crash() {
+            return false;
+        }
+        self.recover_from_crash(*server).is_ok()
+    }
+}
+
+impl PagingDevice for Pager {
+    fn page_out(&mut self, id: PageId, page: &Page) -> Result<()> {
+        self.update_adaptive();
+        let result = self.with_engine(|engine, ctx| engine.page_out(ctx, id, page));
+        match result {
+            Err(e) if self.try_recover(&e) => {
+                self.with_engine(|engine, ctx| engine.page_out(ctx, id, page))
+            }
+            other => other,
+        }
+    }
+
+    fn page_in(&mut self, id: PageId) -> Result<Page> {
+        let result = self.with_engine(|engine, ctx| engine.page_in(ctx, id));
+        match result {
+            Err(e) if self.try_recover(&e) => {
+                self.with_engine(|engine, ctx| engine.page_in(ctx, id))
+            }
+            other => other,
+        }
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        self.with_engine(|engine, ctx| engine.free(ctx, id))
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.engine.contains(id)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.with_engine(|engine, ctx| engine.flush(ctx))?;
+        if let Some(disk) = self.disk.as_mut() {
+            disk.flush()?;
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> TransferStats {
+        self.stats
+    }
+}

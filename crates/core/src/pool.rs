@@ -1,0 +1,427 @@
+//! The client's pool of server connections.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+use rmp_cluster::{ClusterView, Condition, Registry};
+use rmp_proto::{LoadHint, Message};
+use rmp_types::{Page, Result, RmpError, ServerId, StoreKey};
+
+use crate::transport::{ServerTransport, TcpTransport};
+
+/// Frames requested per allocation round-trip; the client consumes the
+/// grant locally so most pageouts need no extra allocation message.
+const ALLOC_CHUNK: u32 = 64;
+
+fn hint_condition(hint: LoadHint) -> Condition {
+    match hint {
+        LoadHint::Ok => Condition::Healthy,
+        LoadHint::Pressure => Condition::Pressure,
+        LoadHint::StopSending => Condition::StopSending,
+    }
+}
+
+/// Connections to every registered server plus the client's live load view.
+///
+/// All wire traffic of the pager funnels through here, which is where
+/// service times are measured (for the adaptive policy), load hints are
+/// folded into the [`ClusterView`], and connection failures are converted
+/// into [`RmpError::ServerCrashed`] with the server marked dead.
+pub struct ServerPool {
+    transports: BTreeMap<ServerId, Box<dyn ServerTransport>>,
+    view: ClusterView,
+    addrs: HashMap<ServerId, String>,
+    grants: HashMap<ServerId, u32>,
+    next_key: u64,
+    /// Total page-sized transfers (in either direction), for reports.
+    wire_transfers: u64,
+    /// Sum and count of service times, ms.
+    service_total_ms: f64,
+    service_count: u64,
+}
+
+impl ServerPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ServerPool {
+            transports: BTreeMap::new(),
+            view: ClusterView::new(),
+            addrs: HashMap::new(),
+            grants: HashMap::new(),
+            next_key: 1,
+            wire_transfers: 0,
+            service_total_ms: 0.0,
+            service_count: 0,
+        }
+    }
+
+    /// Connects to every server in the registry over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any server is unreachable.
+    pub fn connect(registry: &Registry) -> Result<Self> {
+        let mut pool = ServerPool::new();
+        for info in registry.iter() {
+            let transport = TcpTransport::connect(&info.addr)?;
+            pool.addrs.insert(info.id, info.addr.clone());
+            pool.add_transport(info.id, Box::new(transport), info.link_cost);
+        }
+        Ok(pool)
+    }
+
+    /// Adds a server with an already-established transport.
+    pub fn add_transport(
+        &mut self,
+        id: ServerId,
+        transport: Box<dyn ServerTransport>,
+        link_cost: f64,
+    ) {
+        self.transports.insert(id, transport);
+        self.view.register(id, link_cost);
+    }
+
+    /// Re-establishes the TCP connection to a restarted server and marks
+    /// it alive again.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the server was not added via [`ServerPool::connect`] (no
+    /// known address) or is still unreachable.
+    pub fn reconnect(&mut self, id: ServerId) -> Result<()> {
+        let addr = self
+            .addrs
+            .get(&id)
+            .ok_or_else(|| RmpError::Config(format!("no known address for {id}")))?;
+        let transport = TcpTransport::connect(addr)?;
+        self.transports.insert(id, Box::new(transport));
+        self.grants.remove(&id);
+        self.view.mark_alive(id);
+        Ok(())
+    }
+
+    /// Replaces the transport of a server (test hooks and non-TCP pools).
+    pub fn replace_transport(&mut self, id: ServerId, transport: Box<dyn ServerTransport>) {
+        self.transports.insert(id, transport);
+        self.grants.remove(&id);
+        self.view.mark_alive(id);
+    }
+
+    /// Registered server ids, ascending.
+    pub fn server_ids(&self) -> Vec<ServerId> {
+        self.transports.keys().copied().collect()
+    }
+
+    /// The live load view.
+    pub fn view(&self) -> &ClusterView {
+        &self.view
+    }
+
+    /// Mutable access to the load view.
+    pub fn view_mut(&mut self) -> &mut ClusterView {
+        &mut self.view
+    }
+
+    /// Allocates a fresh storage key, unique within this client.
+    pub fn fresh_key(&mut self) -> StoreKey {
+        let k = StoreKey(self.next_key);
+        self.next_key += 1;
+        k
+    }
+
+    /// Total page transfers performed on the wire.
+    pub fn wire_transfers(&self) -> u64 {
+        self.wire_transfers
+    }
+
+    /// Mean observed service time over all requests, ms (0 when none).
+    pub fn avg_service_ms(&self) -> f64 {
+        if self.service_count == 0 {
+            0.0
+        } else {
+            self.service_total_ms / self.service_count as f64
+        }
+    }
+
+    fn call(&mut self, id: ServerId, msg: &Message) -> Result<Message> {
+        let transport = self
+            .transports
+            .get_mut(&id)
+            .ok_or_else(|| RmpError::Config(format!("unknown server {id}")))?;
+        let start = Instant::now();
+        match transport.call(msg) {
+            Ok(reply) => {
+                let ms = start.elapsed().as_secs_f64() * 1000.0;
+                self.service_total_ms += ms;
+                self.service_count += 1;
+                self.view.record_service_time(id, ms);
+                Ok(reply)
+            }
+            Err(e) if e.is_server_failure() => {
+                self.view.mark_dead(id);
+                Err(RmpError::ServerCrashed(id))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn apply_hint(&mut self, id: ServerId, hint: LoadHint) {
+        let cond = hint_condition(hint);
+        if let Some(st) = self.view.status(id) {
+            if st.condition != Condition::Dead {
+                let (free, stored, cpu) = (st.free_pages, st.stored_pages, st.cpu_permille);
+                self.view.update_load(id, free, stored, cpu, cond);
+            }
+        }
+    }
+
+    /// Ensures one granted-but-unused frame exists on `id`, allocating a
+    /// chunk when needed — the paper's "asks for a number of page frames".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmpError::NoSpace`] when the server denies the
+    /// allocation, after marking it stop-sending in the view.
+    pub fn reserve_frame(&mut self, id: ServerId) -> Result<()> {
+        if let Some(g) = self.grants.get_mut(&id) {
+            if *g > 0 {
+                *g -= 1;
+                return Ok(());
+            }
+        }
+        match self.call(id, &Message::Alloc { pages: ALLOC_CHUNK })? {
+            Message::AllocReply { granted, hint } => {
+                self.apply_hint(id, hint);
+                if granted == 0 {
+                    // The denial the paper describes: stop considering this
+                    // server for new pages.
+                    if let Some(st) = self.view.status(id) {
+                        let (f, s, c) = (st.free_pages, st.stored_pages, st.cpu_permille);
+                        self.view.update_load(id, f, s, c, Condition::StopSending);
+                    }
+                    return Err(RmpError::NoSpace(id));
+                }
+                self.grants.insert(id, granted - 1);
+                Ok(())
+            }
+            other => Err(RmpError::Protocol(format!(
+                "unexpected reply to Alloc: {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    /// Ships a page to `id` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::ServerCrashed`] on connection failure;
+    /// [`RmpError::NoSpace`] when the server is out of memory.
+    pub fn page_out(&mut self, id: ServerId, key: StoreKey, page: &Page) -> Result<LoadHint> {
+        let reply = self.call(
+            id,
+            &Message::PageOut {
+                id: key,
+                page: page.clone(),
+            },
+        );
+        match reply {
+            Ok(Message::PageOutAck { hint, .. }) => {
+                self.wire_transfers += 1;
+                self.apply_hint(id, hint);
+                Ok(hint)
+            }
+            Ok(other) => Err(RmpError::Protocol(format!(
+                "unexpected reply to PageOut: {:?}",
+                other.opcode()
+            ))),
+            Err(RmpError::Protocol(m)) if m.contains("out of memory") => Err(RmpError::NoSpace(id)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fetches the page stored under `key` on `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::PageNotFound`] on a miss, [`RmpError::ServerCrashed`]
+    /// on connection failure.
+    pub fn page_in(&mut self, id: ServerId, key: StoreKey) -> Result<Page> {
+        match self.call(id, &Message::PageIn { id: key })? {
+            Message::PageInReply { page, .. } => {
+                self.wire_transfers += 1;
+                Ok(page)
+            }
+            Message::PageInMiss { .. } => Err(RmpError::PageNotFound(rmp_types::PageId(key.0))),
+            other => Err(RmpError::Protocol(format!(
+                "unexpected reply to PageIn: {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    /// Releases the page stored under `key` on `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::ServerCrashed`] on connection failure.
+    pub fn free(&mut self, id: ServerId, key: StoreKey) -> Result<()> {
+        match self.call(id, &Message::Free { id: key })? {
+            Message::FreeAck { .. } => Ok(()),
+            other => Err(RmpError::Protocol(format!(
+                "unexpected reply to Free: {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    /// Basic-parity pageout: stores the page and returns `old XOR new`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerPool::page_out`].
+    pub fn page_out_delta(
+        &mut self,
+        id: ServerId,
+        key: StoreKey,
+        page: &Page,
+    ) -> Result<(Page, LoadHint)> {
+        let reply = self.call(
+            id,
+            &Message::PageOutDelta {
+                id: key,
+                page: page.clone(),
+            },
+        );
+        match reply {
+            Ok(Message::PageOutDeltaReply { delta, hint, .. }) => {
+                self.wire_transfers += 1;
+                self.apply_hint(id, hint);
+                Ok((delta, hint))
+            }
+            Ok(other) => Err(RmpError::Protocol(format!(
+                "unexpected reply to PageOutDelta: {:?}",
+                other.opcode()
+            ))),
+            Err(RmpError::Protocol(m)) if m.contains("out of memory") => Err(RmpError::NoSpace(id)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// XORs `delta` into the page under `key` on `id` (parity update).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerPool::page_out`].
+    pub fn xor_into(&mut self, id: ServerId, key: StoreKey, delta: &Page) -> Result<()> {
+        let reply = self.call(
+            id,
+            &Message::XorInto {
+                id: key,
+                page: delta.clone(),
+            },
+        );
+        match reply {
+            Ok(Message::XorAck { .. }) => {
+                self.wire_transfers += 1;
+                Ok(())
+            }
+            Ok(other) => Err(RmpError::Protocol(format!(
+                "unexpected reply to XorInto: {:?}",
+                other.opcode()
+            ))),
+            Err(RmpError::Protocol(m)) if m.contains("out of memory") => Err(RmpError::NoSpace(id)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Queries a server's load report, updating the view — the paper's
+    /// periodic memory-load check.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::ServerCrashed`] on connection failure.
+    pub fn query_load(&mut self, id: ServerId) -> Result<(u64, u64, u16, LoadHint)> {
+        match self.call(id, &Message::LoadQuery)? {
+            Message::LoadReport {
+                free_pages,
+                stored_pages,
+                cpu_permille,
+                hint,
+            } => {
+                self.view.update_load(
+                    id,
+                    free_pages,
+                    stored_pages,
+                    cpu_permille,
+                    hint_condition(hint),
+                );
+                Ok((free_pages, stored_pages, cpu_permille, hint))
+            }
+            other => Err(RmpError::Protocol(format!(
+                "unexpected reply to LoadQuery: {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    /// Refreshes the load view of every live server; dead servers are
+    /// skipped, newly unreachable ones get marked dead.
+    pub fn refresh_loads(&mut self) {
+        for id in self.server_ids() {
+            if self.view.is_alive(id) {
+                let _ = self.query_load(id);
+            }
+        }
+    }
+
+    /// Enumerates every storage key the server currently holds, following
+    /// the protocol's pagination — used by audits and by operators via
+    /// `rmpctl`.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::ServerCrashed`] on connection failure.
+    pub fn list_keys(&mut self, id: ServerId) -> Result<Vec<StoreKey>> {
+        let mut keys = Vec::new();
+        let mut start = StoreKey(0);
+        loop {
+            match self.call(id, &Message::ListPages { start, limit: 512 })? {
+                Message::ListPagesReply { ids, more } => {
+                    if let Some(&last) = ids.last() {
+                        start = last.next();
+                    }
+                    keys.extend(ids);
+                    if !more {
+                        return Ok(keys);
+                    }
+                }
+                other => {
+                    return Err(RmpError::Protocol(format!(
+                        "unexpected reply to ListPages: {:?}",
+                        other.opcode()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Injects a crash into server `id` (fault injection for experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates send failures (an already-dead server).
+    pub fn inject_crash(&mut self, id: ServerId) -> Result<()> {
+        if let Some(t) = self.transports.get_mut(&id) {
+            t.send_only(&Message::InjectCrash)?;
+        }
+        self.view.mark_dead(id);
+        Ok(())
+    }
+}
+
+impl Default for ServerPool {
+    fn default() -> Self {
+        ServerPool::new()
+    }
+}

@@ -1,0 +1,54 @@
+//! Recovery reporting.
+
+use std::time::Duration;
+
+use rmp_types::ServerId;
+
+/// Outcome of recovering from one server crash.
+///
+/// The paper argues crash-recovery overhead matters least of the three
+/// reliability costs ("it is affordable to devote a few more seconds
+/// whenever a server crashes"); the recovery bench measures these fields
+/// to quantify that claim per policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The crashed server.
+    pub crashed: ServerId,
+    /// Data pages reconstructed (from mirrors or parity equations).
+    pub pages_rebuilt: u64,
+    /// Parity pages recomputed (after a parity-server crash).
+    pub parity_rebuilt: u64,
+    /// Page transfers performed during recovery.
+    pub transfers: u64,
+    /// Wall-clock duration of the recovery.
+    pub elapsed: Duration,
+}
+
+impl RecoveryReport {
+    /// Creates a report for `crashed` with zero counters.
+    pub fn new(crashed: ServerId) -> Self {
+        RecoveryReport {
+            crashed,
+            ..RecoveryReport::default()
+        }
+    }
+
+    /// Total pages rebuilt (data plus parity).
+    pub fn total_rebuilt(&self) -> u64 {
+        self.pages_rebuilt + self.parity_rebuilt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let mut r = RecoveryReport::new(ServerId(3));
+        r.pages_rebuilt = 5;
+        r.parity_rebuilt = 2;
+        assert_eq!(r.total_rebuilt(), 7);
+        assert_eq!(r.crashed, ServerId(3));
+    }
+}

@@ -1,0 +1,59 @@
+//! Client-side transport to one remote memory server.
+
+use std::net::TcpStream;
+
+use rmp_proto::{Framed, Message};
+use rmp_types::Result;
+
+/// A request/response channel to one server.
+///
+/// Production uses [`TcpTransport`] (a TCP socket, as in the paper); tests
+/// may plug in in-process fakes.
+pub trait ServerTransport: Send {
+    /// Sends `msg` and returns the server's reply.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures signal a crashed/unreachable server; protocol `Error`
+    /// replies surface as [`rmp_types::RmpError::Protocol`].
+    fn call(&mut self, msg: &Message) -> Result<Message>;
+
+    /// Sends `msg` without waiting for a reply (used for crash injection,
+    /// where no reply will come).
+    ///
+    /// # Errors
+    ///
+    /// Propagates send failures.
+    fn send_only(&mut self, msg: &Message) -> Result<()>;
+}
+
+/// TCP transport — "the RMP connects to the remote memory servers using
+/// sockets over TCP/IP" (Section 3.1).
+pub struct TcpTransport {
+    framed: Framed<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            framed: Framed::new(stream),
+        })
+    }
+}
+
+impl ServerTransport for TcpTransport {
+    fn call(&mut self, msg: &Message) -> Result<Message> {
+        self.framed.call(msg)
+    }
+
+    fn send_only(&mut self, msg: &Message) -> Result<()> {
+        self.framed.send(msg)
+    }
+}

@@ -1,0 +1,385 @@
+//! Byzantine and partial-failure tests against an in-memory fake server.
+//!
+//! The TCP integration tests exercise clean crashes; this suite drives
+//! the pager against a programmable fake transport that can deny
+//! allocations, die mid-call, "forget" pages, answer with protocol
+//! garbage, or flap between dead and alive — failure shapes a real
+//! cluster produces and the wire tests cannot stage deterministically.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rmp_blockdev::{PagingDevice, RamDisk};
+use rmp_core::transport::ServerTransport;
+use rmp_core::{Pager, ServerPool};
+use rmp_proto::{LoadHint, Message};
+use rmp_types::{Page, PageId, PagerConfig, Policy, Result, RmpError, ServerId, StoreKey};
+
+/// Scripted failure modes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Fault {
+    /// Healthy operation.
+    None,
+    /// Connection failures on every call (a crashed workstation).
+    Dead,
+    /// Deny all allocation requests (out of memory).
+    DenyAlloc,
+    /// Answer every pagein with a miss (lost its store).
+    Amnesia,
+    /// Reply with a nonsensical message (protocol violation).
+    Garbage,
+}
+
+/// Shared mutable state of one fake server.
+struct FakeState {
+    pages: HashMap<StoreKey, Page>,
+    fault: Fault,
+    calls: u64,
+}
+
+#[derive(Clone)]
+struct FakeServer(Rc<RefCell<FakeState>>);
+
+impl FakeServer {
+    fn new() -> Self {
+        FakeServer(Rc::new(RefCell::new(FakeState {
+            pages: HashMap::new(),
+            fault: Fault::None,
+            calls: 0,
+        })))
+    }
+
+    fn set_fault(&self, fault: Fault) {
+        self.0.borrow_mut().fault = fault;
+    }
+
+    fn stored(&self) -> usize {
+        self.0.borrow().pages.len()
+    }
+
+    fn calls(&self) -> u64 {
+        self.0.borrow().calls
+    }
+
+    fn wipe(&self) {
+        self.0.borrow_mut().pages.clear();
+    }
+}
+
+/// The fake transport: interprets the protocol against the shared state.
+struct FakeTransport(Rc<RefCell<FakeState>>);
+
+// SAFETY: `ServerTransport: Send` is required by the pool, but every test
+// in this file drives the pager from a single thread and the `Rc` inside
+// never crosses a thread boundary, so no data race is possible.
+unsafe impl Send for FakeTransport {}
+
+impl ServerTransport for FakeTransport {
+    fn call(&mut self, msg: &Message) -> Result<Message> {
+        let mut st = self.0.borrow_mut();
+        st.calls += 1;
+        match st.fault {
+            Fault::Dead => {
+                return Err(RmpError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "fake crash",
+                )))
+            }
+            Fault::Garbage => {
+                return Ok(Message::FreeAck { id: StoreKey(0) });
+            }
+            _ => {}
+        }
+        Ok(match msg.clone() {
+            Message::Alloc { pages } => Message::AllocReply {
+                granted: if st.fault == Fault::DenyAlloc {
+                    0
+                } else {
+                    pages
+                },
+                hint: LoadHint::Ok,
+            },
+            Message::PageOut { id, page } => {
+                st.pages.insert(id, page);
+                Message::PageOutAck {
+                    id,
+                    hint: LoadHint::Ok,
+                }
+            }
+            Message::PageIn { id } => {
+                if st.fault == Fault::Amnesia {
+                    Message::PageInMiss { id }
+                } else {
+                    match st.pages.get(&id) {
+                        Some(p) => Message::PageInReply {
+                            id,
+                            page: p.clone(),
+                        },
+                        None => Message::PageInMiss { id },
+                    }
+                }
+            }
+            Message::Free { id } => {
+                st.pages.remove(&id);
+                Message::FreeAck { id }
+            }
+            Message::LoadQuery => Message::LoadReport {
+                free_pages: if st.fault == Fault::DenyAlloc {
+                    0
+                } else {
+                    1 << 20
+                },
+                stored_pages: st.pages.len() as u64,
+                cpu_permille: 0,
+                hint: if st.fault == Fault::DenyAlloc {
+                    LoadHint::StopSending
+                } else {
+                    LoadHint::Ok
+                },
+            },
+            Message::PageOutDelta { id, page } => {
+                let delta = match st.pages.get(&id) {
+                    Some(old) => {
+                        let mut d = old.clone();
+                        d.xor_with(&page);
+                        d
+                    }
+                    None => page.clone(),
+                };
+                st.pages.insert(id, page);
+                Message::PageOutDeltaReply {
+                    id,
+                    delta,
+                    hint: LoadHint::Ok,
+                }
+            }
+            Message::XorInto { id, page } => {
+                match st.pages.get_mut(&id) {
+                    Some(existing) => existing.xor_with(&page),
+                    None => {
+                        st.pages.insert(id, page);
+                    }
+                }
+                Message::XorAck { id }
+            }
+            other => Message::Error {
+                message: format!("fake server: unhandled {:?}", other.opcode()),
+            },
+        })
+    }
+
+    fn send_only(&mut self, _msg: &Message) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Builds a pager over `n` fake servers, returning the handles.
+fn fake_pager(policy: Policy, servers: usize, n: usize) -> (Vec<FakeServer>, Pager) {
+    let mut pool = ServerPool::new();
+    let mut fakes = Vec::new();
+    for i in 0..n {
+        let fake = FakeServer::new();
+        pool.add_transport(
+            ServerId(i as u32),
+            Box::new(FakeTransport(Rc::clone(&fake.0))),
+            1.0,
+        );
+        fakes.push(fake);
+    }
+    let pager = Pager::builder(PagerConfig::new(policy).with_servers(servers))
+        .pool(pool)
+        .disk(Box::new(RamDisk::unbounded()))
+        .build()
+        .expect("pager");
+    (fakes, pager)
+}
+
+#[test]
+fn fake_cluster_round_trips() {
+    let (fakes, mut pager) = fake_pager(Policy::ParityLogging, 4, 5);
+    for i in 0..40u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    pager.flush().expect("flush");
+    for i in 0..40u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("read"),
+            Page::deterministic(i)
+        );
+    }
+    let stored: usize = fakes.iter().map(|f| f.stored()).sum();
+    assert!(stored >= 40, "pages plus parity stored: {stored}");
+}
+
+#[test]
+fn mid_run_death_is_recovered_transparently() {
+    let (fakes, mut pager) = fake_pager(Policy::ParityLogging, 4, 5);
+    for i in 0..40u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    pager.flush().expect("flush");
+    // Server 1 dies *and loses its memory* (fault + wipe).
+    fakes[1].set_fault(Fault::Dead);
+    fakes[1].wipe();
+    for i in 0..40u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("auto-recovered read"),
+            Page::deterministic(i)
+        );
+    }
+}
+
+#[test]
+fn allocation_denial_is_not_fatal() {
+    let (fakes, mut pager) = fake_pager(Policy::NoReliability, 2, 2);
+    fakes[0].set_fault(Fault::DenyAlloc);
+    for i in 0..30u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout routes around the denying server");
+    }
+    for i in 0..30u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("read"),
+            Page::deterministic(i)
+        );
+    }
+    assert_eq!(fakes[0].stored(), 0, "denying server got nothing");
+    assert!(fakes[1].stored() > 0);
+}
+
+#[test]
+fn all_servers_denying_falls_back_to_disk() {
+    let (fakes, mut pager) = fake_pager(Policy::NoReliability, 2, 2);
+    for f in &fakes {
+        f.set_fault(Fault::DenyAlloc);
+    }
+    for i in 0..10u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("disk fallback");
+    }
+    assert!(pager.stats().disk_writes >= 10);
+    for i in 0..10u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("read"),
+            Page::deterministic(i)
+        );
+    }
+}
+
+#[test]
+fn amnesia_surfaces_as_page_not_found() {
+    let (fakes, mut pager) = fake_pager(Policy::NoReliability, 2, 2);
+    pager
+        .page_out(PageId(1), &Page::deterministic(1))
+        .expect("pageout");
+    for f in &fakes {
+        f.set_fault(Fault::Amnesia);
+    }
+    let err = pager
+        .page_in(PageId(1))
+        .expect_err("server forgot the page");
+    assert!(matches!(err, RmpError::PageNotFound(_)), "got {err}");
+}
+
+#[test]
+fn garbage_replies_surface_as_protocol_errors() {
+    let (fakes, mut pager) = fake_pager(Policy::NoReliability, 2, 2);
+    pager
+        .page_out(PageId(1), &Page::deterministic(1))
+        .expect("pageout");
+    for f in &fakes {
+        f.set_fault(Fault::Garbage);
+    }
+    let err = pager.page_in(PageId(1)).expect_err("garbage reply");
+    assert!(matches!(err, RmpError::Protocol(_)), "got {err}");
+}
+
+#[test]
+fn flapping_server_keeps_data_consistent() {
+    let (fakes, mut pager) = fake_pager(Policy::Mirroring, 2, 3);
+    for i in 0..30u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    // Server 0 flaps: dead during reads, then back (without losing state
+    // — a network partition, not a crash).
+    fakes[0].set_fault(Fault::Dead);
+    for i in 0..30u64 {
+        assert_eq!(
+            pager
+                .page_in(PageId(i))
+                .expect("mirror covers the partition"),
+            Page::deterministic(i)
+        );
+    }
+    fakes[0].set_fault(Fault::None);
+    pager.pool_mut().view_mut().mark_alive(ServerId(0));
+    // Updates after the flap still round trip.
+    for i in 0..30u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(500 + i))
+            .expect("pageout after flap");
+    }
+    for i in 0..30u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("read"),
+            Page::deterministic(500 + i)
+        );
+    }
+}
+
+#[test]
+fn advisories_trigger_automatic_migration() {
+    let (fakes, mut pager) = fake_pager(Policy::NoReliability, 2, 2);
+    for i in 0..20u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    let on_zero = fakes[0].stored();
+    assert!(on_zero > 0);
+    // Server 0 comes under native memory pressure.
+    fakes[0].set_fault(Fault::DenyAlloc);
+    pager.pool_mut().refresh_loads();
+    let moved = pager.service_advisories().expect("migration");
+    assert_eq!(moved as usize, on_zero);
+    assert_eq!(fakes[0].stored(), 0, "server 0 drained");
+    for i in 0..20u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("read"),
+            Page::deterministic(i)
+        );
+    }
+}
+
+#[test]
+fn dead_server_calls_stop_quickly() {
+    let (fakes, mut pager) = fake_pager(Policy::NoReliability, 2, 2);
+    for i in 0..10u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    fakes[0].set_fault(Fault::Dead);
+    // One failing call marks the server dead; subsequent traffic must not
+    // hammer it.
+    let _ = pager.page_in(PageId(0));
+    let calls_after_death = fakes[0].calls();
+    for i in 0..10u64 {
+        let _ = pager.page_out(PageId(100 + i), &Page::deterministic(i));
+    }
+    assert!(
+        fakes[0].calls() <= calls_after_death + 1,
+        "dead server left alone: {} vs {}",
+        fakes[0].calls(),
+        calls_after_death
+    );
+}

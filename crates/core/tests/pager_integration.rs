@@ -1,0 +1,430 @@
+//! End-to-end tests of the pager against real TCP memory servers.
+
+use rmp_blockdev::{PagingDevice, RamDisk};
+use rmp_cluster::{Registry, ServerInfo};
+use rmp_core::{Pager, ServerPool};
+use rmp_server::{MemoryServer, ServerConfig, ServerHandle};
+use rmp_types::{Page, PageId, PagerConfig, Policy, RmpError, ServerId};
+
+/// Spawns `n` servers with `capacity` frames each and returns handles plus
+/// a connected pool.
+fn cluster(n: usize, capacity: usize) -> (Vec<ServerHandle>, ServerPool) {
+    let mut handles = Vec::new();
+    let mut registry = Registry::new();
+    for i in 0..n {
+        let handle = MemoryServer::spawn(ServerConfig {
+            capacity_pages: capacity,
+            overflow_fraction: 0.10,
+            simulated_cpu_permille: 0,
+        })
+        .expect("spawn server");
+        registry
+            .add(ServerInfo {
+                id: ServerId(i as u32),
+                addr: handle.addr().to_string(),
+                link_cost: 1.0,
+            })
+            .expect("register");
+        handles.push(handle);
+    }
+    let pool = ServerPool::connect(&registry).expect("connect pool");
+    (handles, pool)
+}
+
+fn pager(policy: Policy, servers: usize, handles_capacity: usize) -> (Vec<ServerHandle>, Pager) {
+    let pool_size = match policy {
+        Policy::BasicParity | Policy::ParityLogging => servers + 1,
+        _ => servers,
+    };
+    let (handles, pool) = cluster(pool_size, handles_capacity);
+    let config = PagerConfig::new(policy).with_servers(servers);
+    let pager = Pager::builder(config)
+        .pool(pool)
+        .disk(Box::new(RamDisk::unbounded()))
+        .build()
+        .expect("build pager");
+    (handles, pager)
+}
+
+fn fill(pager: &mut Pager, count: u64) {
+    for i in 0..count {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .unwrap_or_else(|e| panic!("pageout {i}: {e}"));
+    }
+}
+
+fn verify(pager: &mut Pager, count: u64) {
+    for i in 0..count {
+        let page = pager
+            .page_in(PageId(i))
+            .unwrap_or_else(|e| panic!("pagein {i}: {e}"));
+        assert_eq!(page, Page::deterministic(i), "page {i} contents");
+    }
+}
+
+#[test]
+fn every_policy_round_trips_pages() {
+    for policy in Policy::ALL {
+        let servers = match policy {
+            Policy::BasicParity | Policy::ParityLogging => 4,
+            _ => 2,
+        };
+        let (_handles, mut pager) = pager(policy, servers, 4096);
+        fill(&mut pager, 50);
+        // Overwrite some pages with new contents.
+        for i in 0..10u64 {
+            pager
+                .page_out(PageId(i), &Page::deterministic(1000 + i))
+                .expect("overwrite");
+        }
+        for i in 0..10u64 {
+            assert_eq!(
+                pager.page_in(PageId(i)).expect("read"),
+                Page::deterministic(1000 + i),
+                "{policy}: overwritten page {i}"
+            );
+        }
+        for i in 10..50u64 {
+            assert_eq!(
+                pager.page_in(PageId(i)).expect("read"),
+                Page::deterministic(i),
+                "{policy}: page {i}"
+            );
+        }
+        assert_eq!(pager.stats().pageouts, 60, "{policy}");
+        assert_eq!(pager.stats().pageins, 50, "{policy}");
+    }
+}
+
+#[test]
+fn parity_logging_transfer_overhead_is_one_plus_one_over_s() {
+    let (_handles, mut pager) = pager(Policy::ParityLogging, 4, 4096);
+    fill(&mut pager, 400);
+    pager.flush().expect("flush");
+    let s = pager.stats();
+    let overhead = s.outbound_transfers_per_pageout();
+    assert!(
+        (overhead - 1.25).abs() < 0.01,
+        "expected ~1.25 transfers/pageout, got {overhead}"
+    );
+}
+
+#[test]
+fn mirroring_transfer_overhead_is_two() {
+    let (_handles, mut pager) = pager(Policy::Mirroring, 2, 4096);
+    fill(&mut pager, 100);
+    let s = pager.stats();
+    assert!((s.outbound_transfers_per_pageout() - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn basic_parity_transfer_overhead_is_two() {
+    let (_handles, mut pager) = pager(Policy::BasicParity, 4, 4096);
+    fill(&mut pager, 100);
+    let s = pager.stats();
+    assert!((s.outbound_transfers_per_pageout() - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn parity_logging_survives_data_server_crash() {
+    let (handles, mut pager) = pager(Policy::ParityLogging, 4, 4096);
+    fill(&mut pager, 200);
+    pager.flush().expect("flush");
+    // Kill a data server (id 1 = handles[1]).
+    handles[1].crash();
+    let report = pager
+        .recover_from_crash(ServerId(1))
+        .expect("recovery succeeds");
+    assert!(report.pages_rebuilt > 0, "server 1 held pages");
+    verify(&mut pager, 200);
+}
+
+#[test]
+fn parity_logging_survives_crash_with_pending_group() {
+    let (handles, mut pager) = pager(Policy::ParityLogging, 4, 4096);
+    // 4k+2 pageouts leaves 2 pages pending in the buffer.
+    fill(&mut pager, 42);
+    handles[0].crash();
+    let _ = pager
+        .recover_from_crash(ServerId(0))
+        .expect("pending pages recoverable from client buffer");
+    verify(&mut pager, 42);
+}
+
+#[test]
+fn parity_logging_survives_parity_server_crash() {
+    let (handles, mut pager) = pager(Policy::ParityLogging, 4, 4096);
+    fill(&mut pager, 100);
+    pager.flush().expect("flush");
+    // The parity server is the highest-id pool member: handles[4].
+    handles[4].crash();
+    let report = pager
+        .recover_from_crash(ServerId(4))
+        .expect("parity rebuilt");
+    assert!(report.parity_rebuilt > 0);
+    assert_eq!(report.pages_rebuilt, 0, "no data pages lost");
+    verify(&mut pager, 100);
+    // Reliability is restored: crash another server and recover again.
+    handles[2].crash();
+    pager
+        .recover_from_crash(ServerId(2))
+        .expect("second crash still recoverable");
+    verify(&mut pager, 100);
+}
+
+#[test]
+fn parity_logging_auto_recovers_on_pagein() {
+    let (handles, mut pager) = pager(Policy::ParityLogging, 4, 4096);
+    fill(&mut pager, 100);
+    pager.flush().expect("flush");
+    handles[2].crash();
+    // No explicit recovery: the pager detects the dead server during the
+    // pagein, reconstructs, and retries — the application never notices.
+    verify(&mut pager, 100);
+}
+
+#[test]
+fn mirroring_survives_crash_and_remirrors() {
+    let (handles, mut pager) = pager(Policy::Mirroring, 3, 4096);
+    fill(&mut pager, 120);
+    handles[0].crash();
+    let report = pager.recover_from_crash(ServerId(0)).expect("recovery");
+    assert!(report.pages_rebuilt > 0);
+    verify(&mut pager, 120);
+    // A second, different crash is survivable because re-mirroring
+    // restored two live copies of everything.
+    handles[1].crash();
+    pager.recover_from_crash(ServerId(1)).expect("second crash");
+    verify(&mut pager, 120);
+}
+
+#[test]
+fn basic_parity_rebuilds_in_place_after_restart() {
+    let (handles, mut pager) = pager(Policy::BasicParity, 4, 4096);
+    fill(&mut pager, 100);
+    handles[2].crash();
+    // In-place rebuild requires the workstation to rejoin first.
+    assert!(pager.recover_from_crash(ServerId(2)).is_err());
+    handles[2].restart();
+    pager.pool_mut().reconnect(ServerId(2)).expect("reconnect");
+    let report = pager.recover_from_crash(ServerId(2)).expect("rebuild");
+    assert!(report.pages_rebuilt > 0);
+    verify(&mut pager, 100);
+}
+
+#[test]
+fn basic_parity_rebuilds_parity_server() {
+    let (handles, mut pager) = pager(Policy::BasicParity, 4, 4096);
+    fill(&mut pager, 60);
+    handles[4].crash();
+    handles[4].restart();
+    pager.pool_mut().reconnect(ServerId(4)).expect("reconnect");
+    let report = pager.recover_from_crash(ServerId(4)).expect("rebuild");
+    assert!(report.parity_rebuilt > 0);
+    // Now crash a data server: parity must again protect everything.
+    handles[1].crash();
+    handles[1].restart();
+    pager.pool_mut().reconnect(ServerId(1)).expect("reconnect");
+    pager.recover_from_crash(ServerId(1)).expect("data rebuild");
+    verify(&mut pager, 60);
+}
+
+#[test]
+fn write_through_never_loses_data() {
+    let (handles, mut pager) = pager(Policy::WriteThrough, 2, 4096);
+    fill(&mut pager, 80);
+    handles[0].crash();
+    handles[1].crash();
+    // Even with every server dead the disk has everything.
+    pager.pool_mut().view_mut().mark_dead(ServerId(0));
+    pager.pool_mut().view_mut().mark_dead(ServerId(1));
+    verify(&mut pager, 80);
+    assert!(pager.stats().disk_reads > 0, "reads fell back to disk");
+}
+
+#[test]
+fn no_reliability_loses_pages_on_crash() {
+    let (handles, mut pager) = pager(Policy::NoReliability, 2, 4096);
+    fill(&mut pager, 50);
+    handles[0].crash();
+    let err = pager
+        .recover_from_crash(ServerId(0))
+        .expect_err("no redundancy");
+    assert!(matches!(err, RmpError::Unrecoverable(_)));
+}
+
+#[test]
+fn allocation_denial_falls_back_to_disk() {
+    // Tiny servers: 16 frames each; 100 pages cannot fit remotely.
+    let (_handles, mut pager) = pager(Policy::NoReliability, 2, 16);
+    fill(&mut pager, 100);
+    verify(&mut pager, 100);
+    let s = pager.stats();
+    assert!(s.disk_writes > 0, "overflow went to the local disk");
+}
+
+#[test]
+fn rebalance_promotes_disk_pages_when_space_frees() {
+    let (_handles, mut pager) = pager(Policy::NoReliability, 2, 40);
+    fill(&mut pager, 100);
+    let before = pager.stats().disk_writes;
+    assert!(before > 0, "some pages spilled to disk");
+    // Free most remote pages to open space, then rebalance.
+    for i in 0..60u64 {
+        pager.free(PageId(i)).expect("free");
+    }
+    let promoted = pager.rebalance().expect("rebalance");
+    assert!(promoted > 0, "disk pages promoted back to remote memory");
+    for i in 60..100u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("read"),
+            Page::deterministic(i)
+        );
+    }
+}
+
+#[test]
+fn migrate_from_empties_a_loaded_server() {
+    let (handles, mut pager) = pager(Policy::NoReliability, 3, 4096);
+    fill(&mut pager, 90);
+    let loaded: usize = handles[0].stored_pages();
+    assert!(loaded > 0);
+    let moved = pager.migrate_from(ServerId(0)).expect("migration");
+    assert_eq!(moved as usize, loaded);
+    assert_eq!(handles[0].stored_pages(), 0, "server 0 emptied");
+    verify(&mut pager, 90);
+    assert_eq!(pager.stats().migrations, moved);
+}
+
+#[test]
+fn parity_logging_migration_relogs_pages() {
+    let (handles, mut pager) = pager(Policy::ParityLogging, 4, 4096);
+    fill(&mut pager, 80);
+    pager.flush().expect("flush");
+    let moved = pager.migrate_from(ServerId(0)).expect("migration");
+    assert!(moved > 0);
+    verify(&mut pager, 80);
+    // Old versions drain as groups go inactive; the stale copies on
+    // server 0 disappear once every group containing them is reclaimed.
+    let _ = handles; // Keep servers alive to the end.
+}
+
+#[test]
+fn basic_parity_cannot_migrate() {
+    let (_handles, mut pager) = pager(Policy::BasicParity, 4, 4096);
+    fill(&mut pager, 10);
+    assert!(matches!(
+        pager.migrate_from(ServerId(0)),
+        Err(RmpError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn free_releases_remote_storage() {
+    let (handles, mut pager) = pager(Policy::NoReliability, 2, 4096);
+    fill(&mut pager, 40);
+    let stored: usize = handles.iter().map(|h| h.stored_pages()).sum();
+    assert_eq!(stored, 40);
+    for i in 0..40u64 {
+        pager.free(PageId(i)).expect("free");
+    }
+    let stored: usize = handles.iter().map(|h| h.stored_pages()).sum();
+    assert_eq!(stored, 0);
+    assert!(matches!(
+        pager.page_in(PageId(0)),
+        Err(RmpError::PageNotFound(_))
+    ));
+}
+
+#[test]
+fn parity_logging_reclaims_fully_inactive_groups() {
+    let (handles, mut pager) = pager(Policy::ParityLogging, 4, 4096);
+    // Two full rounds over the same pages: the first round's groups all
+    // go inactive when the second round reregisters every page.
+    fill(&mut pager, 64);
+    pager.flush().expect("flush");
+    let after_first: usize = handles.iter().map(|h| h.stored_pages()).sum();
+    fill(&mut pager, 64);
+    pager.flush().expect("flush");
+    let s = pager.stats();
+    assert!(
+        s.groups_reclaimed >= 16,
+        "first-round groups reclaimed, got {}",
+        s.groups_reclaimed
+    );
+    // Storage did not double: reclaimed versions were freed.
+    let after_second: usize = handles.iter().map(|h| h.stored_pages()).sum();
+    assert!(
+        after_second <= after_first + 8,
+        "storage bounded: {after_second} vs {after_first}"
+    );
+    verify(&mut pager, 64);
+}
+
+#[test]
+fn parity_logging_gc_compacts_under_memory_pressure() {
+    // Small servers force the log to hit the capacity wall and GC.
+    let (_handles, mut pager) = pager(Policy::ParityLogging, 4, 64);
+    // Rewrite a small working set many times: versions accumulate until
+    // GC reclaims inactive groups.
+    for round in 0..20u64 {
+        for i in 0..32u64 {
+            pager
+                .page_out(PageId(i), &Page::deterministic(round * 100 + i))
+                .expect("pageout");
+        }
+    }
+    pager.flush().expect("flush");
+    for i in 0..32u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("read"),
+            Page::deterministic(19 * 100 + i)
+        );
+    }
+    let s = pager.stats();
+    assert!(s.groups_reclaimed > 0, "groups were reclaimed");
+}
+
+#[test]
+fn adaptive_switch_prefers_disk_under_slow_network() {
+    let (_handles, pool) = cluster(2, 4096);
+    let config = PagerConfig::new(Policy::NoReliability)
+        .with_servers(2)
+        // Loopback service times are microseconds; an absurdly low
+        // threshold forces the switch immediately.
+        .with_adaptive_threshold_ms(1e-9);
+    let mut pager = Pager::builder(config)
+        .pool(pool)
+        .disk(Box::new(RamDisk::unbounded()))
+        .build()
+        .expect("build");
+    fill(&mut pager, 20);
+    assert!(pager.prefers_disk(), "switch engaged");
+    assert!(pager.stats().disk_writes > 0);
+    verify(&mut pager, 20);
+}
+
+#[test]
+fn pager_requires_enough_servers() {
+    let (_handles, pool) = cluster(2, 128);
+    let result = Pager::builder(PagerConfig::new(Policy::ParityLogging).with_servers(4))
+        .pool(pool)
+        .build();
+    match result {
+        Err(RmpError::Config(_)) => {}
+        Err(other) => panic!("expected Config error, got {other}"),
+        Ok(_) => panic!("expected error, pager built"),
+    }
+}
+
+#[test]
+fn stats_track_both_directions() {
+    let (_handles, mut pager) = pager(Policy::NoReliability, 2, 4096);
+    fill(&mut pager, 30);
+    verify(&mut pager, 30);
+    let s = pager.stats();
+    assert_eq!(s.net_data_transfers, 30);
+    assert_eq!(s.net_fetches, 30);
+    assert_eq!(s.total_net_transfers(), 60);
+}

@@ -1,0 +1,30 @@
+//! Parity machinery for the reliable remote memory pager.
+//!
+//! This crate implements the redundancy mathematics and bookkeeping of
+//! Section 2.2 of the paper, independent of any I/O:
+//!
+//! * [`xor`] — XOR reduction and single-erasure reconstruction over
+//!   [`rmp_types::Page`]s.
+//! * [`buffer::ParityBuffer`] — the client-side page-sized buffer that
+//!   accumulates the XOR of paged-out pages until a parity group of `S`
+//!   pages is complete ("Each paged out page is XORed with a page size
+//!   buffer maintained by the client ... whenever S pages have been
+//!   transfered, the buffer is also transfered to a parity server").
+//! * [`group::GroupTable`] — the parity-group log: which pages belong to
+//!   which group, which members are *inactive* (re-paged-out elsewhere),
+//!   which groups are reclaimable, and which groups garbage collection
+//!   should compact.
+//! * [`basic::BasicParityMap`] — the RAID-style fixed-group layout of the
+//!   "Parity" policy the paper compares against.
+//!
+//! All types here are pure data structures: they decide *what* to transfer
+//! and free; `rmp-core` executes those decisions against real servers.
+
+pub mod basic;
+pub mod buffer;
+pub mod group;
+pub mod xor;
+
+pub use basic::BasicParityMap;
+pub use buffer::{ParityBuffer, SealedGroup};
+pub use group::{GcPlan, GroupMember, GroupState, GroupTable, PageLocation};

@@ -1,0 +1,99 @@
+//! XOR reduction and erasure reconstruction.
+
+use rmp_types::Page;
+
+/// XORs all `pages` together into a fresh page.
+///
+/// An empty iterator yields the zero page, the XOR identity.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_parity::xor::xor_reduce;
+/// use rmp_types::Page;
+///
+/// let pages = [Page::deterministic(1), Page::deterministic(2)];
+/// let parity = xor_reduce(pages.iter());
+/// // XORing the parity with one page recovers the other.
+/// let mut recovered = parity.clone();
+/// recovered.xor_with(&pages[0]);
+/// assert_eq!(recovered, pages[1]);
+/// ```
+pub fn xor_reduce<'a, I>(pages: I) -> Page
+where
+    I: IntoIterator<Item = &'a Page>,
+{
+    let mut acc = Page::zeroed();
+    for p in pages {
+        acc.xor_with(p);
+    }
+    acc
+}
+
+/// Reconstructs the missing member of a parity group.
+///
+/// Given the group's `parity` page and every `survivor` member, returns the
+/// lost page: `parity XOR survivor_1 XOR ... XOR survivor_n`. This is how
+/// the pager restores the pages of a crashed server ("all its pages can be
+/// restored by XORing all pages within each parity group").
+pub fn reconstruct<'a, I>(parity: &Page, survivors: I) -> Page
+where
+    I: IntoIterator<Item = &'a Page>,
+{
+    let mut acc = parity.clone();
+    for p in survivors {
+        acc.xor_with(p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(n: u64) -> Vec<Page> {
+        (0..n).map(Page::deterministic).collect()
+    }
+
+    #[test]
+    fn empty_reduce_is_zero() {
+        assert!(xor_reduce(std::iter::empty::<&Page>()).is_zero());
+    }
+
+    #[test]
+    fn single_page_reduce_is_identity() {
+        let p = Page::deterministic(9);
+        assert_eq!(xor_reduce([&p].into_iter()), p);
+    }
+
+    #[test]
+    fn reconstruct_recovers_any_member() {
+        let members = group(5);
+        let parity = xor_reduce(members.iter());
+        for lost in 0..members.len() {
+            let survivors: Vec<&Page> = members
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != lost)
+                .map(|(_, p)| p)
+                .collect();
+            let rebuilt = reconstruct(&parity, survivors);
+            assert_eq!(rebuilt, members[lost], "member {lost}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_with_all_members_is_zero() {
+        let members = group(4);
+        let parity = xor_reduce(members.iter());
+        let r = reconstruct(&parity, members.iter());
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn parity_of_identical_pair_is_zero() {
+        let p = Page::deterministic(1);
+        let parity = xor_reduce([&p, &p]);
+        assert!(parity.is_zero());
+    }
+}

@@ -1,0 +1,23 @@
+//! Wire protocol between the remote memory pager and its servers.
+//!
+//! The paper's client and servers speak over TCP sockets (Section 3.1); we
+//! define a compact, hand-rolled binary protocol: each message is a framed
+//! header (`magic`, `version`, `opcode`, payload length) followed by a
+//! fixed-layout little-endian payload. Page payloads are exactly
+//! [`rmp_types::PAGE_SIZE`] bytes, so a pageout frame is one header plus the
+//! raw page — no per-byte encoding overhead, matching the paper's emphasis
+//! on minimal protocol-processing time.
+//!
+//! The protocol is strictly request/response per connection. Server load
+//! advisories — the paper's "note advising the client to send no more
+//! pages" — piggy-back on every acknowledgement as a [`LoadHint`], so the
+//! client learns about server memory pressure without an out-of-band
+//! channel.
+
+pub mod message;
+pub mod transport;
+pub mod wire;
+
+pub use message::{LoadHint, Message};
+pub use transport::Framed;
+pub use wire::{FrameHeader, Opcode, MAGIC, MAX_PAYLOAD, VERSION};

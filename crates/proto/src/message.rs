@@ -1,0 +1,573 @@
+//! Protocol messages and their binary encoding.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rmp_types::{Page, Result, RmpError, StoreKey, PAGE_SIZE};
+
+use crate::wire::{FrameHeader, Opcode, HEADER_LEN};
+
+/// Server load condition piggy-backed on acknowledgements.
+///
+/// Implements Section 2.1's advisory mechanism: when native
+/// memory-demanding processes start on a server, the server tells the
+/// client to stop sending pages; the client then migrates to another server
+/// or falls back to its local disk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LoadHint {
+    /// The server has plenty of free memory.
+    #[default]
+    Ok,
+    /// The server is under memory pressure; prefer other servers.
+    Pressure,
+    /// The server wants the client to stop sending pages and migrate away.
+    StopSending,
+}
+
+impl LoadHint {
+    fn to_u8(self) -> u8 {
+        match self {
+            LoadHint::Ok => 0,
+            LoadHint::Pressure => 1,
+            LoadHint::StopSending => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<LoadHint> {
+        Ok(match b {
+            0 => LoadHint::Ok,
+            1 => LoadHint::Pressure,
+            2 => LoadHint::StopSending,
+            other => return Err(RmpError::Protocol(format!("bad load hint {other}"))),
+        })
+    }
+}
+
+/// A protocol message (request or reply).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Message {
+    /// Reserve `pages` swap frames on the server.
+    Alloc {
+        /// Number of page frames requested.
+        pages: u32,
+    },
+    /// Grant of `granted` frames (zero means the allocation was denied —
+    /// the server "runs out of memory and denies further swap space
+    /// allocation requests").
+    AllocReply {
+        /// Frames actually reserved; may be less than requested.
+        granted: u32,
+        /// Current load condition.
+        hint: LoadHint,
+    },
+    /// Store `page` under `id`.
+    PageOut {
+        /// Page identifier within this client's swap space.
+        id: StoreKey,
+        /// Page contents.
+        page: Page,
+    },
+    /// Pageout acknowledged.
+    PageOutAck {
+        /// Identifier echoed back.
+        id: StoreKey,
+        /// Current load condition (the advisory channel).
+        hint: LoadHint,
+    },
+    /// Fetch the page stored under `id`.
+    PageIn {
+        /// Page identifier to fetch.
+        id: StoreKey,
+    },
+    /// Page contents returned by the server.
+    PageInReply {
+        /// Identifier echoed back.
+        id: StoreKey,
+        /// Page contents.
+        page: Page,
+    },
+    /// The server holds no page under the requested id.
+    PageInMiss {
+        /// Identifier echoed back.
+        id: StoreKey,
+    },
+    /// Release the page stored under `id`.
+    Free {
+        /// Page identifier to release.
+        id: StoreKey,
+    },
+    /// Free acknowledged (idempotent: freeing an absent page succeeds).
+    FreeAck {
+        /// Identifier echoed back.
+        id: StoreKey,
+    },
+    /// Ask for the server's current load.
+    LoadQuery,
+    /// Server load report, the information the paper's servers provide
+    /// "periodically to the client concerning the memory load of its host".
+    LoadReport {
+        /// Free page frames available for new allocations.
+        free_pages: u64,
+        /// Pages currently stored for this client.
+        stored_pages: u64,
+        /// Server host CPU utilization, per-mille (0..=1000).
+        cpu_permille: u16,
+        /// Current load condition.
+        hint: LoadHint,
+    },
+    /// Enumerate stored page ids starting from `start` (inclusive).
+    ListPages {
+        /// First key to include; resume with `last_returned + 1`.
+        start: StoreKey,
+        /// Maximum ids to return.
+        limit: u32,
+    },
+    /// A chunk of stored page ids, ascending.
+    ListPagesReply {
+        /// Page ids, strictly ascending.
+        ids: Vec<StoreKey>,
+        /// Whether more ids remain after the last one returned.
+        more: bool,
+    },
+    /// Fault injection: simulate a workstation crash.
+    InjectCrash,
+    /// Orderly session shutdown.
+    Shutdown,
+    /// Error reply with human-readable context.
+    Error {
+        /// Description of the failure.
+        message: String,
+    },
+    /// Basic-parity pageout: store `page` under `id`, reply with the XOR of
+    /// the previous and new contents (Section 2.2's first parity step,
+    /// with the delta routed back through the client).
+    PageOutDelta {
+        /// Page identifier within this client's swap space.
+        id: StoreKey,
+        /// New page contents.
+        page: Page,
+    },
+    /// Reply to [`Message::PageOutDelta`] carrying `old XOR new`; if the
+    /// server held no previous version the delta equals the new page.
+    PageOutDeltaReply {
+        /// Identifier echoed back.
+        id: StoreKey,
+        /// XOR of old and new contents.
+        delta: Page,
+        /// Current load condition.
+        hint: LoadHint,
+    },
+    /// XOR `page` into the page stored under `id` (the parity update);
+    /// the server creates a zero page first if `id` is absent.
+    XorInto {
+        /// Identifier of the parity page.
+        id: StoreKey,
+        /// Delta to fold in.
+        page: Page,
+    },
+    /// Acknowledgement of [`Message::XorInto`].
+    XorAck {
+        /// Identifier echoed back.
+        id: StoreKey,
+    },
+}
+
+impl Message {
+    /// Returns the opcode of this message.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Message::Alloc { .. } => Opcode::Alloc,
+            Message::AllocReply { .. } => Opcode::AllocReply,
+            Message::PageOut { .. } => Opcode::PageOut,
+            Message::PageOutAck { .. } => Opcode::PageOutAck,
+            Message::PageIn { .. } => Opcode::PageIn,
+            Message::PageInReply { .. } => Opcode::PageInReply,
+            Message::PageInMiss { .. } => Opcode::PageInMiss,
+            Message::Free { .. } => Opcode::Free,
+            Message::FreeAck { .. } => Opcode::FreeAck,
+            Message::LoadQuery => Opcode::LoadQuery,
+            Message::LoadReport { .. } => Opcode::LoadReport,
+            Message::ListPages { .. } => Opcode::ListPages,
+            Message::ListPagesReply { .. } => Opcode::ListPagesReply,
+            Message::InjectCrash => Opcode::InjectCrash,
+            Message::Shutdown => Opcode::Shutdown,
+            Message::Error { .. } => Opcode::Error,
+            Message::PageOutDelta { .. } => Opcode::PageOutDelta,
+            Message::PageOutDeltaReply { .. } => Opcode::PageOutDeltaReply,
+            Message::XorInto { .. } => Opcode::XorInto,
+            Message::XorAck { .. } => Opcode::XorAck,
+        }
+    }
+
+    /// Encodes the message (header + payload) into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut payload = BytesMut::with_capacity(64);
+        match self {
+            Message::Alloc { pages } => payload.put_u32_le(*pages),
+            Message::AllocReply { granted, hint } => {
+                payload.put_u32_le(*granted);
+                payload.put_u8(hint.to_u8());
+            }
+            Message::PageOut { id, page } => {
+                payload.reserve(8 + PAGE_SIZE);
+                payload.put_u64_le(id.0);
+                payload.put_slice(page.as_ref());
+            }
+            Message::PageOutAck { id, hint } => {
+                payload.put_u64_le(id.0);
+                payload.put_u8(hint.to_u8());
+            }
+            Message::PageIn { id } | Message::PageInMiss { id } => payload.put_u64_le(id.0),
+            Message::PageInReply { id, page } => {
+                payload.reserve(8 + PAGE_SIZE);
+                payload.put_u64_le(id.0);
+                payload.put_slice(page.as_ref());
+            }
+            Message::Free { id } | Message::FreeAck { id } => payload.put_u64_le(id.0),
+            Message::LoadQuery | Message::InjectCrash | Message::Shutdown => {}
+            Message::LoadReport {
+                free_pages,
+                stored_pages,
+                cpu_permille,
+                hint,
+            } => {
+                payload.put_u64_le(*free_pages);
+                payload.put_u64_le(*stored_pages);
+                payload.put_u16_le(*cpu_permille);
+                payload.put_u8(hint.to_u8());
+            }
+            Message::ListPages { start, limit } => {
+                payload.put_u64_le(start.0);
+                payload.put_u32_le(*limit);
+            }
+            Message::ListPagesReply { ids, more } => {
+                payload.put_u32_le(ids.len() as u32);
+                payload.put_u8(u8::from(*more));
+                for id in ids {
+                    payload.put_u64_le(id.0);
+                }
+            }
+            Message::Error { message } => {
+                let bytes = message.as_bytes();
+                payload.put_u32_le(bytes.len() as u32);
+                payload.put_slice(bytes);
+            }
+            Message::PageOutDelta { id, page } | Message::XorInto { id, page } => {
+                payload.reserve(8 + PAGE_SIZE);
+                payload.put_u64_le(id.0);
+                payload.put_slice(page.as_ref());
+            }
+            Message::PageOutDeltaReply { id, delta, hint } => {
+                payload.reserve(9 + PAGE_SIZE);
+                payload.put_u64_le(id.0);
+                payload.put_u8(hint.to_u8());
+                payload.put_slice(delta.as_ref());
+            }
+            Message::XorAck { id } => payload.put_u64_le(id.0),
+        }
+        let mut frame = BytesMut::with_capacity(HEADER_LEN + payload.len());
+        FrameHeader {
+            opcode: self.opcode(),
+            len: payload.len() as u32,
+        }
+        .encode(&mut frame);
+        frame.extend_from_slice(&payload);
+        frame.freeze()
+    }
+
+    /// Decodes a message payload of kind `opcode` from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmpError::Protocol`] on truncated or malformed payloads.
+    pub fn decode(opcode: Opcode, mut buf: Bytes) -> Result<Message> {
+        fn need(buf: &Bytes, n: usize, what: &str) -> Result<()> {
+            if buf.remaining() < n {
+                return Err(RmpError::Protocol(format!(
+                    "truncated {what}: need {n} bytes, have {}",
+                    buf.remaining()
+                )));
+            }
+            Ok(())
+        }
+        fn get_page(buf: &mut Bytes) -> Result<Page> {
+            if buf.remaining() < PAGE_SIZE {
+                return Err(RmpError::Protocol(format!(
+                    "truncated page payload: {} bytes",
+                    buf.remaining()
+                )));
+            }
+            let bytes = buf.copy_to_bytes(PAGE_SIZE);
+            Page::from_slice(&bytes).ok_or_else(|| RmpError::Protocol("bad page size".into()))
+        }
+        let msg = match opcode {
+            Opcode::Alloc => {
+                need(&buf, 4, "Alloc")?;
+                Message::Alloc {
+                    pages: buf.get_u32_le(),
+                }
+            }
+            Opcode::AllocReply => {
+                need(&buf, 5, "AllocReply")?;
+                Message::AllocReply {
+                    granted: buf.get_u32_le(),
+                    hint: LoadHint::from_u8(buf.get_u8())?,
+                }
+            }
+            Opcode::PageOut => {
+                need(&buf, 8, "PageOut")?;
+                let id = StoreKey(buf.get_u64_le());
+                Message::PageOut {
+                    id,
+                    page: get_page(&mut buf)?,
+                }
+            }
+            Opcode::PageOutAck => {
+                need(&buf, 9, "PageOutAck")?;
+                Message::PageOutAck {
+                    id: StoreKey(buf.get_u64_le()),
+                    hint: LoadHint::from_u8(buf.get_u8())?,
+                }
+            }
+            Opcode::PageIn => {
+                need(&buf, 8, "PageIn")?;
+                Message::PageIn {
+                    id: StoreKey(buf.get_u64_le()),
+                }
+            }
+            Opcode::PageInReply => {
+                need(&buf, 8, "PageInReply")?;
+                let id = StoreKey(buf.get_u64_le());
+                Message::PageInReply {
+                    id,
+                    page: get_page(&mut buf)?,
+                }
+            }
+            Opcode::PageInMiss => {
+                need(&buf, 8, "PageInMiss")?;
+                Message::PageInMiss {
+                    id: StoreKey(buf.get_u64_le()),
+                }
+            }
+            Opcode::Free => {
+                need(&buf, 8, "Free")?;
+                Message::Free {
+                    id: StoreKey(buf.get_u64_le()),
+                }
+            }
+            Opcode::FreeAck => {
+                need(&buf, 8, "FreeAck")?;
+                Message::FreeAck {
+                    id: StoreKey(buf.get_u64_le()),
+                }
+            }
+            Opcode::LoadQuery => Message::LoadQuery,
+            Opcode::LoadReport => {
+                need(&buf, 19, "LoadReport")?;
+                Message::LoadReport {
+                    free_pages: buf.get_u64_le(),
+                    stored_pages: buf.get_u64_le(),
+                    cpu_permille: buf.get_u16_le(),
+                    hint: LoadHint::from_u8(buf.get_u8())?,
+                }
+            }
+            Opcode::ListPages => {
+                need(&buf, 12, "ListPages")?;
+                Message::ListPages {
+                    start: StoreKey(buf.get_u64_le()),
+                    limit: buf.get_u32_le(),
+                }
+            }
+            Opcode::ListPagesReply => {
+                need(&buf, 5, "ListPagesReply")?;
+                let count = buf.get_u32_le() as usize;
+                let more = buf.get_u8() != 0;
+                need(&buf, count * 8, "ListPagesReply ids")?;
+                let mut ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ids.push(StoreKey(buf.get_u64_le()));
+                }
+                Message::ListPagesReply { ids, more }
+            }
+            Opcode::InjectCrash => Message::InjectCrash,
+            Opcode::Shutdown => Message::Shutdown,
+            Opcode::Error => {
+                need(&buf, 4, "Error")?;
+                let len = buf.get_u32_le() as usize;
+                need(&buf, len, "Error message")?;
+                let bytes = buf.copy_to_bytes(len);
+                let message = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| RmpError::Protocol("error message not UTF-8".into()))?;
+                Message::Error { message }
+            }
+            Opcode::PageOutDelta => {
+                need(&buf, 8, "PageOutDelta")?;
+                let id = StoreKey(buf.get_u64_le());
+                Message::PageOutDelta {
+                    id,
+                    page: get_page(&mut buf)?,
+                }
+            }
+            Opcode::PageOutDeltaReply => {
+                need(&buf, 9, "PageOutDeltaReply")?;
+                let id = StoreKey(buf.get_u64_le());
+                let hint = LoadHint::from_u8(buf.get_u8())?;
+                Message::PageOutDeltaReply {
+                    id,
+                    delta: get_page(&mut buf)?,
+                    hint,
+                }
+            }
+            Opcode::XorInto => {
+                need(&buf, 8, "XorInto")?;
+                let id = StoreKey(buf.get_u64_le());
+                Message::XorInto {
+                    id,
+                    page: get_page(&mut buf)?,
+                }
+            }
+            Opcode::XorAck => {
+                need(&buf, 8, "XorAck")?;
+                Message::XorAck {
+                    id: StoreKey(buf.get_u64_le()),
+                }
+            }
+        };
+        if buf.has_remaining() {
+            return Err(RmpError::Protocol(format!(
+                "{} trailing bytes after {:?}",
+                buf.remaining(),
+                opcode
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::HEADER_LEN;
+
+    fn round_trip(msg: Message) {
+        let bytes = msg.encode();
+        let mut buf = bytes.clone();
+        let hdr = FrameHeader::decode(&mut buf).expect("header");
+        assert_eq!(hdr.len as usize, bytes.len() - HEADER_LEN);
+        let decoded = Message::decode(hdr.opcode, buf).expect("payload");
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(Message::Alloc { pages: 128 });
+        round_trip(Message::AllocReply {
+            granted: 64,
+            hint: LoadHint::Pressure,
+        });
+        round_trip(Message::PageOut {
+            id: StoreKey(42),
+            page: Page::deterministic(7),
+        });
+        round_trip(Message::PageOutAck {
+            id: StoreKey(42),
+            hint: LoadHint::StopSending,
+        });
+        round_trip(Message::PageIn { id: StoreKey(9) });
+        round_trip(Message::PageInReply {
+            id: StoreKey(9),
+            page: Page::filled(0x5A),
+        });
+        round_trip(Message::PageInMiss { id: StoreKey(9) });
+        round_trip(Message::Free { id: StoreKey(1) });
+        round_trip(Message::FreeAck { id: StoreKey(1) });
+        round_trip(Message::LoadQuery);
+        round_trip(Message::LoadReport {
+            free_pages: 1000,
+            stored_pages: 12,
+            cpu_permille: 150,
+            hint: LoadHint::Ok,
+        });
+        round_trip(Message::ListPages {
+            start: StoreKey(5),
+            limit: 100,
+        });
+        round_trip(Message::ListPagesReply {
+            ids: vec![StoreKey(6), StoreKey(8), StoreKey(11)],
+            more: true,
+        });
+        round_trip(Message::InjectCrash);
+        round_trip(Message::Shutdown);
+        round_trip(Message::Error {
+            message: "swap full".into(),
+        });
+        round_trip(Message::PageOutDelta {
+            id: StoreKey(13),
+            page: Page::deterministic(13),
+        });
+        round_trip(Message::PageOutDeltaReply {
+            id: StoreKey(13),
+            delta: Page::deterministic(14),
+            hint: LoadHint::Pressure,
+        });
+        round_trip(Message::XorInto {
+            id: StoreKey(2),
+            page: Page::deterministic(15),
+        });
+        round_trip(Message::XorAck { id: StoreKey(2) });
+    }
+
+    #[test]
+    fn truncated_pageout_rejected() {
+        let msg = Message::PageOut {
+            id: StoreKey(1),
+            page: Page::zeroed(),
+        };
+        let bytes = msg.encode();
+        let mut buf = bytes.clone();
+        let hdr = FrameHeader::decode(&mut buf).expect("header");
+        let truncated = buf.slice(..buf.len() - 1);
+        assert!(Message::decode(hdr.opcode, truncated).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let msg = Message::PageIn { id: StoreKey(1) };
+        let bytes = msg.encode();
+        let mut extended = BytesMut::from(&bytes[..]);
+        extended.put_u8(0xFF);
+        let mut buf = extended.freeze();
+        let hdr = FrameHeader::decode(&mut buf).expect("header");
+        assert!(Message::decode(hdr.opcode, buf).is_err());
+    }
+
+    #[test]
+    fn bad_load_hint_rejected() {
+        let msg = Message::PageOutAck {
+            id: StoreKey(3),
+            hint: LoadHint::Ok,
+        };
+        let bytes = msg.encode();
+        let mut raw = BytesMut::from(&bytes[..]);
+        let last = raw.len() - 1;
+        raw[last] = 9; // Invalid hint discriminant.
+        let mut buf = raw.freeze();
+        let hdr = FrameHeader::decode(&mut buf).expect("header");
+        assert!(Message::decode(hdr.opcode, buf).is_err());
+    }
+
+    #[test]
+    fn error_message_must_be_utf8() {
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(2);
+        payload.put_slice(&[0xFF, 0xFE]);
+        assert!(Message::decode(Opcode::Error, payload.freeze()).is_err());
+    }
+
+    #[test]
+    fn pageout_frame_is_header_plus_id_plus_page() {
+        let msg = Message::PageOut {
+            id: StoreKey(0),
+            page: Page::zeroed(),
+        };
+        assert_eq!(msg.encode().len(), HEADER_LEN + 8 + PAGE_SIZE);
+    }
+}

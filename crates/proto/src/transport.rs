@@ -1,0 +1,201 @@
+//! Framed message transport over any byte stream.
+
+use std::io::{Read, Write};
+
+use bytes::BytesMut;
+use rmp_types::{Result, RmpError};
+
+use crate::message::Message;
+use crate::wire::{FrameHeader, HEADER_LEN};
+
+/// A blocking framed transport that reads and writes [`Message`]s over any
+/// `Read + Write` stream (a `TcpStream` in production, an in-memory pipe in
+/// tests).
+///
+/// The paper's pager uses one dedicated paging daemon per client issuing
+/// synchronous requests over TCP sockets; `Framed` is that socket wrapper.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_proto::{Framed, Message};
+/// use std::io::Cursor;
+///
+/// let bytes = Message::LoadQuery.encode();
+/// let mut framed = Framed::new(Cursor::new(bytes.to_vec()));
+/// let msg = framed.recv().unwrap();
+/// assert_eq!(msg, Message::LoadQuery);
+/// ```
+pub struct Framed<S> {
+    stream: S,
+    header_buf: [u8; HEADER_LEN],
+}
+
+impl<S: Read + Write> Framed<S> {
+    /// Wraps a byte stream.
+    pub fn new(stream: S) -> Self {
+        Framed {
+            stream,
+            header_buf: [0u8; HEADER_LEN],
+        }
+    }
+
+    /// Returns a reference to the underlying stream.
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+
+    /// Consumes the transport, returning the underlying stream.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+
+    /// Sends one message, flushing the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; callers treat connection errors as a
+    /// server crash (see [`RmpError::is_server_failure`]).
+    pub fn send(&mut self, msg: &Message) -> Result<()> {
+        let bytes = msg.encode();
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Receives one message, blocking until a full frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmpError::Io`] on stream failure or EOF, and
+    /// [`RmpError::Protocol`] on malformed frames.
+    pub fn recv(&mut self) -> Result<Message> {
+        self.stream.read_exact(&mut self.header_buf)?;
+        let mut hdr_slice: &[u8] = &self.header_buf;
+        let hdr = FrameHeader::decode(&mut hdr_slice)?;
+        let mut payload = BytesMut::zeroed(hdr.len as usize);
+        self.stream.read_exact(&mut payload)?;
+        Message::decode(hdr.opcode, payload.freeze())
+    }
+
+    /// Sends `msg` and waits for the reply — the request/response pattern
+    /// used by the paging daemon.
+    ///
+    /// If the server answers with [`Message::Error`] this returns
+    /// [`RmpError::Protocol`] carrying the server's message.
+    ///
+    /// # Errors
+    ///
+    /// See [`Framed::send`] and [`Framed::recv`].
+    pub fn call(&mut self, msg: &Message) -> Result<Message> {
+        self.send(msg)?;
+        match self.recv()? {
+            Message::Error { message } => {
+                Err(RmpError::Protocol(format!("server error: {message}")))
+            }
+            reply => Ok(reply),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmp_types::{Page, StoreKey};
+    use std::collections::VecDeque;
+    use std::io;
+
+    /// In-memory duplex stream: writes go to `out`, reads come from `inp`.
+    struct Pipe {
+        inp: VecDeque<u8>,
+        out: Vec<u8>,
+    }
+
+    impl Read for Pipe {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.inp.is_empty() {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "empty"));
+            }
+            let n = buf.len().min(self.inp.len());
+            for b in buf.iter_mut().take(n) {
+                *b = self.inp.pop_front().expect("non-empty");
+            }
+            Ok(n)
+        }
+    }
+
+    impl Write for Pipe {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.out.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn send_then_recv_round_trips() {
+        let msg = Message::PageOut {
+            id: StoreKey(77),
+            page: Page::deterministic(3),
+        };
+        let mut tx = Framed::new(Pipe {
+            inp: VecDeque::new(),
+            out: Vec::new(),
+        });
+        tx.send(&msg).expect("send");
+        let written = tx.into_inner().out;
+        let mut rx = Framed::new(Pipe {
+            inp: written.into(),
+            out: Vec::new(),
+        });
+        assert_eq!(rx.recv().expect("recv"), msg);
+    }
+
+    #[test]
+    fn recv_on_eof_is_io_error() {
+        let mut rx = Framed::new(Pipe {
+            inp: VecDeque::new(),
+            out: Vec::new(),
+        });
+        let err = rx.recv().expect_err("eof");
+        assert!(err.is_server_failure());
+    }
+
+    #[test]
+    fn multiple_messages_stream_in_order() {
+        let msgs = vec![
+            Message::Alloc { pages: 10 },
+            Message::LoadQuery,
+            Message::Free { id: StoreKey(5) },
+        ];
+        let mut tx = Framed::new(Pipe {
+            inp: VecDeque::new(),
+            out: Vec::new(),
+        });
+        for m in &msgs {
+            tx.send(m).expect("send");
+        }
+        let mut rx = Framed::new(Pipe {
+            inp: tx.into_inner().out.into(),
+            out: Vec::new(),
+        });
+        for m in &msgs {
+            assert_eq!(&rx.recv().expect("recv"), m);
+        }
+    }
+
+    #[test]
+    fn call_surfaces_server_error() {
+        let reply = Message::Error {
+            message: "denied".into(),
+        };
+        let mut framed = Framed::new(Pipe {
+            inp: reply.encode().to_vec().into(),
+            out: Vec::new(),
+        });
+        let err = framed.call(&Message::LoadQuery).expect_err("error reply");
+        assert!(err.to_string().contains("denied"));
+    }
+}

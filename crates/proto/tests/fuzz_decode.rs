@@ -1,0 +1,112 @@
+//! Decoder robustness: arbitrary bytes must never panic, and valid
+//! frames must round trip regardless of how the stream is chunked.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rmp_proto::{FrameHeader, Framed, Message, Opcode};
+use rmp_types::{Page, StoreKey};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: header decode either fails cleanly or yields
+    /// a header whose payload decode also either fails cleanly or yields
+    /// a message — no panics, no unbounded allocations.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..9000)) {
+        let mut buf: &[u8] = &data;
+        if let Ok(hdr) = FrameHeader::decode(&mut buf) {
+            let take = (hdr.len as usize).min(buf.len());
+            let payload = Bytes::copy_from_slice(&buf[..take]);
+            let _ = Message::decode(hdr.opcode, payload);
+        }
+    }
+
+    /// Corrupting any single byte of a valid frame is detected (either a
+    /// clean decode error, or a decode to a *different* message — never a
+    /// crash, and never an out-of-bounds read).
+    #[test]
+    fn single_byte_corruption_is_safe(
+        key in any::<u64>(),
+        seed in any::<u64>(),
+        corrupt_at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let msg = Message::PageOut {
+            id: StoreKey(key),
+            page: Page::deterministic(seed),
+        };
+        let mut bytes = msg.encode().to_vec();
+        let at = corrupt_at.index(bytes.len());
+        bytes[at] ^= xor;
+        let mut buf: &[u8] = &bytes;
+        if let Ok(hdr) = FrameHeader::decode(&mut buf) {
+            let take = (hdr.len as usize).min(buf.len());
+            let _ = Message::decode(hdr.opcode, Bytes::copy_from_slice(&buf[..take]));
+        }
+    }
+
+    /// A pipelined stream of valid frames decodes identically however the
+    /// reader chunks it (the transport must handle short reads).
+    #[test]
+    fn chunked_streams_decode_identically(
+        keys in prop::collection::vec(any::<u64>(), 1..8),
+        chunk in 1usize..64,
+    ) {
+        let messages: Vec<Message> = keys
+            .iter()
+            .map(|&k| Message::PageIn { id: StoreKey(k) })
+            .collect();
+        let mut stream = Vec::new();
+        for m in &messages {
+            stream.extend_from_slice(&m.encode());
+        }
+        // A reader that returns at most `chunk` bytes per read.
+        struct Chunked {
+            data: Vec<u8>,
+            pos: usize,
+            chunk: usize,
+        }
+        impl std::io::Read for Chunked {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.data.len() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "end",
+                    ));
+                }
+                let n = buf.len().min(self.chunk).min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        impl std::io::Write for Chunked {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut framed = Framed::new(Chunked {
+            data: stream,
+            pos: 0,
+            chunk,
+        });
+        for expect in &messages {
+            let got = framed.recv().expect("chunked frame decodes");
+            prop_assert_eq!(&got, expect);
+        }
+    }
+
+    /// Every opcode byte either maps to a stable opcode or errors.
+    #[test]
+    fn opcode_mapping_is_total(byte in any::<u8>()) {
+        if let Ok(op) = Opcode::from_u8(byte) {
+            prop_assert_eq!(op as u8, byte);
+        } else {
+            prop_assert!(byte == 0 || byte > 20);
+        }
+    }
+}

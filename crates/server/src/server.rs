@@ -1,0 +1,703 @@
+//! Threaded TCP remote memory server.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rmp_proto::{Framed, LoadHint, Message};
+use rmp_types::{Result, RmpError};
+
+use crate::store::PageStore;
+
+/// Configuration of one remote memory server.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Page frames the server may promise to clients.
+    pub capacity_pages: usize,
+    /// Extra overflow fraction for parity logging (the paper devotes 10 %).
+    pub overflow_fraction: f64,
+    /// Simulated native CPU load of the host, per-mille. Used by the
+    /// busy-workstation experiments (Section 4.5) to model a server that
+    /// is editing files or running a `while(1)` loop.
+    pub simulated_cpu_permille: u16,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            capacity_pages: 4096,
+            overflow_fraction: 0.10,
+            simulated_cpu_permille: 0,
+        }
+    }
+}
+
+/// State shared between the listener, session threads, and the handle.
+struct Shared {
+    store: Mutex<PageStore>,
+    config: ServerConfig,
+    crashed: AtomicBool,
+    shutting_down: AtomicBool,
+    sessions: Mutex<Vec<TcpStream>>,
+    busy_nanos: AtomicU64,
+    served_requests: AtomicU64,
+    next_session: AtomicU64,
+    started: Instant,
+}
+
+/// Each client session gets a private key namespace in the upper bits of
+/// the 64-bit store key — the paper's "each client is served by a new
+/// instance of the server" whose swap spaces are never shared. Clients
+/// keep 48 bits of key space.
+const SESSION_SHIFT: u32 = 48;
+const KEY_MASK: u64 = (1u64 << SESSION_SHIFT) - 1;
+
+/// A session's private view of the shared store.
+#[derive(Clone, Copy)]
+struct SessionScope {
+    sid: u64,
+}
+
+impl SessionScope {
+    fn scope(&self, key: rmp_types::StoreKey) -> rmp_types::StoreKey {
+        rmp_types::StoreKey((self.sid << SESSION_SHIFT) | (key.0 & KEY_MASK))
+    }
+
+    fn unscope(&self, key: rmp_types::StoreKey) -> rmp_types::StoreKey {
+        rmp_types::StoreKey(key.0 & KEY_MASK)
+    }
+
+    fn range(&self) -> (rmp_types::StoreKey, rmp_types::StoreKey) {
+        (
+            rmp_types::StoreKey(self.sid << SESSION_SHIFT),
+            rmp_types::StoreKey((self.sid + 1) << SESSION_SHIFT),
+        )
+    }
+}
+
+impl Shared {
+    fn hint(&self) -> LoadHint {
+        let store = self.store.lock();
+        if store.grantable() == 0 && store.free_fraction() < 0.05 {
+            LoadHint::StopSending
+        } else if store.free_fraction() < 0.25 {
+            LoadHint::Pressure
+        } else {
+            LoadHint::Ok
+        }
+    }
+}
+
+/// The user-level remote memory server (Section 3.2).
+///
+/// # Examples
+///
+/// ```
+/// use rmp_server::{MemoryServer, ServerConfig};
+///
+/// let handle = MemoryServer::spawn(ServerConfig::default()).unwrap();
+/// println!("serving on {}", handle.addr());
+/// handle.shutdown();
+/// ```
+pub struct MemoryServer;
+
+impl MemoryServer {
+    /// Binds a loopback listener and starts serving in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-binding failures.
+    pub fn spawn(config: ServerConfig) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store: Mutex::new(PageStore::new(
+                config.capacity_pages,
+                config.overflow_fraction,
+            )),
+            config,
+            crashed: AtomicBool::new(false),
+            shutting_down: AtomicBool::new(false),
+            sessions: Mutex::new(Vec::new()),
+            busy_nanos: AtomicU64::new(0),
+            served_requests: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let listener_thread = std::thread::Builder::new()
+            .name(format!("rmp-server-{}", addr.port()))
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(RmpError::Io)?;
+        Ok(ServerHandle {
+            addr,
+            shared,
+            listener_thread: Some(listener_thread),
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            break;
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) || shared.crashed.load(Ordering::SeqCst) {
+            // Refuse service: drop the connection immediately.
+            drop(stream);
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            continue;
+        }
+        if let Ok(clone) = stream.try_clone() {
+            shared.sessions.lock().push(clone);
+        }
+        let session_shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("rmp-session".into())
+            .spawn(move || session_loop(stream, session_shared));
+    }
+}
+
+fn session_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let scope = SessionScope {
+        sid: shared.next_session.fetch_add(1, Ordering::SeqCst) & (u64::MAX >> SESSION_SHIFT),
+    };
+    let mut framed = Framed::new(stream);
+    loop {
+        if shared.crashed.load(Ordering::SeqCst) || shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let msg = match framed.recv() {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        let start = Instant::now();
+        let reply = handle_message(&shared, scope, msg);
+        shared
+            .busy_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.served_requests.fetch_add(1, Ordering::Relaxed);
+        match reply {
+            SessionAction::Reply(reply) => {
+                if framed.send(&reply).is_err() {
+                    break;
+                }
+            }
+            SessionAction::Close => break,
+            SessionAction::Crash => {
+                crash_now(&shared);
+                break;
+            }
+        }
+    }
+}
+
+enum SessionAction {
+    Reply(Message),
+    Close,
+    Crash,
+}
+
+fn handle_message(shared: &Shared, scope: SessionScope, msg: Message) -> SessionAction {
+    match msg {
+        Message::Alloc { pages } => {
+            let granted = shared.store.lock().grant(pages as usize) as u32;
+            SessionAction::Reply(Message::AllocReply {
+                granted,
+                hint: shared.hint(),
+            })
+        }
+        Message::PageOut { id, page } => {
+            let stored = shared.store.lock().insert(scope.scope(id), page);
+            if stored {
+                SessionAction::Reply(Message::PageOutAck {
+                    id,
+                    hint: shared.hint(),
+                })
+            } else {
+                SessionAction::Reply(Message::Error {
+                    message: format!("out of memory storing {id}"),
+                })
+            }
+        }
+        Message::PageIn { id } => match shared.store.lock().get(scope.scope(id)) {
+            Some(page) => SessionAction::Reply(Message::PageInReply { id, page }),
+            None => SessionAction::Reply(Message::PageInMiss { id }),
+        },
+        Message::Free { id } => {
+            shared.store.lock().remove(scope.scope(id));
+            SessionAction::Reply(Message::FreeAck { id })
+        }
+        Message::LoadQuery => {
+            let (free, stored) = {
+                let store = shared.store.lock();
+                let (lo, hi) = scope.range();
+                (
+                    store.hard_capacity().saturating_sub(store.stored()) as u64,
+                    store.count_range(lo, hi) as u64,
+                )
+            };
+            let measured = busy_permille(shared);
+            SessionAction::Reply(Message::LoadReport {
+                free_pages: free,
+                stored_pages: stored,
+                cpu_permille: measured
+                    .saturating_add(shared.config.simulated_cpu_permille)
+                    .min(1000),
+                hint: shared.hint(),
+            })
+        }
+        Message::ListPages { start, limit } => {
+            let (_, end) = scope.range();
+            let (ids, more) =
+                shared
+                    .store
+                    .lock()
+                    .list_range(scope.scope(start), end, limit as usize);
+            let ids = ids.into_iter().map(|k| scope.unscope(k)).collect();
+            SessionAction::Reply(Message::ListPagesReply { ids, more })
+        }
+        Message::PageOutDelta { id, page } => {
+            // Bind the result first: holding the store lock across the
+            // `hint()` call below would self-deadlock.
+            let delta = shared.store.lock().replace_delta(scope.scope(id), page);
+            match delta {
+                Some(delta) => SessionAction::Reply(Message::PageOutDeltaReply {
+                    id,
+                    delta,
+                    hint: shared.hint(),
+                }),
+                None => SessionAction::Reply(Message::Error {
+                    message: format!("out of memory storing {id}"),
+                }),
+            }
+        }
+        Message::XorInto { id, page } => {
+            let stored = shared.store.lock().xor_into(scope.scope(id), &page);
+            if stored {
+                SessionAction::Reply(Message::XorAck { id })
+            } else {
+                SessionAction::Reply(Message::Error {
+                    message: format!("out of memory creating parity {id}"),
+                })
+            }
+        }
+        Message::InjectCrash => SessionAction::Crash,
+        Message::Shutdown => SessionAction::Close,
+        // Replies arriving as requests are protocol violations.
+        other => SessionAction::Reply(Message::Error {
+            message: format!("unexpected request {:?}", other.opcode()),
+        }),
+    }
+}
+
+fn busy_permille(shared: &Shared) -> u16 {
+    let wall = shared.started.elapsed().as_nanos() as u64;
+    if wall == 0 {
+        return 0;
+    }
+    let busy = shared.busy_nanos.load(Ordering::Relaxed);
+    ((busy.saturating_mul(1000)) / wall).min(1000) as u16
+}
+
+fn crash_now(shared: &Shared) {
+    shared.crashed.store(true, Ordering::SeqCst);
+    shared.store.lock().clear();
+    for s in shared.sessions.lock().drain(..) {
+        let _ = s.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Handle to a running [`MemoryServer`]; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The server's listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Injects a workstation crash: all stored pages are lost and every
+    /// client connection is severed. New connections are refused until
+    /// [`ServerHandle::restart`].
+    pub fn crash(&self) {
+        crash_now(&self.shared);
+    }
+
+    /// Returns `true` when the server has crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.shared.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Brings a crashed server back empty (a rebooted workstation rejoins
+    /// the pool with no pages).
+    pub fn restart(&self) {
+        self.shared.store.lock().clear();
+        self.shared.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Simulates native memory demand on the host, shrinking what the
+    /// server can promise to clients.
+    pub fn set_native_usage(&self, pages: usize) {
+        self.shared.store.lock().set_native_usage(pages);
+    }
+
+    /// Pages currently stored (all clients).
+    pub fn stored_pages(&self) -> usize {
+        self.shared.store.lock().stored()
+    }
+
+    /// Requests served since start.
+    pub fn served_requests(&self) -> u64 {
+        self.shared.served_requests.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of wall time spent servicing requests — the server CPU
+    /// utilization of Section 4.5 (measured < 15 % in the paper).
+    pub fn busy_fraction(&self) -> f64 {
+        busy_permille(&self.shared) as f64 / 1000.0
+    }
+
+    /// Stops the server and joins the listener thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        for s in self.shared.sessions.lock().drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.listener_thread.is_some() {
+            self.shutdown_in_place();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmp_types::{Page, StoreKey};
+
+    fn connect(handle: &ServerHandle) -> Framed<TcpStream> {
+        Framed::new(TcpStream::connect(handle.addr()).expect("connect"))
+    }
+
+    fn small_server() -> ServerHandle {
+        MemoryServer::spawn(ServerConfig {
+            capacity_pages: 8,
+            overflow_fraction: 0.0,
+            simulated_cpu_permille: 0,
+        })
+        .expect("spawn")
+    }
+
+    #[test]
+    fn alloc_pageout_pagein_cycle() {
+        let server = small_server();
+        let mut c = connect(&server);
+        let reply = c.call(&Message::Alloc { pages: 4 }).expect("alloc");
+        assert!(matches!(reply, Message::AllocReply { granted: 4, .. }));
+        let page = Page::deterministic(11);
+        let reply = c
+            .call(&Message::PageOut {
+                id: StoreKey(1),
+                page: page.clone(),
+            })
+            .expect("pageout");
+        assert!(matches!(reply, Message::PageOutAck { .. }));
+        let reply = c
+            .call(&Message::PageIn { id: StoreKey(1) })
+            .expect("pagein");
+        match reply {
+            Message::PageInReply { id, page: got } => {
+                assert_eq!(id, StoreKey(1));
+                assert_eq!(got, page);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn missing_page_is_a_miss() {
+        let server = small_server();
+        let mut c = connect(&server);
+        let reply = c.call(&Message::PageIn { id: StoreKey(99) }).expect("call");
+        assert!(matches!(reply, Message::PageInMiss { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn allocation_denied_when_exhausted() {
+        let server = small_server();
+        let mut c = connect(&server);
+        let Message::AllocReply { granted, .. } =
+            c.call(&Message::Alloc { pages: 100 }).expect("alloc")
+        else {
+            panic!("expected AllocReply");
+        };
+        assert_eq!(granted, 8, "capped at capacity");
+        let Message::AllocReply { granted, .. } =
+            c.call(&Message::Alloc { pages: 1 }).expect("alloc")
+        else {
+            panic!("expected AllocReply");
+        };
+        assert_eq!(granted, 0, "denied");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pageout_beyond_capacity_errors() {
+        let server = small_server();
+        let mut c = connect(&server);
+        for i in 0..8u64 {
+            c.call(&Message::PageOut {
+                id: StoreKey(i),
+                page: Page::zeroed(),
+            })
+            .expect("fits");
+        }
+        let err = c.call(&Message::PageOut {
+            id: StoreKey(8),
+            page: Page::zeroed(),
+        });
+        assert!(err.is_err(), "hard capacity enforced");
+        server.shutdown();
+    }
+
+    #[test]
+    fn crash_drops_pages_and_severs_connections() {
+        let server = small_server();
+        let mut c = connect(&server);
+        c.call(&Message::PageOut {
+            id: StoreKey(1),
+            page: Page::filled(1),
+        })
+        .expect("store");
+        assert_eq!(server.stored_pages(), 1);
+        server.crash();
+        assert!(server.is_crashed());
+        assert_eq!(server.stored_pages(), 0);
+        // The live connection is dead.
+        let res = c.call(&Message::PageIn { id: StoreKey(1) });
+        assert!(res.is_err());
+        // New connections are refused (dropped immediately → EOF on recv).
+        if let Ok(stream) = TcpStream::connect(server.addr()) {
+            let mut c2 = Framed::new(stream);
+            assert!(c2.call(&Message::LoadQuery).is_err());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn inject_crash_message_triggers_crash() {
+        let server = small_server();
+        let mut c = connect(&server);
+        c.send(&Message::InjectCrash).expect("send");
+        // The server replies nothing and severs the connection.
+        assert!(c.recv().is_err());
+        assert!(server.is_crashed());
+        server.shutdown();
+    }
+
+    #[test]
+    fn restart_brings_server_back_empty() {
+        let server = small_server();
+        let mut c = connect(&server);
+        c.call(&Message::PageOut {
+            id: StoreKey(1),
+            page: Page::filled(1),
+        })
+        .expect("store");
+        server.crash();
+        server.restart();
+        let mut c2 = connect(&server);
+        let reply = c2.call(&Message::PageIn { id: StoreKey(1) }).expect("call");
+        assert!(
+            matches!(reply, Message::PageInMiss { .. }),
+            "state was lost"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn load_report_reflects_usage_and_simulated_cpu() {
+        let server = MemoryServer::spawn(ServerConfig {
+            capacity_pages: 10,
+            overflow_fraction: 0.0,
+            simulated_cpu_permille: 300,
+        })
+        .expect("spawn");
+        let mut c = connect(&server);
+        c.call(&Message::PageOut {
+            id: StoreKey(1),
+            page: Page::zeroed(),
+        })
+        .expect("store");
+        let Message::LoadReport {
+            free_pages,
+            stored_pages,
+            cpu_permille,
+            ..
+        } = c.call(&Message::LoadQuery).expect("query")
+        else {
+            panic!("expected LoadReport");
+        };
+        assert_eq!(stored_pages, 1);
+        assert_eq!(free_pages, 9);
+        assert!(cpu_permille >= 300);
+        server.shutdown();
+    }
+
+    #[test]
+    fn advisory_hints_escalate_with_pressure() {
+        let server = MemoryServer::spawn(ServerConfig {
+            capacity_pages: 4,
+            overflow_fraction: 0.0,
+            simulated_cpu_permille: 0,
+        })
+        .expect("spawn");
+        let mut c = connect(&server);
+        let Message::AllocReply { hint, .. } = c.call(&Message::Alloc { pages: 4 }).expect("alloc")
+        else {
+            panic!()
+        };
+        assert_eq!(hint, LoadHint::Ok, "empty store");
+        for i in 0..4u64 {
+            c.call(&Message::PageOut {
+                id: StoreKey(i),
+                page: Page::zeroed(),
+            })
+            .expect("store");
+        }
+        let Message::LoadReport { hint, .. } = c.call(&Message::LoadQuery).expect("query") else {
+            panic!()
+        };
+        assert_eq!(hint, LoadHint::StopSending, "full and nothing grantable");
+        server.shutdown();
+    }
+
+    #[test]
+    fn delta_and_xor_ops_work_over_the_wire() {
+        let server = small_server();
+        let mut c = connect(&server);
+        let old = Page::deterministic(1);
+        let new = Page::deterministic(2);
+        let Message::PageOutDeltaReply { delta, .. } = c
+            .call(&Message::PageOutDelta {
+                id: StoreKey(7),
+                page: old.clone(),
+            })
+            .expect("first delta store")
+        else {
+            panic!()
+        };
+        assert_eq!(delta, old, "no previous version");
+        let Message::PageOutDeltaReply { delta, .. } = c
+            .call(&Message::PageOutDelta {
+                id: StoreKey(7),
+                page: new.clone(),
+            })
+            .expect("second delta store")
+        else {
+            panic!()
+        };
+        let mut expect = old.clone();
+        expect.xor_with(&new);
+        assert_eq!(delta, expect);
+        // Parity accumulate.
+        let Message::XorAck { id } = c
+            .call(&Message::XorInto {
+                id: StoreKey(100),
+                page: delta.clone(),
+            })
+            .expect("xor")
+        else {
+            panic!()
+        };
+        assert_eq!(id, StoreKey(100));
+        let Message::PageInReply { page, .. } = c
+            .call(&Message::PageIn { id: StoreKey(100) })
+            .expect("fetch")
+        else {
+            panic!()
+        };
+        assert_eq!(page, delta);
+        server.shutdown();
+    }
+
+    #[test]
+    fn list_pages_paginates() {
+        let server = small_server();
+        let mut c = connect(&server);
+        for i in [3u64, 1, 5] {
+            c.call(&Message::PageOut {
+                id: StoreKey(i),
+                page: Page::zeroed(),
+            })
+            .expect("store");
+        }
+        let Message::ListPagesReply { ids, more } = c
+            .call(&Message::ListPages {
+                start: StoreKey(0),
+                limit: 2,
+            })
+            .expect("list")
+        else {
+            panic!()
+        };
+        assert_eq!(ids, vec![StoreKey(1), StoreKey(3)]);
+        assert!(more);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unexpected_request_yields_error_reply() {
+        let server = small_server();
+        let mut c = connect(&server);
+        let res = c.call(&Message::FreeAck { id: StoreKey(0) });
+        assert!(res.is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_share_capacity() {
+        let server = small_server();
+        let mut a = connect(&server);
+        let mut b = connect(&server);
+        let Message::AllocReply { granted: ga, .. } =
+            a.call(&Message::Alloc { pages: 6 }).expect("alloc a")
+        else {
+            panic!()
+        };
+        let Message::AllocReply { granted: gb, .. } =
+            b.call(&Message::Alloc { pages: 6 }).expect("alloc b")
+        else {
+            panic!()
+        };
+        assert_eq!(ga, 6);
+        assert_eq!(gb, 2, "only 2 frames remained");
+        server.shutdown();
+    }
+}

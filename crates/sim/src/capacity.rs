@@ -1,0 +1,134 @@
+//! Weekly capacity simulation: a paging client against the idle-DRAM tide.
+//!
+//! Figure 1 shows how much memory the cluster donates over a week;
+//! Section 2.1 describes what the client does when that shrinks (migrate,
+//! spill to disk) and grows again (re-replicate). This module walks a
+//! client's steady memory demand across the weekly trace and reports how
+//! often each policy fit entirely in remote memory, how much spilled to
+//! the local disk, and how much migration traffic the tide caused.
+
+use rmp_types::Policy;
+
+use crate::idle::IdleTrace;
+
+/// Outcome of one simulated week.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CapacityReport {
+    /// Fraction of the week served entirely from remote memory.
+    pub fully_remote_fraction: f64,
+    /// Fraction of the week with at least one page on the local disk.
+    pub degraded_fraction: f64,
+    /// Peak data spilled to the local disk, MB.
+    pub peak_spill_mb: f64,
+    /// Total page migration volume over the week, MB (pages moved to the
+    /// disk when the tide went out plus pages promoted back).
+    pub migration_mb: f64,
+    /// Minimum remote headroom over the week, MB (negative means the
+    /// demand outgrew the cluster).
+    pub min_headroom_mb: f64,
+}
+
+/// Simulates a client demanding `demand_mb` of swap under `policy` with
+/// `servers` data servers and the given parity-logging `overflow`
+/// fraction, against the donated-memory trace.
+///
+/// Each sample compares the policy's *gross* requirement
+/// (`demand x memory_overhead`) against the cluster's free memory; the
+/// shortfall lives on the local disk, and every change in the shortfall is
+/// migration traffic (Section 2.1's migrate-out / re-replicate-back).
+pub fn simulate_week(
+    trace: &IdleTrace,
+    demand_mb: f64,
+    policy: Policy,
+    servers: usize,
+    overflow: f64,
+) -> CapacityReport {
+    let gross = demand_mb * policy.memory_overhead(servers, overflow);
+    let mut report = CapacityReport {
+        min_headroom_mb: f64::MAX,
+        ..CapacityReport::default()
+    };
+    let mut prev_spill = 0.0f64;
+    let n = trace.samples.len().max(1);
+    let mut fully_remote = 0usize;
+    for s in &trace.samples {
+        let headroom = s.free_mb - gross;
+        report.min_headroom_mb = report.min_headroom_mb.min(headroom);
+        let spill = (-headroom).max(0.0).min(demand_mb);
+        if spill == 0.0 {
+            fully_remote += 1;
+        }
+        report.peak_spill_mb = report.peak_spill_mb.max(spill);
+        report.migration_mb += (spill - prev_spill).abs();
+        prev_spill = spill;
+    }
+    report.fully_remote_fraction = fully_remote as f64 / n as f64;
+    report.degraded_fraction = 1.0 - report.fully_remote_fraction;
+    if report.min_headroom_mb == f64::MAX {
+        report.min_headroom_mb = 0.0;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idle::IdleTraceConfig;
+
+    fn week() -> IdleTrace {
+        IdleTrace::generate(IdleTraceConfig::default(), 4)
+    }
+
+    #[test]
+    fn small_demand_stays_fully_remote() {
+        // 100 MB of user data under parity logging needs ~140 MB gross;
+        // the cluster never drops below ~340 MB free.
+        let r = simulate_week(&week(), 100.0, Policy::ParityLogging, 4, 0.10);
+        assert_eq!(r.fully_remote_fraction, 1.0, "{r:?}");
+        assert_eq!(r.peak_spill_mb, 0.0);
+        assert_eq!(r.migration_mb, 0.0);
+        assert!(r.min_headroom_mb > 0.0);
+    }
+
+    #[test]
+    fn business_hours_squeeze_large_demands() {
+        // 250 MB under mirroring needs 500 MB gross: fine at night,
+        // spills at the working-day peaks.
+        let r = simulate_week(&week(), 250.0, Policy::Mirroring, 4, 0.10);
+        assert!(r.fully_remote_fraction > 0.3, "nights are fine: {r:?}");
+        assert!(r.degraded_fraction > 0.05, "peaks spill: {r:?}");
+        assert!(r.peak_spill_mb > 0.0);
+        assert!(r.migration_mb > 0.0, "the tide causes migration traffic");
+    }
+
+    #[test]
+    fn parity_logging_fits_where_mirroring_spills() {
+        let week = week();
+        let pl = simulate_week(&week, 250.0, Policy::ParityLogging, 4, 0.10);
+        let mir = simulate_week(&week, 250.0, Policy::Mirroring, 4, 0.10);
+        assert!(
+            pl.fully_remote_fraction > mir.fully_remote_fraction,
+            "1.38x overhead fits more of the week than 2x: {pl:?} vs {mir:?}"
+        );
+        assert!(pl.peak_spill_mb <= mir.peak_spill_mb);
+    }
+
+    #[test]
+    fn no_reliability_is_the_capacity_upper_bound() {
+        let week = week();
+        for demand in [150.0, 250.0, 320.0] {
+            let norel = simulate_week(&week, demand, Policy::NoReliability, 4, 0.10);
+            for policy in [
+                Policy::ParityLogging,
+                Policy::BasicParity,
+                Policy::Mirroring,
+            ] {
+                let r = simulate_week(&week, demand, policy, 4, 0.10);
+                assert!(
+                    r.fully_remote_fraction <= norel.fully_remote_fraction + 1e-12,
+                    "{policy} cannot fit more than no-reliability"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! A small discrete-event simulation core.
+//!
+//! The pipeline simulator in [`crate::pipeline`] is built on this queue:
+//! events carry an opaque payload, time is `f64` milliseconds, and ties
+//! break by insertion order so runs are deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in milliseconds.
+pub type SimTime = f64;
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// An event queue ordered by time, FIFO among equal times.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+        }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at` lies in the past or is not finite — scheduling
+    /// into the past silently corrupts causality.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at.is_finite(), "event time must be finite");
+        assert!(at + 1e-9 >= self.now, "cannot schedule into the past");
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time: at.max(self.now),
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` `delay` milliseconds from now.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        let now = self.now;
+        self.schedule_at(now + delay.max(0.0), event);
+    }
+
+    /// Pops the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// A single-server FIFO resource: callers ask "when can a job of length
+/// `service` ms that arrives at `at` finish?", and the resource tracks its
+/// own busy horizon. This models the Ethernet link, a server CPU, or the
+/// disk arm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FifoResource {
+    busy_until: SimTime,
+    busy_ms: f64,
+    jobs: u64,
+}
+
+impl FifoResource {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        FifoResource::default()
+    }
+
+    /// Serves a job arriving at `at` needing `service` ms; returns the
+    /// completion time (after any queueing behind earlier jobs).
+    pub fn serve(&mut self, at: SimTime, service: f64) -> SimTime {
+        let start = self.busy_until.max(at);
+        self.busy_until = start + service;
+        self.busy_ms += service;
+        self.jobs += 1;
+        self.busy_until
+    }
+
+    /// Time the resource has spent serving, ms.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
+    }
+
+    /// Jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// The time at which the resource next goes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5.0, "c");
+        q.schedule_at(1.0, "a");
+        q.schedule_at(3.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule_at(2.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(10.0, ());
+        assert_eq!(q.now(), 0.0);
+        let (t, _) = q.pop().expect("event");
+        assert_eq!(t, 10.0);
+        assert_eq!(q.now(), 10.0);
+        q.schedule_in(5.0, ());
+        let (t, _) = q.pop().expect("event");
+        assert_eq!(t, 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, ());
+        q.pop();
+        q.schedule_at(5.0, ());
+    }
+
+    #[test]
+    fn fifo_resource_queues_jobs() {
+        let mut r = FifoResource::new();
+        assert_eq!(r.serve(0.0, 10.0), 10.0);
+        // Arrives while busy: queues behind.
+        assert_eq!(r.serve(3.0, 10.0), 20.0);
+        // Arrives after idle: starts immediately.
+        assert_eq!(r.serve(30.0, 5.0), 35.0);
+        assert_eq!(r.busy_ms(), 25.0);
+        assert_eq!(r.jobs(), 3);
+    }
+}

@@ -1,0 +1,339 @@
+//! Slotted CSMA/CD Ethernet simulator (Section 4.6).
+//!
+//! The paper repeated its experiments over a loaded Ethernet and observed
+//! degradation "even when the Ethernet was lightly loaded ... Adding more
+//! sources of traffic leads to an enormous demand for bandwidth causing
+//! repeated collisions and lowering the effective bandwidth of the
+//! network, leading to throughput collapse. ... this inefficiency is not
+//! inherent to remote memory paging but rather to the CSMA/CD protocol
+//! employed by the Ethernet."
+//!
+//! The model: time advances in 51.2 us slots; each backlogged station
+//! whose backoff expired transmits in an idle slot with persistence
+//! probability `p` (p-persistent CSMA); a sole transmitter holds the wire
+//! for a frame time, two or more collide and draw a binary-exponential
+//! backoff. An 8 KB page crosses the wire as six maximum-size Ethernet
+//! frames, so page traffic is a stream of 1518-byte frames.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ethernet slot time, microseconds (the 10 Mbit/s standard).
+pub const SLOT_US: f64 = 51.2;
+
+/// Configuration of the CSMA/CD simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct EthernetConfig {
+    /// Number of stations contending for the wire.
+    pub stations: usize,
+    /// Frame size in bits (default: a maximum-size 1518-byte frame).
+    pub frame_bits: f64,
+    /// Raw bandwidth, bits per second.
+    pub bandwidth_bps: f64,
+    /// Transmission persistence in an idle slot.
+    pub persistence: f64,
+    /// Maximum backoff exponent (standard Ethernet truncates at 10).
+    pub max_backoff_exp: u32,
+    /// Per-station queue bound, frames (paging clients block rather than
+    /// queue unboundedly).
+    pub queue_limit: u64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for EthernetConfig {
+    fn default() -> Self {
+        EthernetConfig {
+            stations: 8,
+            frame_bits: 1518.0 * 8.0,
+            bandwidth_bps: 10.0e6,
+            persistence: 0.5,
+            max_backoff_exp: 10,
+            queue_limit: 64,
+            seed: 0x45746865,
+        }
+    }
+}
+
+/// One measured point of an offered-load sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadPoint {
+    /// Offered load as a fraction of raw bandwidth.
+    pub offered: f64,
+    /// Goodput achieved as a fraction of raw bandwidth.
+    pub goodput: f64,
+    /// Collision events per delivered frame.
+    pub collisions_per_frame: f64,
+    /// Mean head-of-line delay per delivered frame, ms.
+    pub mean_delay_ms: f64,
+    /// Frames dropped at full queues, per delivered frame.
+    pub loss_per_frame: f64,
+}
+
+/// The paging client's experience under background traffic.
+#[derive(Clone, Copy, Debug)]
+pub struct PagingPoint {
+    /// Background offered load (fraction of raw bandwidth).
+    pub background: f64,
+    /// Fraction of the paging client's demand that was delivered.
+    pub delivered_fraction: f64,
+    /// Mean delay of the paging client's frames, ms.
+    pub mean_delay_ms: f64,
+}
+
+struct Station {
+    backlog: u64,
+    backoff: u64,
+    attempts: u32,
+    acc: f64,
+    rate: f64,
+    head_arrival: f64,
+    delivered: u64,
+    dropped: u64,
+    delay_slots: f64,
+}
+
+impl Station {
+    fn new(rate: f64) -> Self {
+        Station {
+            backlog: 0,
+            backoff: 0,
+            attempts: 0,
+            acc: 0.0,
+            rate,
+            head_arrival: 0.0,
+            delivered: 0,
+            dropped: 0,
+            delay_slots: 0.0,
+        }
+    }
+}
+
+/// The CSMA/CD simulator.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_sim::{CsmaCd, EthernetConfig};
+///
+/// let mut sim = CsmaCd::new(EthernetConfig::default());
+/// let light = sim.run(0.2, 100_000);
+/// assert!((light.goodput - 0.2).abs() < 0.05, "light load delivered");
+/// ```
+pub struct CsmaCd {
+    config: EthernetConfig,
+    rng: StdRng,
+    last_collisions: u64,
+}
+
+impl CsmaCd {
+    /// Creates a simulator.
+    pub fn new(config: EthernetConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        CsmaCd {
+            config,
+            rng,
+            last_collisions: 0,
+        }
+    }
+
+    /// Slots needed to transmit one frame.
+    pub fn frame_slots(&self) -> u64 {
+        (self.config.frame_bits / self.config.bandwidth_bps * 1e6 / SLOT_US).ceil() as u64
+    }
+
+    fn simulate(&mut self, rates: &[f64], slots: u64) -> Vec<Station> {
+        let frame_slots = self.frame_slots();
+        let mut stations: Vec<Station> = rates
+            .iter()
+            .map(|&r| {
+                let mut st = Station::new(r);
+                // Random arrival phase: real stations are not synchronized.
+                st.acc = self.rng.gen_range(0.0..1.0);
+                st
+            })
+            .collect();
+        let mut busy_until: u64 = 0;
+        let mut collisions_total = 0u64;
+        for slot in 0..slots {
+            for st in stations.iter_mut() {
+                st.acc += st.rate;
+                while st.acc >= 1.0 {
+                    st.acc -= 1.0;
+                    if st.backlog == 0 {
+                        st.head_arrival = slot as f64;
+                    }
+                    if st.backlog < self.config.queue_limit {
+                        st.backlog += 1;
+                    } else {
+                        st.dropped += 1;
+                    }
+                }
+            }
+            if slot < busy_until {
+                continue;
+            }
+            let mut contenders: Vec<usize> = Vec::new();
+            for (i, st) in stations.iter_mut().enumerate() {
+                if st.backlog > 0 {
+                    if st.backoff > 0 {
+                        st.backoff -= 1;
+                    } else if self.rng.gen_bool(self.config.persistence) {
+                        contenders.push(i);
+                    }
+                }
+            }
+            match contenders.len() {
+                0 => {}
+                1 => {
+                    let st = &mut stations[contenders[0]];
+                    st.backlog -= 1;
+                    st.attempts = 0;
+                    st.delivered += 1;
+                    st.delay_slots += slot as f64 - st.head_arrival + frame_slots as f64;
+                    st.head_arrival = (slot + frame_slots) as f64;
+                    busy_until = slot + frame_slots;
+                }
+                k => {
+                    collisions_total += k as u64;
+                    for &i in &contenders {
+                        let st = &mut stations[i];
+                        st.attempts = (st.attempts + 1).min(self.config.max_backoff_exp);
+                        let window = 1u64 << st.attempts;
+                        st.backoff = self.rng.gen_range(0..window);
+                    }
+                    busy_until = slot + 1;
+                }
+            }
+        }
+        self.last_collisions = collisions_total;
+        stations
+    }
+
+    /// Simulates a symmetric offered load across all stations.
+    pub fn run(&mut self, offered: f64, slots: u64) -> LoadPoint {
+        let frame_slots = self.frame_slots() as f64;
+        let n = self.config.stations;
+        let per_station = offered / frame_slots / n as f64;
+        let stations = self.simulate(&vec![per_station; n], slots);
+        let delivered: u64 = stations.iter().map(|s| s.delivered).sum();
+        let dropped: u64 = stations.iter().map(|s| s.dropped).sum();
+        let delay: f64 = stations.iter().map(|s| s.delay_slots).sum();
+        LoadPoint {
+            offered,
+            goodput: delivered as f64 * frame_slots / slots as f64,
+            collisions_per_frame: self.last_collisions as f64 / delivered.max(1) as f64,
+            mean_delay_ms: delay / delivered.max(1) as f64 * SLOT_US / 1000.0,
+            loss_per_frame: dropped as f64 / delivered.max(1) as f64,
+        }
+    }
+
+    /// A paging client offering `paging` load while the other stations
+    /// offer `background` in total — the Section 4.6 experiment.
+    pub fn paging_under_background(
+        &mut self,
+        paging: f64,
+        background: f64,
+        slots: u64,
+    ) -> PagingPoint {
+        let frame_slots = self.frame_slots() as f64;
+        let n = self.config.stations;
+        assert!(n >= 2, "need the paging station plus background stations");
+        let mut rates = vec![background / frame_slots / (n - 1) as f64; n];
+        rates[0] = paging / frame_slots;
+        let stations = self.simulate(&rates, slots);
+        let pager = &stations[0];
+        let demanded = paging / frame_slots * slots as f64;
+        PagingPoint {
+            background,
+            delivered_fraction: (pager.delivered as f64 / demanded).min(1.0),
+            mean_delay_ms: pager.delay_slots / pager.delivered.max(1) as f64 * SLOT_US / 1000.0,
+        }
+    }
+
+    /// Sweeps offered load over `points` values in `(0, max_offered]`.
+    pub fn sweep(&mut self, max_offered: f64, points: usize, slots: u64) -> Vec<LoadPoint> {
+        (1..=points)
+            .map(|i| self.run(max_offered * i as f64 / points as f64, slots))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> CsmaCd {
+        CsmaCd::new(EthernetConfig::default())
+    }
+
+    #[test]
+    fn light_load_is_delivered_in_full() {
+        let p = sim().run(0.2, 400_000);
+        assert!(
+            (p.goodput - 0.2).abs() < 0.02,
+            "light load delivered: {p:?}"
+        );
+        assert!(p.loss_per_frame < 0.01, "no loss at light load: {p:?}");
+    }
+
+    #[test]
+    fn goodput_saturates_below_raw_bandwidth() {
+        let p = sim().run(2.0, 400_000);
+        assert!(p.goodput < 0.95, "contention overhead is real: {p:?}");
+        assert!(p.goodput > 0.3, "but the wire still does work: {p:?}");
+    }
+
+    #[test]
+    fn overload_explodes_collisions_and_delay() {
+        let mut s = sim();
+        let light = s.run(0.2, 400_000);
+        let heavy = s.run(2.0, 400_000);
+        assert!(
+            heavy.collisions_per_frame > light.collisions_per_frame * 2.0,
+            "collisions rise: {light:?} vs {heavy:?}"
+        );
+        assert!(
+            heavy.mean_delay_ms > light.mean_delay_ms * 5.0,
+            "delay explodes: {light:?} vs {heavy:?}"
+        );
+        assert!(heavy.loss_per_frame > 0.1, "queues overflow: {heavy:?}");
+    }
+
+    #[test]
+    fn background_traffic_starves_the_paging_client() {
+        // Section 4.6: performance degrades even when the Ethernet is
+        // lightly loaded, and collapses as traffic grows.
+        let mut s = sim();
+        // A paging client at full tilt wants ~0.9 of the wire.
+        let idle = s.paging_under_background(0.9, 0.0, 400_000);
+        let light = s.paging_under_background(0.9, 0.3, 400_000);
+        let heavy = s.paging_under_background(0.9, 1.5, 400_000);
+        assert!(idle.delivered_fraction > 0.9, "{idle:?}");
+        assert!(
+            light.delivered_fraction < idle.delivered_fraction,
+            "even light background hurts: {light:?}"
+        );
+        assert!(
+            heavy.delivered_fraction < 0.6,
+            "heavy background collapses paging: {heavy:?}"
+        );
+        assert!(heavy.mean_delay_ms > idle.mean_delay_ms);
+    }
+
+    #[test]
+    fn sweep_produces_requested_points() {
+        let mut s = sim();
+        let points = s.sweep(1.0, 5, 100_000);
+        assert_eq!(points.len(), 5);
+        assert!(points[4].goodput >= points[0].goodput * 0.8);
+    }
+
+    #[test]
+    fn deterministic_under_a_seed() {
+        let a = sim().run(0.8, 100_000);
+        let b = sim().run(0.8, 100_000);
+        assert_eq!(a.goodput, b.goodput);
+        assert_eq!(a.collisions_per_frame, b.collisions_per_frame);
+    }
+}

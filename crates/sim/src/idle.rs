@@ -1,0 +1,212 @@
+//! Weekly idle-DRAM trace (Figure 1).
+//!
+//! The paper profiled 16 workstations (800 MB total) for one week and
+//! found more than 700 MB free at night and on the weekend, dipping to —
+//! but rarely below — 400 MB at working-day noon, and never below 300 MB.
+//! This generator synthesizes that envelope: a diurnal usage wave on
+//! business days, flat low usage on the weekend, plus deterministic
+//! per-workstation noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the idle-memory trace.
+#[derive(Clone, Copy, Debug)]
+pub struct IdleTraceConfig {
+    /// Workstations in the cluster (the paper had 16).
+    pub workstations: usize,
+    /// Memory per workstation, MB (the paper's cluster averaged 50 MB).
+    pub mb_per_workstation: f64,
+    /// Fraction of a workstation's memory the OS and resident daemons
+    /// always hold.
+    pub base_usage: f64,
+    /// Peak extra usage at business hours, as a fraction of memory.
+    pub peak_usage: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IdleTraceConfig {
+    fn default() -> Self {
+        IdleTraceConfig {
+            workstations: 16,
+            mb_per_workstation: 50.0,
+            base_usage: 0.06,
+            peak_usage: 0.55,
+            seed: 0x1995_0202,
+        }
+    }
+}
+
+/// One sample of the trace.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Hours since Thursday 00:00 (the paper's week starts Thursday).
+    pub hour: f64,
+    /// Total free memory across the cluster, MB.
+    pub free_mb: f64,
+}
+
+/// The synthetic weekly trace.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_sim::{IdleTrace, IdleTraceConfig};
+///
+/// let week = IdleTrace::generate(IdleTraceConfig::default(), 2);
+/// assert!(week.min_free_mb() > 300.0); // The paper's floor.
+/// assert!(week.max_free_mb() > 700.0); // Nights and the weekend.
+/// ```
+#[derive(Clone, Debug)]
+pub struct IdleTrace {
+    /// Samples in chronological order.
+    pub samples: Vec<Sample>,
+    /// Total cluster memory, MB.
+    pub total_mb: f64,
+}
+
+/// Day names in the paper's order (the profile ran Feb 2-8, 1995,
+/// Thursday through Wednesday).
+pub const DAYS: [&str; 7] = [
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+];
+
+impl IdleTrace {
+    /// Generates a week at `samples_per_hour` resolution.
+    pub fn generate(config: IdleTraceConfig, samples_per_hour: usize) -> IdleTrace {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let total_mb = config.workstations as f64 * config.mb_per_workstation;
+        let n = 7 * 24 * samples_per_hour;
+        let mut samples = Vec::with_capacity(n);
+        // Per-workstation phase offsets: people arrive at different times.
+        let phases: Vec<f64> = (0..config.workstations)
+            .map(|_| rng.gen_range(-1.5..1.5))
+            .collect();
+        for i in 0..n {
+            let hour = i as f64 / samples_per_hour as f64;
+            let day = (hour / 24.0) as usize; // 0 = Thursday.
+            let hour_of_day = hour % 24.0;
+            // Saturday (2) and Sunday (3) in the paper's ordering.
+            let weekend = day == 2 || day == 3;
+            let mut used = 0.0;
+            for phase in &phases {
+                let mut u = config.base_usage;
+                if !weekend {
+                    // Two-lobed business-day curve peaking at noon and
+                    // mid-afternoon (the paper: "usage was at each peak
+                    // ... at noon and afternoon of working days").
+                    let t = hour_of_day + phase;
+                    let lobe = |center: f64, width: f64| {
+                        let d = (t - center) / width;
+                        (-d * d).exp()
+                    };
+                    u += config.peak_usage * (lobe(12.0, 2.5).max(0.75 * lobe(16.0, 2.0)));
+                } else {
+                    // Weekend: a few simulations keep running.
+                    u += config.peak_usage * 0.06;
+                }
+                // Noise: long-running jobs come and go.
+                u += rng.gen_range(-0.02..0.05);
+                used += u.clamp(0.0, 0.95) * config.mb_per_workstation;
+            }
+            samples.push(Sample {
+                hour,
+                free_mb: (total_mb - used).max(0.0),
+            });
+        }
+        IdleTrace { samples, total_mb }
+    }
+
+    /// Minimum free memory over the week, MB.
+    pub fn min_free_mb(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.free_mb)
+            .fold(f64::MAX, f64::min)
+    }
+
+    /// Maximum free memory over the week, MB.
+    pub fn max_free_mb(&self) -> f64 {
+        self.samples.iter().map(|s| s.free_mb).fold(0.0, f64::max)
+    }
+
+    /// Mean free memory, MB.
+    pub fn mean_free_mb(&self) -> f64 {
+        self.samples.iter().map(|s| s.free_mb).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Fraction of samples with at least `mb` free.
+    pub fn fraction_at_least(&self, mb: f64) -> f64 {
+        self.samples.iter().filter(|s| s.free_mb >= mb).count() as f64 / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn week() -> IdleTrace {
+        IdleTrace::generate(IdleTraceConfig::default(), 4)
+    }
+
+    #[test]
+    fn reproduces_figure_1_envelope() {
+        let t = week();
+        assert!((t.total_mb - 800.0).abs() < 1e-9);
+        // "In all times though, more than 300 Mbytes of main memory were
+        // unused."
+        assert!(t.min_free_mb() > 300.0, "min {}", t.min_free_mb());
+        // "for significant periods of time more than 700 Mbytes are
+        // unused, especially during the nights, and the weekend."
+        assert!(t.max_free_mb() > 700.0, "max {}", t.max_free_mb());
+        assert!(
+            t.fraction_at_least(700.0) > 0.3,
+            "nights + weekend exceed 700 MB: {}",
+            t.fraction_at_least(700.0)
+        );
+        // Business-hour dips below 500 MB happen but are a minority.
+        let dips = 1.0 - t.fraction_at_least(500.0);
+        assert!(dips > 0.03 && dips < 0.4, "dips fraction {dips}");
+    }
+
+    #[test]
+    fn weekend_is_idler_than_weekdays() {
+        let t = week();
+        let mean_on = |day: usize| {
+            let lo = day as f64 * 24.0;
+            let hi = lo + 24.0;
+            let vals: Vec<f64> = t
+                .samples
+                .iter()
+                .filter(|s| s.hour >= lo && s.hour < hi)
+                .map(|s| s.free_mb)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let saturday = mean_on(2);
+        let monday = mean_on(4);
+        assert!(
+            saturday > monday + 50.0,
+            "saturday {saturday} vs monday {monday}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_a_seed() {
+        let a = week();
+        let b = week();
+        assert_eq!(a.samples.len(), b.samples.len());
+        assert!(a
+            .samples
+            .iter()
+            .zip(&b.samples)
+            .all(|(x, y)| x.free_mb == y.free_mb));
+    }
+}

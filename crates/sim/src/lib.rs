@@ -1,0 +1,38 @@
+//! Performance models and simulators for the 1996 evaluation.
+//!
+//! The paper measured a DEC-Alpha cluster on 10 Mbit/s Ethernet against a
+//! DEC RZ55 disk. We do not have that hardware; following the paper's own
+//! methodology (Section 4.3 decomposes completion time and scales the
+//! bandwidth-dependent term analytically), this crate turns the *real*
+//! request counts produced by the functional layer into 1996-scale
+//! completion times:
+//!
+//! * [`model`] — the completion-time decomposition
+//!   `etime = utime + systime + inittime + transfers×pptime + btime`
+//!   and its bandwidth extrapolation (Figure 4), plus per-policy transfer
+//!   accounting (Figures 2 and 5).
+//! * [`ethernet`] — a slotted CSMA/CD simulator with binary exponential
+//!   backoff, reproducing the loaded-Ethernet throughput collapse of
+//!   Section 4.6.
+//! * [`idle`] — the weekly idle-DRAM trace generator behind Figure 1.
+//! * [`busy`] — the busy-server contention model of Section 4.5.
+//! * [`des`]/[`pipeline`] — a discrete-event simulation of the whole
+//!   paging pipeline (shared link with background traffic, disk arm,
+//!   protocol processing) that cross-validates the analytic model and
+//!   exposes the queueing effects it cannot capture.
+
+pub mod busy;
+pub mod capacity;
+pub mod des;
+pub mod ethernet;
+pub mod idle;
+pub mod model;
+pub mod pipeline;
+
+pub use busy::BusyServerModel;
+pub use capacity::{simulate_week, CapacityReport};
+pub use des::{EventQueue, FifoResource};
+pub use ethernet::{CsmaCd, EthernetConfig, LoadPoint};
+pub use idle::{IdleTrace, IdleTraceConfig, Sample};
+pub use model::{CompletionModel, PolicyCosts, RunBreakdown};
+pub use pipeline::{ops_from_counts, PipeOp, PipelineConfig, PipelineResult, PipelineSim};

@@ -1,0 +1,322 @@
+//! The completion-time model of Section 4.3.
+
+use rmp_types::{Hw1996, Policy};
+
+/// A completion time decomposed the way the paper decomposes it:
+/// user time, system time, initialization time, protocol-processing time
+/// and bandwidth-dependent blocking time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunBreakdown {
+    /// Useful computation, seconds.
+    pub utime: f64,
+    /// Kernel time, seconds.
+    pub systime: f64,
+    /// Program load/start time, seconds.
+    pub inittime: f64,
+    /// Protocol processing (`transfers x pptime`), seconds.
+    pub pptime: f64,
+    /// Bandwidth-dependent blocking time, seconds.
+    pub btime: f64,
+    /// Local-disk time, seconds.
+    pub dtime: f64,
+}
+
+impl RunBreakdown {
+    /// Total elapsed time, seconds.
+    pub fn etime(&self) -> f64 {
+        self.utime + self.systime + self.inittime + self.pptime + self.btime + self.dtime
+    }
+
+    /// Fraction of the run spent paging (everything but u/sys/init).
+    pub fn paging_fraction(&self) -> f64 {
+        let e = self.etime();
+        if e == 0.0 {
+            return 0.0;
+        }
+        (self.pptime + self.btime + self.dtime) / e
+    }
+}
+
+/// Per-policy transfer accounting for a run with known pagein/pageout
+/// counts — the inputs to the Figure 2 and Figure 5 bars.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyCosts {
+    /// Pageins the kernel issued.
+    pub pageins: u64,
+    /// Pageouts the kernel issued.
+    pub pageouts: u64,
+    /// Data servers (`S`).
+    pub servers: usize,
+}
+
+impl PolicyCosts {
+    /// Network page transfers the policy performs for this run.
+    pub fn net_transfers(&self, policy: Policy) -> f64 {
+        match policy {
+            Policy::DiskOnly => 0.0,
+            _ => {
+                self.pageins as f64
+                    + self.pageouts as f64 * policy.transfers_per_pageout(self.servers)
+            }
+        }
+    }
+
+    /// Local-disk page operations the policy performs.
+    pub fn disk_ops(&self, policy: Policy) -> f64 {
+        match policy {
+            Policy::DiskOnly => (self.pageins + self.pageouts) as f64,
+            Policy::WriteThrough => self.pageouts as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Completion-time model parameterized by the 1996 hardware constants.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_sim::{CompletionModel, PolicyCosts};
+/// use rmp_types::Policy;
+///
+/// let model = CompletionModel::paper();
+/// let costs = PolicyCosts { pageins: 2055, pageouts: 2718, servers: 4 };
+/// let run = model.run(69.481, costs, Policy::ParityLogging);
+/// // The paper's FFT 24 MB case study: ~130.8 s elapsed on the Ethernet.
+/// assert!((run.etime() - 130.76).abs() < 0.5);
+/// // Ten times the bandwidth cuts it to ~83.5 s.
+/// let fast = model.extrapolate(run, 10.0);
+/// assert!((fast.etime() - 83.46).abs() < 0.5);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct CompletionModel {
+    /// Hardware/timing parameters.
+    pub hw: Hw1996,
+}
+
+impl CompletionModel {
+    /// Model over the paper's testbed constants.
+    pub fn paper() -> Self {
+        CompletionModel {
+            hw: Hw1996::default(),
+        }
+    }
+
+    /// Effective per-page cost of sequential, large-chunk disk writes
+    /// (write-through's disk half): no seeks, half-rotation plus
+    /// transfer. Section 4.7: "the effective disk bandwidth is close to
+    /// 10 Mbps, since there are no head movements for reads and writes
+    /// are performed in large chunks".
+    pub fn disk_sequential_ms(&self) -> f64 {
+        self.hw.disk_avg_rotation_ms + self.hw.raw_disk_transfer_ms()
+    }
+
+    /// Completion time of a run under `policy`.
+    ///
+    /// `utime` covers user+system+init (seconds); the network terms come
+    /// from the transfer counts, the disk term from the policy's disk
+    /// traffic. For write-through the network transfer and the disk write
+    /// proceed in parallel, so each pageout costs the maximum of the two.
+    pub fn run(&self, utime: f64, costs: PolicyCosts, policy: Policy) -> RunBreakdown {
+        let net_ms = self.hw.net_ms_per_page();
+        let mut breakdown = RunBreakdown {
+            utime,
+            ..RunBreakdown::default()
+        };
+        match policy {
+            Policy::DiskOnly => {
+                breakdown.dtime = (self.hw.disk_ms_per_page * costs.disk_ops(policy)) / 1000.0;
+            }
+            Policy::WriteThrough => {
+                // Reads come from remote memory; every write goes to the
+                // network and the disk in parallel, so the slower stream
+                // bounds the paging time, plus a small interference term
+                // (bus and driver contention between the two streams).
+                let net_s = costs.net_transfers(policy) * net_ms / 1000.0;
+                let disk_s = costs.pageouts as f64 * self.disk_sequential_ms() / 1000.0;
+                let paging = net_s.max(disk_s) + 0.05 * net_s.min(disk_s);
+                breakdown.pptime = costs.net_transfers(policy) * self.hw.pptime_ms / 1000.0;
+                breakdown.btime = (paging - breakdown.pptime).max(0.0);
+            }
+            _ => {
+                let transfers = costs.net_transfers(policy);
+                breakdown.pptime = transfers * self.hw.pptime_ms / 1000.0;
+                breakdown.btime = transfers * self.hw.wire_ms_per_page / 1000.0;
+            }
+        }
+        breakdown
+    }
+
+    /// The Figure 4 extrapolation: given a measured breakdown on the
+    /// Ethernet, predict elapsed time on a network with `factor` times the
+    /// bandwidth. Protocol time is bandwidth-independent; blocking time
+    /// shrinks by the factor.
+    pub fn extrapolate(&self, measured: RunBreakdown, factor: f64) -> RunBreakdown {
+        RunBreakdown {
+            btime: measured.btime / factor,
+            ..measured
+        }
+    }
+
+    /// The ALL MEMORY prediction: enough local memory for the whole
+    /// working set, so paging vanishes.
+    pub fn all_memory(&self, measured: RunBreakdown) -> RunBreakdown {
+        RunBreakdown {
+            pptime: 0.0,
+            btime: 0.0,
+            dtime: 0.0,
+            ..measured
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's FFT 24 MB case study, Section 4.3: measured elapsed
+    /// 130.76 s = 66.138 user + 3.133 system + 0.21 init + 61.279 page
+    /// transfer; 2718 pageouts and 2055 pageins over 4+1 servers give
+    /// 3397 + 2055 = 5452 transfers; protocol = 5452 x 1.6 ms = 8.723 s;
+    /// blocking = 52.556 s; at 10x bandwidth the total becomes 83.459 s
+    /// with paging under 17 %.
+    #[test]
+    fn fft_24mb_case_study_matches_paper() {
+        let model = CompletionModel::paper();
+        let transfers: f64 = 5452.0;
+        let pptime = transfers * 1.6 / 1000.0;
+        assert!((pptime - 8.7232).abs() < 1e-9);
+        let measured = RunBreakdown {
+            utime: 66.138,
+            systime: 3.133,
+            inittime: 0.21,
+            pptime,
+            btime: 61.279 - pptime,
+            dtime: 0.0,
+        };
+        assert!((measured.etime() - 130.76).abs() < 1e-6);
+        let fast = model.extrapolate(measured, 10.0);
+        assert!(
+            (fast.etime() - 83.459).abs() < 0.01,
+            "expected 83.459, got {}",
+            fast.etime()
+        );
+        assert!(
+            fast.paging_fraction() < 0.17,
+            "paging fraction {} should be < 17 %",
+            fast.paging_fraction()
+        );
+        let all_mem = model.all_memory(measured);
+        assert!((all_mem.etime() - 69.481).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parity_logging_transfers_match_section_43() {
+        // "Since 4 servers were used plus a parity server the number of
+        // page transfers was equal to 3397 + 2055 = 5452."
+        let costs = PolicyCosts {
+            pageins: 2055,
+            pageouts: 2718,
+            servers: 4,
+        };
+        let t = costs.net_transfers(Policy::ParityLogging);
+        // 2718 * 1.25 = 3397.5 ~ paper's 3397 (they round down).
+        assert!((t - (2055.0 + 3397.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_ordering_on_a_balanced_run() {
+        let model = CompletionModel::paper();
+        let costs = PolicyCosts {
+            pageins: 1000,
+            pageouts: 1000,
+            servers: 4,
+        };
+        let t = |p: Policy| model.run(10.0, costs, p).etime();
+        let norel = t(Policy::NoReliability);
+        let pl = t(Policy::ParityLogging);
+        let mir = t(Policy::Mirroring);
+        let disk = t(Policy::DiskOnly);
+        assert!(norel < pl, "no-reliability beats parity logging");
+        assert!(pl < mir, "parity logging beats mirroring");
+        assert!(mir < disk, "even mirroring beats the disk here");
+    }
+
+    #[test]
+    fn mirroring_loses_to_disk_on_pageout_heavy_runs() {
+        // The MVEC effect: many pageouts, almost no pageins.
+        let model = CompletionModel::paper();
+        let costs = PolicyCosts {
+            pageins: 10,
+            pageouts: 2000,
+            servers: 2,
+        };
+        let mir = model.run(5.0, costs, Policy::Mirroring).etime();
+        let disk = model.run(5.0, costs, Policy::DiskOnly).etime();
+        assert!(mir > disk, "2 x 11.24 ms beats 17 ms per pageout never");
+    }
+
+    #[test]
+    fn write_through_beats_parity_logging_at_equal_bandwidth() {
+        // Section 4.7: with disk and network at 10 Mbit/s, write-through
+        // performs better than parity logging, slightly worse than
+        // no-reliability (for read-heavy runs).
+        let model = CompletionModel::paper();
+        let costs = PolicyCosts {
+            pageins: 1500,
+            pageouts: 1000,
+            servers: 4,
+        };
+        let wt = model.run(10.0, costs, Policy::WriteThrough).etime();
+        let pl = model.run(10.0, costs, Policy::ParityLogging).etime();
+        let norel = model.run(10.0, costs, Policy::NoReliability).etime();
+        assert!(wt < pl, "write-through {wt} beats parity logging {pl}");
+        assert!(
+            wt > norel,
+            "write-through {wt} trails no-reliability {norel}"
+        );
+    }
+
+    #[test]
+    fn write_through_pays_the_disk_on_pageout_heavy_runs() {
+        // The MVEC effect in Figure 5: with almost no pageins, the
+        // sequential disk stream (~15 ms/page) bounds write-through while
+        // no-reliability streams at network speed (11.24 ms/page).
+        let model = CompletionModel::paper();
+        let costs = PolicyCosts {
+            pageins: 10,
+            pageouts: 1500,
+            servers: 2,
+        };
+        let wt = model.run(5.0, costs, Policy::WriteThrough).etime();
+        let norel = model.run(5.0, costs, Policy::NoReliability).etime();
+        let ratio = (wt - 5.0) / (norel - 5.0);
+        assert!(
+            ratio > 1.25 && ratio < 1.5,
+            "paging-time ratio {ratio} should echo the paper's ~1.3x"
+        );
+    }
+
+    #[test]
+    fn write_through_loses_on_fast_networks() {
+        // Section 4.7's conclusion: on a high-bandwidth network the disk
+        // becomes write-through's bottleneck.
+        let mut model = CompletionModel::paper();
+        model.hw = model.hw.scale_network(10.0);
+        let costs = PolicyCosts {
+            pageins: 1000,
+            pageouts: 1000,
+            servers: 4,
+        };
+        let wt = model.run(10.0, costs, Policy::WriteThrough).etime();
+        let pl = model.run(10.0, costs, Policy::ParityLogging).etime();
+        assert!(pl < wt, "parity logging {pl} wins at 100 Mbit/s vs {wt}");
+    }
+
+    #[test]
+    fn sequential_disk_write_cost_is_near_15_ms() {
+        let model = CompletionModel::paper();
+        let ms = model.disk_sequential_ms();
+        assert!(ms > 14.0 && ms < 16.0, "got {ms}");
+    }
+}

@@ -1,0 +1,405 @@
+//! Discrete-event simulation of the whole paging pipeline.
+//!
+//! The analytic model in [`crate::model`] multiplies counts by constants;
+//! this simulator instead *executes* a request stream against queueing
+//! resources — the shared Ethernet link (with competing background
+//! traffic), the swap disk arm, and the client's protocol processing —
+//! using the event core in [`crate::des`]. The two agree on an unloaded
+//! network (a property test pins this) and diverge exactly where queueing
+//! matters: background traffic, write-through's parallel disk stream, and
+//! bursts.
+//!
+//! The client is synchronous, like the paper's pager: the kernel blocks
+//! on each pagein, and the paging daemon issues one request at a time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmp_types::{Hw1996, Policy};
+
+use crate::des::FifoResource;
+
+/// One step of a client's execution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PipeOp {
+    /// Compute for the given milliseconds.
+    Compute(f64),
+    /// Evict a dirty page.
+    PageOut,
+    /// Fault a page in.
+    PageIn,
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Hardware constants.
+    pub hw: Hw1996,
+    /// Reliability policy to simulate.
+    pub policy: Policy,
+    /// Data servers (`S`).
+    pub servers: usize,
+    /// Background offered load on the link, as a fraction of its
+    /// bandwidth (competing stations' traffic, §4.6).
+    pub background_load: f64,
+    /// RNG seed for the background arrival process.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            hw: Hw1996::default(),
+            policy: Policy::ParityLogging,
+            servers: 4,
+            background_load: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineResult {
+    /// Total elapsed time, ms.
+    pub elapsed_ms: f64,
+    /// Time spent computing, ms.
+    pub compute_ms: f64,
+    /// Time the client was blocked on network transfers, ms.
+    pub net_wait_ms: f64,
+    /// Time the client was blocked on the disk, ms.
+    pub disk_wait_ms: f64,
+    /// Page transfers performed on the link.
+    pub transfers: u64,
+    /// Link busy fraction over the run (client plus background).
+    pub link_utilization: f64,
+}
+
+/// Background-frame length: a maximum-size Ethernet frame.
+fn background_frame_ms(hw: &Hw1996) -> f64 {
+    1518.0 * 8.0 / hw.network_bps * 1000.0
+}
+
+/// The pipeline simulator.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_sim::{ops_from_counts, PipelineConfig, PipelineSim};
+///
+/// let ops = ops_from_counts(1000, 1000, 10_000.0);
+/// let sim = PipelineSim::new(PipelineConfig::default());
+/// let result = sim.run(&ops);
+/// // 2000 transfers for pageins+pageouts plus 250 parity transfers.
+/// assert_eq!(result.transfers, 2250);
+/// assert!(result.elapsed_ms > 10_000.0);
+/// ```
+pub struct PipelineSim {
+    config: PipelineConfig,
+}
+
+impl PipelineSim {
+    /// Creates a simulator.
+    pub fn new(config: PipelineConfig) -> Self {
+        PipelineSim { config }
+    }
+
+    /// Executes `ops` and returns the timing outcome.
+    pub fn run(&self, ops: &[PipeOp]) -> PipelineResult {
+        let hw = &self.config.hw;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut link = FifoResource::new();
+        let mut disk = FifoResource::new();
+        let mut result = PipelineResult::default();
+        let mut now: f64 = 0.0;
+        let mut pageouts_seen: u64 = 0;
+
+        // Background traffic: Poisson arrivals of frame-sized jobs.
+        let frame_ms = background_frame_ms(hw);
+        let bg_rate = self.config.background_load / frame_ms; // arrivals per ms
+        let mut bg_next = if bg_rate > 0.0 {
+            sample_exp(&mut rng, bg_rate)
+        } else {
+            f64::INFINITY
+        };
+        let mut inject_background = |link: &mut FifoResource, upto: f64, rng: &mut StdRng| {
+            while bg_next < upto {
+                link.serve(bg_next, frame_ms);
+                bg_next += sample_exp(rng, bg_rate);
+            }
+        };
+
+        // One synchronous page transfer: protocol processing on the
+        // client, then the wire (shared with background traffic).
+        let transfer =
+            |now: f64,
+             link: &mut FifoResource,
+             rng: &mut StdRng,
+             inject: &mut dyn FnMut(&mut FifoResource, f64, &mut StdRng)| {
+                inject(link, now, rng);
+                let wire_done = link.serve(now, hw.wire_ms_per_page);
+                wire_done + hw.pptime_ms
+            };
+
+        for &op in ops {
+            match op {
+                PipeOp::Compute(ms) => {
+                    result.compute_ms += ms;
+                    now += ms;
+                }
+                PipeOp::PageIn => {
+                    let start = now;
+                    now = match self.config.policy {
+                        Policy::DiskOnly => {
+                            let done = disk.serve(now, hw.disk_ms_per_page);
+                            result.disk_wait_ms += done - start;
+                            done
+                        }
+                        _ => {
+                            let done = transfer(now, &mut link, &mut rng, &mut inject_background);
+                            result.transfers += 1;
+                            result.net_wait_ms += done - start;
+                            done
+                        }
+                    };
+                }
+                PipeOp::PageOut => {
+                    pageouts_seen += 1;
+                    let start = now;
+                    now = match self.config.policy {
+                        Policy::DiskOnly => {
+                            let done = disk.serve(now, hw.disk_ms_per_page);
+                            result.disk_wait_ms += done - start;
+                            done
+                        }
+                        Policy::NoReliability => {
+                            let done = transfer(now, &mut link, &mut rng, &mut inject_background);
+                            result.transfers += 1;
+                            result.net_wait_ms += done - start;
+                            done
+                        }
+                        Policy::Mirroring | Policy::BasicParity => {
+                            // Two page transfers, serialized on the one
+                            // shared link (primary+mirror, or page+delta).
+                            let mid = transfer(now, &mut link, &mut rng, &mut inject_background);
+                            let done = transfer(mid, &mut link, &mut rng, &mut inject_background);
+                            result.transfers += 2;
+                            result.net_wait_ms += done - start;
+                            done
+                        }
+                        Policy::ParityLogging => {
+                            let mut done =
+                                transfer(now, &mut link, &mut rng, &mut inject_background);
+                            result.transfers += 1;
+                            if pageouts_seen.is_multiple_of(self.config.servers as u64) {
+                                // Group sealed: ship the parity buffer.
+                                done = transfer(done, &mut link, &mut rng, &mut inject_background);
+                                result.transfers += 1;
+                            }
+                            result.net_wait_ms += done - start;
+                            done
+                        }
+                        Policy::WriteThrough => {
+                            // The network copy and the disk write proceed
+                            // in parallel; the client resumes at the later
+                            // completion. Sequential writes pay rotation
+                            // plus transfer on the disk.
+                            let net_done =
+                                transfer(now, &mut link, &mut rng, &mut inject_background);
+                            let disk_done = disk
+                                .serve(now, hw.disk_avg_rotation_ms + hw.raw_disk_transfer_ms());
+                            result.transfers += 1;
+                            let done = net_done.max(disk_done);
+                            result.net_wait_ms += net_done - start;
+                            result.disk_wait_ms += (disk_done - net_done).max(0.0);
+                            done
+                        }
+                    };
+                }
+            }
+        }
+        result.elapsed_ms = now;
+        result.link_utilization = if now > 0.0 { link.busy_ms() / now } else { 0.0 };
+        result
+    }
+}
+
+fn sample_exp(rng: &mut StdRng, rate_per_ms: f64) -> f64 {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -u.ln() / rate_per_ms
+}
+
+/// Builds a canonical op stream from fault counts: pageins and pageouts
+/// interleaved evenly with the compute time spread between them — the
+/// same inputs the analytic model takes, so the two can be compared.
+pub fn ops_from_counts(pageins: u64, pageouts: u64, compute_ms_total: f64) -> Vec<PipeOp> {
+    let events = pageins + pageouts;
+    if events == 0 {
+        return vec![PipeOp::Compute(compute_ms_total)];
+    }
+    let gap = compute_ms_total / events as f64;
+    let mut ops = Vec::with_capacity(events as usize * 2);
+    // Interleave proportionally (Bresenham-style).
+    let (mut ins, mut outs) = (0u64, 0u64);
+    for i in 0..events {
+        ops.push(PipeOp::Compute(gap));
+        // Choose whichever stream is furthest behind its share.
+        let in_due = (i + 1) * pageins / events;
+        if ins < in_due {
+            ops.push(PipeOp::PageIn);
+            ins += 1;
+        } else {
+            ops.push(PipeOp::PageOut);
+            outs += 1;
+        }
+    }
+    debug_assert_eq!(ins + outs, events);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CompletionModel, PolicyCosts};
+
+    fn counts() -> (u64, u64, f64) {
+        (1000, 1000, 10_000.0)
+    }
+
+    #[test]
+    fn unloaded_des_matches_analytic_model() {
+        let (pi, po, compute) = counts();
+        let ops = ops_from_counts(pi, po, compute);
+        for policy in [
+            Policy::NoReliability,
+            Policy::Mirroring,
+            Policy::ParityLogging,
+            Policy::DiskOnly,
+        ] {
+            let sim = PipelineSim::new(PipelineConfig {
+                policy,
+                ..PipelineConfig::default()
+            });
+            let des = sim.run(&ops);
+            let analytic = CompletionModel::paper()
+                .run(
+                    compute / 1000.0,
+                    PolicyCosts {
+                        pageins: pi,
+                        pageouts: po,
+                        servers: 4,
+                    },
+                    policy,
+                )
+                .etime()
+                * 1000.0;
+            let ratio = des.elapsed_ms / analytic;
+            assert!(
+                (0.98..1.02).contains(&ratio),
+                "{policy}: DES {} vs analytic {analytic} (ratio {ratio})",
+                des.elapsed_ms
+            );
+        }
+    }
+
+    #[test]
+    fn background_load_slows_paging_monotonically() {
+        let (pi, po, compute) = counts();
+        let ops = ops_from_counts(pi, po, compute);
+        let mut prev = 0.0;
+        for load in [0.0, 0.2, 0.4, 0.6] {
+            let sim = PipelineSim::new(PipelineConfig {
+                background_load: load,
+                ..PipelineConfig::default()
+            });
+            let r = sim.run(&ops);
+            assert!(
+                r.elapsed_ms > prev,
+                "load {load}: {} not above {prev}",
+                r.elapsed_ms
+            );
+            prev = r.elapsed_ms;
+        }
+    }
+
+    #[test]
+    fn mirroring_doubles_network_wait() {
+        let ops = ops_from_counts(0, 1000, 1000.0);
+        let run = |policy| {
+            PipelineSim::new(PipelineConfig {
+                policy,
+                ..PipelineConfig::default()
+            })
+            .run(&ops)
+        };
+        let norel = run(Policy::NoReliability);
+        let mirror = run(Policy::Mirroring);
+        let ratio = mirror.net_wait_ms / norel.net_wait_ms;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn write_through_disk_bottleneck_appears_on_fast_networks() {
+        let ops = ops_from_counts(100, 2000, 1000.0);
+        let run = |factor: f64, policy| {
+            let mut config = PipelineConfig {
+                policy,
+                ..PipelineConfig::default()
+            };
+            config.hw = config.hw.scale_network(factor);
+            PipelineSim::new(config).run(&ops)
+        };
+        // At 1x write-through and parity logging are close; at 10x the
+        // disk caps write-through while parity logging keeps scaling.
+        let wt_fast = run(10.0, Policy::WriteThrough);
+        let pl_fast = run(10.0, Policy::ParityLogging);
+        assert!(
+            wt_fast.elapsed_ms > pl_fast.elapsed_ms * 1.5,
+            "wt {} vs pl {}",
+            wt_fast.elapsed_ms,
+            pl_fast.elapsed_ms
+        );
+        assert!(wt_fast.disk_wait_ms > 0.0, "the disk became the bottleneck");
+    }
+
+    #[test]
+    fn deterministic_under_a_seed() {
+        let ops = ops_from_counts(500, 500, 5000.0);
+        let run = || {
+            PipelineSim::new(PipelineConfig {
+                background_load: 0.5,
+                ..PipelineConfig::default()
+            })
+            .run(&ops)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.elapsed_ms, b.elapsed_ms);
+        assert_eq!(a.transfers, b.transfers);
+    }
+
+    #[test]
+    fn ops_from_counts_interleaves_proportionally() {
+        let ops = ops_from_counts(2, 6, 80.0);
+        let ins = ops.iter().filter(|o| **o == PipeOp::PageIn).count();
+        let outs = ops.iter().filter(|o| **o == PipeOp::PageOut).count();
+        assert_eq!(ins, 2);
+        assert_eq!(outs, 6);
+        let compute: f64 = ops
+            .iter()
+            .map(|o| match o {
+                PipeOp::Compute(ms) => *ms,
+                _ => 0.0,
+            })
+            .sum();
+        assert!((compute - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_pure_compute() {
+        let ops = ops_from_counts(0, 0, 123.0);
+        let r = PipelineSim::new(PipelineConfig::default()).run(&ops);
+        assert_eq!(r.elapsed_ms, 123.0);
+        assert_eq!(r.transfers, 0);
+        assert_eq!(r.net_wait_ms, 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Pager configuration.
+
+use crate::error::{Result, RmpError};
+use crate::policy::Policy;
+
+/// Configuration of the remote memory pager client.
+///
+/// Mirrors the knobs the paper describes: the reliability policy, the number
+/// of data servers (`S` in Section 2.2), the overflow-memory fraction each
+/// server devotes to parity logging (10 % in the paper's experiments), and
+/// whether a local-disk fallback exists.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_types::{PagerConfig, Policy};
+///
+/// let cfg = PagerConfig::new(Policy::ParityLogging)
+///     .with_servers(4)
+///     .with_overflow_fraction(0.10);
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PagerConfig {
+    /// Reliability policy in force.
+    pub policy: Policy,
+    /// Number of data servers used for striping (`S`).
+    pub servers: usize,
+    /// Extra memory fraction each server devotes to parity-logging overflow.
+    pub overflow_fraction: f64,
+    /// Whether the client may fall back to the local disk when the cluster
+    /// is full (Section 2.1).
+    pub disk_fallback: bool,
+    /// Parity group size; defaults to `servers` as in the paper (one page
+    /// per server per group).
+    pub group_size: usize,
+    /// Adaptive network-load switching threshold, ms per request
+    /// (Section 5, "Network load"); `None` disables the adaptive switch.
+    pub adaptive_threshold_ms: Option<f64>,
+}
+
+impl PagerConfig {
+    /// Creates a configuration for `policy` with the paper's defaults:
+    /// two servers for plain policies, 4 + 1 with 10 % overflow for parity
+    /// logging.
+    pub fn new(policy: Policy) -> Self {
+        let servers = match policy {
+            Policy::ParityLogging | Policy::BasicParity => 4,
+            _ => 2,
+        };
+        PagerConfig {
+            policy,
+            servers,
+            overflow_fraction: 0.10,
+            disk_fallback: true,
+            group_size: servers,
+            adaptive_threshold_ms: None,
+        }
+    }
+
+    /// Sets the number of data servers (and resets the parity group size to
+    /// match, the paper's arrangement).
+    pub fn with_servers(mut self, servers: usize) -> Self {
+        self.servers = servers;
+        self.group_size = servers;
+        self
+    }
+
+    /// Sets the parity-logging overflow fraction.
+    pub fn with_overflow_fraction(mut self, f: f64) -> Self {
+        self.overflow_fraction = f;
+        self
+    }
+
+    /// Enables or disables the local-disk fallback.
+    pub fn with_disk_fallback(mut self, enabled: bool) -> Self {
+        self.disk_fallback = enabled;
+        self
+    }
+
+    /// Sets an explicit parity group size (pages per group).
+    pub fn with_group_size(mut self, size: usize) -> Self {
+        self.group_size = size;
+        self
+    }
+
+    /// Enables adaptive switching to the local disk when the average
+    /// network service time exceeds `ms`.
+    pub fn with_adaptive_threshold_ms(mut self, ms: f64) -> Self {
+        self.adaptive_threshold_ms = Some(ms);
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmpError::Config`] when the combination of policy and
+    /// parameters cannot work (zero servers for a remote policy, mirroring
+    /// with a single server, out-of-range overflow fraction, ...).
+    pub fn validate(&self) -> Result<()> {
+        if self.policy != Policy::DiskOnly && self.servers == 0 {
+            return Err(RmpError::Config(
+                "remote policies need at least one server".into(),
+            ));
+        }
+        if self.policy == Policy::Mirroring && self.servers < 2 {
+            return Err(RmpError::Config(
+                "mirroring needs at least two servers".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.overflow_fraction) {
+            return Err(RmpError::Config(format!(
+                "overflow fraction {} outside [0, 1]",
+                self.overflow_fraction
+            )));
+        }
+        if matches!(self.policy, Policy::ParityLogging | Policy::BasicParity)
+            && self.group_size == 0
+        {
+            return Err(RmpError::Config(
+                "parity group size must be positive".into(),
+            ));
+        }
+        if let Some(ms) = self.adaptive_threshold_ms {
+            if !ms.is_finite() || ms <= 0.0 {
+                return Err(RmpError::Config(format!(
+                    "adaptive threshold {ms} must be positive and finite"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PagerConfig {
+    fn default() -> Self {
+        PagerConfig::new(Policy::ParityLogging)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = PagerConfig::default();
+        assert_eq!(cfg.policy, Policy::ParityLogging);
+        assert_eq!(cfg.servers, 4);
+        assert!((cfg.overflow_fraction - 0.10).abs() < 1e-12);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn no_reliability_defaults_to_two_servers() {
+        // The Figure 2 experiment ran no-reliability with two servers.
+        let cfg = PagerConfig::new(Policy::NoReliability);
+        assert_eq!(cfg.servers, 2);
+    }
+
+    #[test]
+    fn rejects_zero_servers_for_remote_policies() {
+        let cfg = PagerConfig::new(Policy::NoReliability).with_servers(0);
+        assert!(cfg.validate().is_err());
+        let disk = PagerConfig::new(Policy::DiskOnly).with_servers(0);
+        assert!(disk.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_single_server_mirroring() {
+        let cfg = PagerConfig::new(Policy::Mirroring).with_servers(1);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_overflow_fraction() {
+        assert!(PagerConfig::default()
+            .with_overflow_fraction(1.5)
+            .validate()
+            .is_err());
+        assert!(PagerConfig::default()
+            .with_overflow_fraction(-0.1)
+            .validate()
+            .is_err());
+        assert!(PagerConfig::default()
+            .with_overflow_fraction(0.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_adaptive_threshold() {
+        assert!(PagerConfig::default()
+            .with_adaptive_threshold_ms(0.0)
+            .validate()
+            .is_err());
+        assert!(PagerConfig::default()
+            .with_adaptive_threshold_ms(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(PagerConfig::default()
+            .with_adaptive_threshold_ms(25.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn with_servers_resets_group_size() {
+        let cfg = PagerConfig::new(Policy::ParityLogging).with_servers(8);
+        assert_eq!(cfg.group_size, 8);
+    }
+}

@@ -1,0 +1,123 @@
+//! Error handling for the pager.
+
+use std::fmt;
+use std::io;
+
+use crate::ids::{PageId, ServerId};
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, RmpError>;
+
+/// Errors produced by the remote memory pager and its substrates.
+#[derive(Debug)]
+pub enum RmpError {
+    /// An underlying I/O operation failed (socket or local disk).
+    Io(io::Error),
+    /// A wire-protocol frame was malformed or unexpected.
+    Protocol(String),
+    /// A server denied a swap-space allocation request (out of memory).
+    NoSpace(ServerId),
+    /// No registered server can accept more pages and no disk fallback is
+    /// configured.
+    ClusterFull,
+    /// The requested page is not stored anywhere the pager knows about.
+    PageNotFound(PageId),
+    /// A server connection failed or the server crashed mid-operation.
+    ServerCrashed(ServerId),
+    /// Page contents failed an integrity check after recovery.
+    Corrupt(PageId),
+    /// Recovery was attempted but cannot complete (e.g. two servers of a
+    /// mirror pair are down, or a parity group lost two members).
+    Unrecoverable(String),
+    /// The pager was configured inconsistently.
+    Config(String),
+    /// The operation is not supported by the selected policy or device.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for RmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmpError::Io(e) => write!(f, "i/o error: {e}"),
+            RmpError::Protocol(m) => write!(f, "protocol error: {m}"),
+            RmpError::NoSpace(s) => write!(f, "server {s} denied swap allocation"),
+            RmpError::ClusterFull => write!(f, "no server has free memory and no disk fallback"),
+            RmpError::PageNotFound(p) => write!(f, "page {p} not found"),
+            RmpError::ServerCrashed(s) => write!(f, "server {s} crashed"),
+            RmpError::Corrupt(p) => write!(f, "page {p} failed integrity check"),
+            RmpError::Unrecoverable(m) => write!(f, "unrecoverable: {m}"),
+            RmpError::Config(m) => write!(f, "configuration error: {m}"),
+            RmpError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RmpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RmpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RmpError {
+    fn from(e: io::Error) -> Self {
+        RmpError::Io(e)
+    }
+}
+
+impl RmpError {
+    /// Returns `true` when the error indicates a crashed or unreachable
+    /// server, i.e. the condition the reliability policies recover from.
+    pub fn is_server_failure(&self) -> bool {
+        match self {
+            RmpError::ServerCrashed(_) => true,
+            RmpError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RmpError::NoSpace(ServerId(2));
+        assert!(e.to_string().contains("srv2"));
+        let e = RmpError::PageNotFound(PageId(7));
+        assert!(e.to_string().contains("pg7"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: RmpError = io::Error::new(io::ErrorKind::BrokenPipe, "gone").into();
+        assert!(matches!(e, RmpError::Io(_)));
+        assert!(e.is_server_failure());
+    }
+
+    #[test]
+    fn server_crash_is_server_failure() {
+        assert!(RmpError::ServerCrashed(ServerId(0)).is_server_failure());
+        assert!(!RmpError::ClusterFull.is_server_failure());
+        assert!(!RmpError::Corrupt(PageId(1)).is_server_failure());
+    }
+
+    #[test]
+    fn source_chains_io_errors() {
+        use std::error::Error;
+        let e: RmpError = io::Error::other("x").into();
+        assert!(e.source().is_some());
+        assert!(RmpError::ClusterFull.source().is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! Identifier newtypes used across the pager.
+
+use std::fmt;
+
+/// Identifies a page (swap block) within a client's swap space.
+///
+/// The DEC OSF/1 kernel addresses the paging device by block number; our
+/// `PageId` plays the same role: it is the stable name under which a page is
+/// paged out and later paged back in, regardless of which server currently
+/// stores it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub u64);
+
+/// Identifies a remote memory server registered in the cluster directory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ServerId(pub u32);
+
+/// Identifies a client of the remote memory service.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u32);
+
+/// Identifies a parity group in the parity-logging policy.
+///
+/// Groups are created in monotonically increasing order as the client logs
+/// pageouts, so `GroupId` doubles as a logical timestamp: a higher id means
+/// the group was sealed later.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GroupId(pub u64);
+
+/// The key under which a blob is stored on a remote memory server.
+///
+/// Servers store opaque pages under `StoreKey`s and do not know whether a
+/// key holds a data page, an old (inactive) version of a data page, or a
+/// parity page — the paper's "a parity server is by no means different than
+/// a memory server". The parity-logging policy stores many *versions* of
+/// the same logical [`PageId`] simultaneously (old versions stay until
+/// their parity group is reclaimed), so each version gets a fresh key.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StoreKey(pub u64);
+
+macro_rules! impl_id_fmt {
+    ($t:ident, $prefix:literal) => {
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id_fmt!(PageId, "pg");
+impl_id_fmt!(ServerId, "srv");
+impl_id_fmt!(ClientId, "cli");
+impl_id_fmt!(GroupId, "grp");
+impl_id_fmt!(StoreKey, "key");
+
+impl PageId {
+    /// Returns the next sequential page id.
+    pub fn next(self) -> PageId {
+        PageId(self.0 + 1)
+    }
+}
+
+impl GroupId {
+    /// Returns the next sequential group id.
+    pub fn next(self) -> GroupId {
+        GroupId(self.0 + 1)
+    }
+}
+
+impl StoreKey {
+    /// Returns the next sequential store key.
+    pub fn next(self) -> StoreKey {
+        StoreKey(self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(PageId(3).to_string(), "pg3");
+        assert_eq!(ServerId(1).to_string(), "srv1");
+        assert_eq!(ClientId(9).to_string(), "cli9");
+        assert_eq!(GroupId(0).to_string(), "grp0");
+    }
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(PageId(0).next(), PageId(1));
+        assert_eq!(GroupId(41).next(), GroupId(42));
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(PageId(1) < PageId(2));
+        assert!(GroupId(10) > GroupId(9));
+    }
+}

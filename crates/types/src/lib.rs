@@ -1,0 +1,26 @@
+//! Shared types for the Reliable Remote Memory Pager (RMP).
+//!
+//! This crate defines the vocabulary used by every other crate in the
+//! workspace: pages and page identifiers, server identifiers, reliability
+//! policies, error types, transfer statistics, and the 1996-era hardware
+//! constants (DEC RZ55 disk, 10 Mbit/s Ethernet, DEC-Alpha 3000/300) used by
+//! the performance models that regenerate the paper's figures.
+//!
+//! The paper reproduced is *"Implementation of a Reliable Remote Memory
+//! Pager"*, Markatos & Dramitinos, USENIX Technical Conference 1996.
+
+pub mod config;
+pub mod error;
+pub mod hw;
+pub mod ids;
+pub mod page;
+pub mod policy;
+pub mod stats;
+
+pub use config::PagerConfig;
+pub use error::{Result, RmpError};
+pub use hw::Hw1996;
+pub use ids::{ClientId, GroupId, PageId, ServerId, StoreKey};
+pub use page::{Page, PAGE_SIZE};
+pub use policy::Policy;
+pub use stats::TransferStats;

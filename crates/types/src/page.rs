@@ -1,0 +1,217 @@
+//! Fixed-size memory pages.
+//!
+//! The paper's pager moves 8 KB DEC OSF/1 pages; every transfer, parity
+//! computation and store operation in this workspace operates on [`Page`]
+//! values of exactly [`PAGE_SIZE`] bytes.
+
+use std::fmt;
+
+/// Size of an operating-system page in bytes (8 KB on DEC OSF/1 Alpha).
+pub const PAGE_SIZE: usize = 8192;
+
+/// An owned, heap-allocated page of exactly [`PAGE_SIZE`] bytes.
+///
+/// `Page` is the unit of every pager operation: pageouts ship a `Page` to a
+/// remote memory server, pageins retrieve one, and the parity policies XOR
+/// pages together to build redundancy. The buffer is boxed so that moving a
+/// `Page` is cheap and collections of pages do not blow the stack.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_types::Page;
+///
+/// let mut a = Page::zeroed();
+/// a.as_mut()[0] = 0xAB;
+/// let b = Page::filled(0xAB);
+/// let mut x = a.clone();
+/// x.xor_with(&b);
+/// assert_eq!(x.as_ref()[0], 0); // 0xAB ^ 0xAB
+/// assert_eq!(x.as_ref()[1], 0xAB); // 0 ^ 0xAB
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page {
+    buf: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// Returns a page with every byte set to zero.
+    pub fn zeroed() -> Self {
+        Page {
+            buf: Box::new([0u8; PAGE_SIZE]),
+        }
+    }
+
+    /// Returns a page with every byte set to `byte`.
+    pub fn filled(byte: u8) -> Self {
+        Page {
+            buf: Box::new([byte; PAGE_SIZE]),
+        }
+    }
+
+    /// Builds a page from a full-size slice.
+    ///
+    /// Returns `None` when `bytes` is not exactly [`PAGE_SIZE`] long.
+    pub fn from_slice(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return None;
+        }
+        let mut page = Page::zeroed();
+        page.buf.copy_from_slice(bytes);
+        Some(page)
+    }
+
+    /// Builds a page whose contents are a deterministic function of `seed`.
+    ///
+    /// Used throughout the test suites to create distinguishable pages
+    /// without pulling in a random number generator.
+    pub fn deterministic(seed: u64) -> Self {
+        let mut page = Page::zeroed();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for chunk in page.buf.chunks_mut(8) {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let bytes = state.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        page
+    }
+
+    /// XORs `other` into this page in place.
+    ///
+    /// This is the core primitive of the parity and parity-logging
+    /// reliability policies: a parity page is the XOR of all pages in its
+    /// parity group, and a lost page is reconstructed by XORing the
+    /// survivors with the parity.
+    pub fn xor_with(&mut self, other: &Page) {
+        // Process 8 bytes at a time; the optimizer vectorizes this loop.
+        for (dst, src) in self.buf.chunks_exact_mut(8).zip(other.buf.chunks_exact(8)) {
+            let a = u64::from_ne_bytes(dst.try_into().expect("chunk is 8 bytes"));
+            let b = u64::from_ne_bytes(src.try_into().expect("chunk is 8 bytes"));
+            dst.copy_from_slice(&(a ^ b).to_ne_bytes());
+        }
+    }
+
+    /// Returns `true` when every byte of the page is zero.
+    pub fn is_zero(&self) -> bool {
+        self.buf
+            .chunks_exact(8)
+            .all(|c| u64::from_ne_bytes(c.try_into().expect("chunk is 8 bytes")) == 0)
+    }
+
+    /// Resets every byte of the page to zero.
+    pub fn clear(&mut self) {
+        self.buf.fill(0);
+    }
+
+    /// Returns a 64-bit FNV-1a checksum of the page contents.
+    ///
+    /// Used for end-to-end integrity checks in tests and recovery
+    /// verification; it is not a cryptographic hash.
+    pub fn checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for &b in self.buf.iter() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::zeroed()
+    }
+}
+
+impl AsRef<[u8]> for Page {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf[..]
+    }
+}
+
+impl AsMut<[u8]> for Page {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[..]
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Page {{ checksum: {:#018x}, zero: {} }}",
+            self.checksum(),
+            self.is_zero()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero() {
+        assert!(Page::zeroed().is_zero());
+        assert!(!Page::filled(1).is_zero());
+    }
+
+    #[test]
+    fn from_slice_requires_exact_size() {
+        assert!(Page::from_slice(&[0u8; PAGE_SIZE]).is_some());
+        assert!(Page::from_slice(&[0u8; PAGE_SIZE - 1]).is_none());
+        assert!(Page::from_slice(&[0u8; PAGE_SIZE + 1]).is_none());
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let a = Page::deterministic(1);
+        let b = Page::deterministic(2);
+        let mut x = a.clone();
+        x.xor_with(&b);
+        assert_ne!(x, a);
+        x.xor_with(&b);
+        assert_eq!(x, a);
+    }
+
+    #[test]
+    fn xor_with_self_is_zero() {
+        let a = Page::deterministic(42);
+        let mut x = a.clone();
+        x.xor_with(&a);
+        assert!(x.is_zero());
+    }
+
+    #[test]
+    fn deterministic_pages_differ_by_seed() {
+        assert_ne!(Page::deterministic(1), Page::deterministic(2));
+        assert_eq!(Page::deterministic(7), Page::deterministic(7));
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let a = Page::deterministic(5);
+        let mut b = a.clone();
+        assert_eq!(a.checksum(), b.checksum());
+        b.as_mut()[100] ^= 0xFF;
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let mut a = Page::deterministic(9);
+        a.clear();
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn debug_formatting_is_compact() {
+        let s = format!("{:?}", Page::zeroed());
+        assert!(s.contains("zero: true"));
+    }
+}

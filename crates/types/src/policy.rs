@@ -1,0 +1,178 @@
+//! Reliability policies explored by the paper.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The reliability policy under which the pager operates.
+///
+/// Section 2.2 of the paper designs three redundancy policies (mirroring,
+/// basic parity, parity logging) and evaluates them against a no-reliability
+/// baseline, local-disk paging, and a write-through hybrid (Section 4.7).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Policy {
+    /// Pages live on exactly one remote server; a server crash loses them.
+    NoReliability,
+    /// Every pageout is sent to a primary and a mirror server (2 transfers,
+    /// 2x memory).
+    Mirroring,
+    /// RAID-style parity with fixed groups: the client sends the page to its
+    /// server, which XORs old and new contents and forwards the delta to the
+    /// parity server (2 transfers, 1 + 1/S memory).
+    BasicParity,
+    /// The paper's novel policy: the client XORs pageouts into a local
+    /// parity buffer and ships the buffer to a parity server every S pages
+    /// (1 + 1/S transfers, ~1.1x memory with overflow).
+    ParityLogging,
+    /// Remote memory acts as a write-through cache of the local swap disk:
+    /// reads come from memory, every write also goes to disk (Section 4.7).
+    WriteThrough,
+    /// Traditional local-disk paging; the baseline the paper beats.
+    DiskOnly,
+}
+
+impl Policy {
+    /// All policies, in the order the paper's figures present them.
+    pub const ALL: [Policy; 6] = [
+        Policy::NoReliability,
+        Policy::ParityLogging,
+        Policy::Mirroring,
+        Policy::DiskOnly,
+        Policy::WriteThrough,
+        Policy::BasicParity,
+    ];
+
+    /// Returns `true` when the policy keeps enough redundancy to survive a
+    /// single server crash.
+    pub fn survives_single_crash(self) -> bool {
+        match self {
+            Policy::NoReliability => false,
+            Policy::Mirroring
+            | Policy::BasicParity
+            | Policy::ParityLogging
+            | Policy::WriteThrough => true,
+            // Disk-only paging involves no remote servers at all.
+            Policy::DiskOnly => true,
+        }
+    }
+
+    /// Network page transfers needed per pageout, given `s` data servers.
+    ///
+    /// This is the analytical overhead Section 2.2 derives: 1 for
+    /// no-reliability, 2 for mirroring and basic parity, `1 + 1/s` for
+    /// parity logging, 1 for write-through (the disk write is not a network
+    /// transfer) and 0 for disk-only.
+    pub fn transfers_per_pageout(self, s: usize) -> f64 {
+        match self {
+            Policy::NoReliability | Policy::WriteThrough => 1.0,
+            Policy::Mirroring | Policy::BasicParity => 2.0,
+            Policy::ParityLogging => 1.0 + 1.0 / s as f64,
+            Policy::DiskOnly => 0.0,
+        }
+    }
+
+    /// Remote-memory overhead factor relative to the paged-out data, given
+    /// `s` data servers and the configured `overflow` fraction for parity
+    /// logging (the paper uses 0.10).
+    pub fn memory_overhead(self, s: usize, overflow: f64) -> f64 {
+        match self {
+            Policy::NoReliability | Policy::WriteThrough => 1.0,
+            Policy::Mirroring => 2.0,
+            Policy::BasicParity => 1.0 + 1.0 / s as f64,
+            Policy::ParityLogging => (1.0 + 1.0 / s as f64) * (1.0 + overflow),
+            Policy::DiskOnly => 0.0,
+        }
+    }
+
+    /// Short label used in figure output, matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::NoReliability => "No reliability",
+            Policy::Mirroring => "Mirroring",
+            Policy::BasicParity => "Basic parity",
+            Policy::ParityLogging => "Parity logging",
+            Policy::WriteThrough => "Write through",
+            Policy::DiskOnly => "Disk",
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Policy {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace(['-', '_'], " ").as_str() {
+            "no reliability" | "noreliability" | "none" => Ok(Policy::NoReliability),
+            "mirroring" | "mirror" => Ok(Policy::Mirroring),
+            "basic parity" | "parity" => Ok(Policy::BasicParity),
+            "parity logging" | "paritylogging" | "log" => Ok(Policy::ParityLogging),
+            "write through" | "writethrough" => Ok(Policy::WriteThrough),
+            "disk" | "diskonly" | "disk only" => Ok(Policy::DiskOnly),
+            other => Err(format!("unknown policy: {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_overheads_match_paper() {
+        assert_eq!(Policy::NoReliability.transfers_per_pageout(4), 1.0);
+        assert_eq!(Policy::Mirroring.transfers_per_pageout(4), 2.0);
+        assert_eq!(Policy::BasicParity.transfers_per_pageout(4), 2.0);
+        assert_eq!(Policy::ParityLogging.transfers_per_pageout(4), 1.25);
+        assert_eq!(Policy::DiskOnly.transfers_per_pageout(4), 0.0);
+    }
+
+    #[test]
+    fn memory_overheads_match_paper() {
+        assert_eq!(Policy::Mirroring.memory_overhead(4, 0.1), 2.0);
+        assert_eq!(Policy::BasicParity.memory_overhead(4, 0.1), 1.25);
+        let pl = Policy::ParityLogging.memory_overhead(4, 0.1);
+        assert!((pl - 1.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_survival() {
+        assert!(!Policy::NoReliability.survives_single_crash());
+        assert!(Policy::ParityLogging.survives_single_crash());
+        assert!(Policy::Mirroring.survives_single_crash());
+        assert!(Policy::WriteThrough.survives_single_crash());
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for p in Policy::ALL {
+            let parsed: Policy = p.label().parse().expect("label parses");
+            assert_eq!(parsed, p);
+        }
+        assert!("bogus".parse::<Policy>().is_err());
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(
+            "parity-logging".parse::<Policy>().unwrap(),
+            Policy::ParityLogging
+        );
+        assert_eq!("none".parse::<Policy>().unwrap(), Policy::NoReliability);
+        assert_eq!("disk_only".parse::<Policy>().unwrap(), Policy::DiskOnly);
+    }
+
+    #[test]
+    fn parity_logging_beats_mirroring_on_transfers() {
+        for s in 2..16 {
+            assert!(
+                Policy::ParityLogging.transfers_per_pageout(s)
+                    < Policy::Mirroring.transfers_per_pageout(s)
+            );
+        }
+    }
+}

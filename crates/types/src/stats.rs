@@ -1,0 +1,148 @@
+//! Transfer and fault statistics.
+
+use std::ops::{Add, AddAssign};
+
+/// Counts of pager activity, accumulated per run.
+///
+/// The paper's Figure 4 extrapolation multiplies the number of page
+/// transfers by per-transfer costs; these counters are the inputs to that
+/// model. Every policy engine updates them as it services requests.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_types::TransferStats;
+///
+/// let stats = TransferStats {
+///     pageouts: 4,
+///     net_data_transfers: 4,
+///     net_parity_transfers: 1,
+///     ..TransferStats::default()
+/// };
+/// // Parity logging with S = 4: one parity transfer per 4 pageouts.
+/// assert_eq!(stats.outbound_transfers_per_pageout(), 1.25);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Pagein requests serviced (kernel reads from the paging device).
+    pub pageins: u64,
+    /// Pageout requests serviced (kernel writes to the paging device).
+    pub pageouts: u64,
+    /// Data pages shipped to remote servers (includes mirror copies and
+    /// re-sent pages during migration).
+    pub net_data_transfers: u64,
+    /// Parity pages shipped to the parity server.
+    pub net_parity_transfers: u64,
+    /// Pages fetched from remote servers.
+    pub net_fetches: u64,
+    /// Pages written to the local disk.
+    pub disk_writes: u64,
+    /// Pages read from the local disk.
+    pub disk_reads: u64,
+    /// Parity groups reclaimed because all members became inactive.
+    pub groups_reclaimed: u64,
+    /// Garbage-collection passes executed.
+    pub gc_passes: u64,
+    /// Pages migrated between servers in response to load advisories.
+    pub migrations: u64,
+}
+
+impl TransferStats {
+    /// Total network page transfers in either direction — the quantity the
+    /// Figure 4 formula multiplies by `pptime`.
+    pub fn total_net_transfers(&self) -> u64 {
+        self.net_data_transfers + self.net_parity_transfers + self.net_fetches
+    }
+
+    /// Total local disk operations.
+    pub fn total_disk_ops(&self) -> u64 {
+        self.disk_reads + self.disk_writes
+    }
+
+    /// Network transfers per pageout, the policy-overhead metric of
+    /// Section 2.2. Returns 0 when no pageouts occurred.
+    pub fn outbound_transfers_per_pageout(&self) -> f64 {
+        if self.pageouts == 0 {
+            return 0.0;
+        }
+        (self.net_data_transfers + self.net_parity_transfers) as f64 / self.pageouts as f64
+    }
+}
+
+impl Add for TransferStats {
+    type Output = TransferStats;
+
+    fn add(mut self, rhs: TransferStats) -> TransferStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for TransferStats {
+    fn add_assign(&mut self, rhs: TransferStats) {
+        self.pageins += rhs.pageins;
+        self.pageouts += rhs.pageouts;
+        self.net_data_transfers += rhs.net_data_transfers;
+        self.net_parity_transfers += rhs.net_parity_transfers;
+        self.net_fetches += rhs.net_fetches;
+        self.disk_writes += rhs.disk_writes;
+        self.disk_reads += rhs.disk_reads;
+        self.groups_reclaimed += rhs.groups_reclaimed;
+        self.gc_passes += rhs.gc_passes;
+        self.migrations += rhs.migrations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_components() {
+        let s = TransferStats {
+            net_data_transfers: 3,
+            net_parity_transfers: 1,
+            net_fetches: 2,
+            disk_reads: 4,
+            disk_writes: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.total_net_transfers(), 6);
+        assert_eq!(s.total_disk_ops(), 9);
+    }
+
+    #[test]
+    fn transfers_per_pageout_handles_zero() {
+        assert_eq!(
+            TransferStats::default().outbound_transfers_per_pageout(),
+            0.0
+        );
+        let s = TransferStats {
+            pageouts: 4,
+            net_data_transfers: 4,
+            net_parity_transfers: 1,
+            ..Default::default()
+        };
+        assert!((s.outbound_transfers_per_pageout() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_accumulates_all_fields() {
+        let a = TransferStats {
+            pageins: 1,
+            pageouts: 2,
+            net_data_transfers: 3,
+            net_parity_transfers: 4,
+            net_fetches: 5,
+            disk_writes: 6,
+            disk_reads: 7,
+            groups_reclaimed: 8,
+            gc_passes: 9,
+            migrations: 10,
+        };
+        let sum = a + a;
+        assert_eq!(sum.pageins, 2);
+        assert_eq!(sum.migrations, 20);
+        assert_eq!(sum.total_net_transfers(), 24);
+    }
+}

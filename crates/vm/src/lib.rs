@@ -1,0 +1,25 @@
+//! Simulated operating-system virtual memory.
+//!
+//! The paper's pager sits under the DEC OSF/1 kernel: applications touch
+//! their address space, the kernel faults pages in and evicts pages out
+//! through the block-device interface. We reproduce that request stream
+//! with [`PagedMemory`]: a fixed number of resident frames, a page table,
+//! pluggable replacement (LRU/FIFO/Clock), dirty tracking, and demand-zero
+//! fill. Every eviction of a dirty page becomes a `page_out` on the
+//! attached [`rmp_blockdev::PagingDevice`] and every fault on a
+//! non-resident page becomes a `page_in` — so real applications running on
+//! [`PagedMemory`] generate exactly the pagein/pageout mix the paper's
+//! kernel generated.
+//!
+//! [`array::PagedArray`] offers a typed out-of-core array view used by the
+//! workload programs (GAUSS, QSORT, FFT, MVEC, FILTER).
+
+pub mod array;
+pub mod paged;
+pub mod policy;
+pub mod stats;
+
+pub use array::{Element, PagedArray};
+pub use paged::{PagedMemory, VmConfig};
+pub use policy::Replacement;
+pub use stats::FaultStats;

@@ -1,0 +1,129 @@
+//! GAUSS — Gaussian elimination.
+
+use rmp_blockdev::PagingDevice;
+use rmp_types::{Result, RmpError};
+use rmp_vm::{PagedArray, PagedMemory};
+
+use crate::report::WorkloadReport;
+use crate::Workload;
+
+/// Gaussian elimination (forward elimination to upper-triangular form) on
+/// an `n x n` matrix of `f64` — the paper ran a 1700x1700 input (23 MB).
+///
+/// The matrix is generated diagonally dominant so no pivoting is needed
+/// and the result is numerically stable; verification checks that the
+/// below-diagonal entries were eliminated.
+#[derive(Clone, Copy, Debug)]
+pub struct Gauss {
+    n: usize,
+}
+
+impl Gauss {
+    /// Creates the workload with matrix dimension `n`.
+    pub fn new(n: usize) -> Self {
+        Gauss { n }
+    }
+
+    fn matrix(&self) -> PagedArray<f64> {
+        PagedArray::new(0, self.n * self.n)
+    }
+
+    fn initial(i: usize, j: usize, n: usize) -> f64 {
+        if i == j {
+            // Strong diagonal keeps multipliers below 1.
+            2.0 * n as f64
+        } else {
+            // Deterministic pseudo-random off-diagonal in (-1, 1).
+            let h = (i as u64)
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(j as u64)
+                .wrapping_mul(1_442_695_040_888_963_407);
+            ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        }
+    }
+}
+
+impl Workload for Gauss {
+    fn name(&self) -> &'static str {
+        "GAUSS"
+    }
+
+    fn working_set_pages(&self) -> u64 {
+        self.matrix().pages()
+    }
+
+    fn run<D: PagingDevice>(&self, vm: &mut PagedMemory<D>) -> Result<WorkloadReport> {
+        let n = self.n;
+        let a = self.matrix();
+        let mut ops: u64 = 0;
+        // Initialize row-major.
+        for i in 0..n {
+            for j in 0..n {
+                a.set(vm, i * n + j, Self::initial(i, j, n))?;
+            }
+        }
+        ops += (n * n) as u64;
+        // Forward elimination.
+        for k in 0..n {
+            let pivot = a.get(vm, k * n + k)?;
+            if pivot.abs() < 1e-12 {
+                return Err(RmpError::Unrecoverable(format!("zero pivot at {k}")));
+            }
+            for i in (k + 1)..n {
+                let factor = a.get(vm, i * n + k)? / pivot;
+                a.set(vm, i * n + k, 0.0)?;
+                for j in (k + 1)..n {
+                    let akj = a.get(vm, k * n + j)?;
+                    a.update(vm, i * n + j, |aij| aij - factor * akj)?;
+                    ops += 2;
+                }
+            }
+        }
+        // Verify: below-diagonal entries are exactly zero (we store 0.0)
+        // and the diagonal kept its dominance.
+        let mut verified = true;
+        for i in 1..n {
+            for j in 0..i.min(8) {
+                if a.get(vm, i * n + j)? != 0.0 {
+                    verified = false;
+                }
+            }
+            let d = a.get(vm, i * n + i)?;
+            if !(d.is_finite() && d.abs() > n as f64) {
+                verified = false;
+            }
+        }
+        Ok(WorkloadReport {
+            name: self.name(),
+            ops,
+            working_set_pages: self.working_set_pages(),
+            faults: vm.stats(),
+            verified,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmp_blockdev::RamDisk;
+    use rmp_vm::VmConfig;
+
+    #[test]
+    fn eliminates_in_core() {
+        let mut vm = PagedMemory::new(RamDisk::unbounded(), VmConfig::with_frames(64));
+        let report = Gauss::new(48).run(&mut vm).expect("runs");
+        assert!(report.verified);
+        assert!(report.ops > 0);
+    }
+
+    #[test]
+    fn eliminates_out_of_core_with_paging() {
+        // 96x96 f64 = 9216 elements = 9 pages; give it 4 frames.
+        let mut vm = PagedMemory::new(RamDisk::unbounded(), VmConfig::with_frames(4));
+        let report = Gauss::new(96).run(&mut vm).expect("runs");
+        assert!(report.verified, "paging must not corrupt the matrix");
+        assert!(report.faults.pageins > 0, "the run actually paged");
+        assert!(report.faults.pageouts > 0);
+    }
+}

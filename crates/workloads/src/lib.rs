@@ -1,0 +1,125 @@
+//! The paper's test applications, running out-of-core.
+//!
+//! Section 4: "Our applications include GAUSS, a gaussian elimination,
+//! QSORT, a quicksort program, FFT, a Fast-Fourier Transform, MVEC, a
+//! matrix-vector multiplication, FILTER, a two pass separable image
+//! sharpening filter, and CC, a kernel build."
+//!
+//! Every workload here is a *real* implementation of its algorithm over
+//! [`rmp_vm::PagedArray`]s, so running one against a
+//! [`rmp_vm::PagedMemory`] generates the genuine pagein/pageout request
+//! stream the DEC OSF/1 kernel generated against the paper's pager. Each
+//! workload verifies its own output (the sort really sorts, the
+//! elimination really triangularizes), counts its useful operations (the
+//! `utime` input of the Figure 4 model), and scales from test-sized to
+//! paper-sized inputs via parameters.
+//!
+//! [`trace`] captures the device-level request stream of a run so the
+//! simulators in `rmp-sim` can replay the exact same workload against
+//! different timing models.
+
+pub mod cc;
+pub mod fft;
+pub mod filter;
+pub mod gauss;
+pub mod mvec;
+pub mod qsort;
+pub mod report;
+pub mod trace;
+
+pub use cc::Cc;
+pub use fft::Fft;
+pub use filter::Filter;
+pub use gauss::Gauss;
+pub use mvec::Mvec;
+pub use qsort::Qsort;
+pub use report::WorkloadReport;
+pub use trace::{PageTrace, TraceOp, TracingDevice};
+
+use rmp_blockdev::PagingDevice;
+use rmp_types::Result;
+use rmp_vm::PagedMemory;
+
+/// A memory-hungry application that can run on a paged memory.
+pub trait Workload {
+    /// The workload's name as the paper's figures label it.
+    fn name(&self) -> &'static str;
+
+    /// Pages of address space the workload touches (its working set).
+    fn working_set_pages(&self) -> u64;
+
+    /// Runs the workload to completion, verifying its own output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates paging failures and reports incorrect results as
+    /// [`rmp_types::RmpError::Unrecoverable`].
+    fn run<D: PagingDevice>(&self, vm: &mut PagedMemory<D>) -> Result<WorkloadReport>;
+}
+
+/// The standard six workloads at a given scale factor, for harnesses that
+/// sweep all of them. `scale` = 1.0 reproduces the paper's input ratios at
+/// roughly 1/16 the absolute size (so suites finish in seconds); the
+/// figure harnesses pass larger scales.
+pub fn standard_suite(scale: f64) -> Vec<StandardWorkload> {
+    let s = |x: usize| ((x as f64 * scale) as usize).max(16);
+    vec![
+        StandardWorkload::Mvec(Mvec::new(s(520))),
+        StandardWorkload::Gauss(Gauss::new(s(420))),
+        StandardWorkload::Qsort(Qsort::new(s(180_000))),
+        StandardWorkload::Fft(Fft::new((s(160_000)).next_power_of_two())),
+        StandardWorkload::Filter(Filter::new(s(1000), s(750))),
+        StandardWorkload::Cc(Cc::new(s(60))),
+    ]
+}
+
+/// A dynamically-dispatched member of the standard suite.
+pub enum StandardWorkload {
+    /// Matrix-vector multiply.
+    Mvec(Mvec),
+    /// Gaussian elimination.
+    Gauss(Gauss),
+    /// Quicksort.
+    Qsort(Qsort),
+    /// Fast Fourier transform.
+    Fft(Fft),
+    /// Two-pass separable image filter.
+    Filter(Filter),
+    /// Kernel-build model.
+    Cc(Cc),
+}
+
+impl Workload for StandardWorkload {
+    fn name(&self) -> &'static str {
+        match self {
+            StandardWorkload::Mvec(w) => w.name(),
+            StandardWorkload::Gauss(w) => w.name(),
+            StandardWorkload::Qsort(w) => w.name(),
+            StandardWorkload::Fft(w) => w.name(),
+            StandardWorkload::Filter(w) => w.name(),
+            StandardWorkload::Cc(w) => w.name(),
+        }
+    }
+
+    fn working_set_pages(&self) -> u64 {
+        match self {
+            StandardWorkload::Mvec(w) => w.working_set_pages(),
+            StandardWorkload::Gauss(w) => w.working_set_pages(),
+            StandardWorkload::Qsort(w) => w.working_set_pages(),
+            StandardWorkload::Fft(w) => w.working_set_pages(),
+            StandardWorkload::Filter(w) => w.working_set_pages(),
+            StandardWorkload::Cc(w) => w.working_set_pages(),
+        }
+    }
+
+    fn run<D: PagingDevice>(&self, vm: &mut PagedMemory<D>) -> Result<WorkloadReport> {
+        match self {
+            StandardWorkload::Mvec(w) => w.run(vm),
+            StandardWorkload::Gauss(w) => w.run(vm),
+            StandardWorkload::Qsort(w) => w.run(vm),
+            StandardWorkload::Fft(w) => w.run(vm),
+            StandardWorkload::Filter(w) => w.run(vm),
+            StandardWorkload::Cc(w) => w.run(vm),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Workload run reports.
+
+use rmp_vm::FaultStats;
+
+/// Result of one workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Workload name as the figures label it.
+    pub name: &'static str,
+    /// Useful operations performed (flops, comparisons, pixel ops) — the
+    /// quantity that scales the `utime` term of the Figure 4 model.
+    pub ops: u64,
+    /// Pages of address space touched.
+    pub working_set_pages: u64,
+    /// Fault statistics of the run (copied from the VM at completion).
+    pub faults: FaultStats,
+    /// Whether output verification passed.
+    pub verified: bool,
+}
+
+impl WorkloadReport {
+    /// Paging intensity: faults per million operations.
+    pub fn faults_per_mop(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.faults.faults() as f64 * 1e6 / self.ops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_per_mop_handles_zero_ops() {
+        let r = WorkloadReport {
+            name: "X",
+            ops: 0,
+            working_set_pages: 0,
+            faults: FaultStats::default(),
+            verified: true,
+        };
+        assert_eq!(r.faults_per_mop(), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Capacity planning: how much remote memory does a cluster really have,
+//! and which reliability policy should it run?
+//!
+//! Uses the Figure 1 idle-DRAM model to estimate donatable memory over a
+//! week, then compares the reliability policies' memory and transfer
+//! overheads at the cluster's scale — the Section 2.2 trade-off table,
+//! computed instead of assumed.
+//!
+//! ```text
+//! cargo run --example cluster_planner -- [workstations] [mb_each]
+//! ```
+
+use rmp::sim::{simulate_week, IdleTrace, IdleTraceConfig};
+use rmp::types::Policy;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workstations: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let mb_each: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(50.0);
+
+    let trace = IdleTrace::generate(
+        IdleTraceConfig {
+            workstations,
+            mb_per_workstation: mb_each,
+            ..IdleTraceConfig::default()
+        },
+        4,
+    );
+    println!(
+        "cluster: {workstations} workstations x {mb_each} MB = {} MB total",
+        trace.total_mb
+    );
+    println!("simulated week of idle DRAM:");
+    println!("  minimum free : {:>7.0} MB", trace.min_free_mb());
+    println!("  mean free    : {:>7.0} MB", trace.mean_free_mb());
+    println!("  maximum free : {:>7.0} MB", trace.max_free_mb());
+    for threshold in [300.0, 400.0, 500.0, 700.0] {
+        println!(
+            "  >= {threshold:>4.0} MB free for {:>5.1} % of the week",
+            trace.fraction_at_least(threshold) * 100.0
+        );
+    }
+
+    // Plan for the guaranteed floor: redundancy comes out of this budget.
+    let floor_mb = trace.min_free_mb();
+    let s = 4; // Data servers per stripe, the paper's configuration.
+    println!("\nusable paging capacity at the guaranteed floor ({floor_mb:.0} MB):");
+    println!(
+        "  {:<15} {:>10} {:>14} {:>12}",
+        "policy", "user MB", "xfers/pageout", "crash-safe"
+    );
+    for policy in [
+        Policy::NoReliability,
+        Policy::ParityLogging,
+        Policy::BasicParity,
+        Policy::Mirroring,
+        Policy::WriteThrough,
+    ] {
+        let overhead = policy.memory_overhead(s, 0.10);
+        let user_mb = if overhead > 0.0 {
+            floor_mb / overhead
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<15} {:>10.0} {:>14.2} {:>12}",
+            policy.label(),
+            user_mb,
+            policy.transfers_per_pageout(s),
+            if policy.survives_single_crash() {
+                "yes"
+            } else {
+                "NO"
+            },
+        );
+    }
+    println!(
+        "\nparity logging serves {:.0} % more user memory than mirroring at the\n\
+         same reliability, for {:.2} vs 2.00 transfers per pageout.",
+        (Policy::Mirroring.memory_overhead(s, 0.10)
+            / Policy::ParityLogging.memory_overhead(s, 0.10)
+            - 1.0)
+            * 100.0,
+        Policy::ParityLogging.transfers_per_pageout(s),
+    );
+
+    // How does a steady demand ride the weekly tide?
+    let demand_mb = trace.total_mb * 0.3;
+    println!("\nriding the weekly tide with a steady {demand_mb:.0} MB demand:");
+    println!(
+        "  {:<15} {:>13} {:>12} {:>12}",
+        "policy", "fully remote", "peak spill", "migration"
+    );
+    for policy in [
+        Policy::NoReliability,
+        Policy::ParityLogging,
+        Policy::Mirroring,
+    ] {
+        let r = simulate_week(&trace, demand_mb, policy, s, 0.10);
+        println!(
+            "  {:<15} {:>12.1}% {:>9.0} MB {:>9.0} MB",
+            policy.label(),
+            r.fully_remote_fraction * 100.0,
+            r.peak_spill_mb,
+            r.migration_mb
+        );
+    }
+}

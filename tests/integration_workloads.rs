@@ -1,0 +1,112 @@
+//! Workloads against local devices, plus trace capture/replay.
+
+use rmp::blockdev::{ModeledDisk, PagingDevice, RamDisk};
+use rmp::prelude::*;
+use rmp::workloads::{standard_suite, Cc, Filter, Gauss, TracingDevice, Workload};
+
+#[test]
+fn standard_suite_runs_and_verifies_on_ramdisk() {
+    for w in standard_suite(0.25) {
+        let frames = (w.working_set_pages() / 4).max(3) as usize;
+        let mut vm = PagedMemory::new(RamDisk::unbounded(), VmConfig::with_frames(frames));
+        let report = w
+            .run(&mut vm)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        assert!(report.verified, "{} verified", report.name);
+        assert_eq!(report.name, w.name());
+    }
+}
+
+#[test]
+fn modeled_disk_charges_seeks_for_scattered_workloads() {
+    // FILTER's vertical pass strides a full row per access, defeating
+    // sequential optimization; GAUSS streams row-major. The RZ55 model
+    // should charge FILTER more random requests per page op.
+    let run = |w: &dyn Fn(&mut PagedMemory<ModeledDisk<RamDisk>>) -> u64| -> (f64, u64) {
+        let mut vm = PagedMemory::new(
+            ModeledDisk::rz55(RamDisk::unbounded()),
+            VmConfig::with_frames(8),
+        );
+        let ops = w(&mut vm);
+        let dev = vm.device();
+        let random_fraction = dev.random_requests() as f64
+            / (dev.random_requests() + dev.sequential_requests()).max(1) as f64;
+        (random_fraction, ops)
+    };
+    let (gauss_rand, _) = run(&|vm| {
+        let r = Gauss::new(96).run(vm).expect("gauss");
+        r.faults.pageins + r.faults.pageouts
+    });
+    let (filter_rand, _) = run(&|vm| {
+        let r = Filter::new(256, 128).run(vm).expect("filter");
+        r.faults.pageins + r.faults.pageouts
+    });
+    assert!(
+        filter_rand >= gauss_rand,
+        "filter ({filter_rand}) at least as seek-heavy as gauss ({gauss_rand})"
+    );
+}
+
+#[test]
+fn traces_replay_identically_against_any_device() {
+    // Record CC's device-level request stream...
+    let mut vm = PagedMemory::new(
+        TracingDevice::new(RamDisk::unbounded()),
+        VmConfig::with_frames(16),
+    );
+    let report = Cc::new(6).run(&mut vm).expect("cc runs");
+    assert!(report.verified);
+    let (trace, _) = vm.into_device().into_parts();
+    assert_eq!(trace.pageins(), report.faults.pageins);
+    assert_eq!(trace.pageouts(), report.faults.pageouts);
+    // ...and replay it against a fresh RamDisk and a FileDisk: both must
+    // service the stream without corruption.
+    trace.replay(&mut RamDisk::unbounded()).expect("ram replay");
+    let mut file = FileDisk::temp().expect("temp disk");
+    trace.replay(&mut file).expect("file replay");
+    assert_eq!(file.stats().pageouts, trace.pageouts());
+}
+
+#[test]
+fn file_disk_handles_a_full_workload() {
+    let mut vm = PagedMemory::new(FileDisk::temp().expect("disk"), VmConfig::with_frames(4));
+    let report = Gauss::new(96).run(&mut vm).expect("runs");
+    assert!(report.verified);
+    assert!(vm.device().stats().disk_writes > 0);
+}
+
+#[test]
+fn tighter_memory_pages_more() {
+    let faults_with = |frames: usize| {
+        let mut vm = PagedMemory::new(RamDisk::unbounded(), VmConfig::with_frames(frames));
+        Gauss::new(80).run(&mut vm).expect("runs").faults.faults()
+    };
+    let tight = faults_with(3);
+    let roomy = faults_with(64);
+    assert!(
+        tight > roomy * 2,
+        "3 frames ({tight} faults) beats 64 frames ({roomy}) by >2x"
+    );
+}
+
+#[test]
+fn replacement_policy_changes_fault_counts() {
+    let faults_with = |r: Replacement| {
+        let mut vm = PagedMemory::new(
+            RamDisk::unbounded(),
+            VmConfig {
+                resident_frames: 6,
+                replacement: r,
+            },
+        );
+        Gauss::new(96).run(&mut vm).expect("runs").faults.faults()
+    };
+    let lru = faults_with(Replacement::Lru);
+    let fifo = faults_with(Replacement::Fifo);
+    let clock = faults_with(Replacement::Clock);
+    // All finish correctly; their fault counts need not be equal, but all
+    // are in a sane band.
+    for (name, f) in [("lru", lru), ("fifo", fifo), ("clock", clock)] {
+        assert!(f > 0, "{name} paged");
+    }
+}
