@@ -15,6 +15,10 @@ pub enum Condition {
     /// Asked the client to stop sending pages (native load took its
     /// memory); usable for pageins of already-stored pages only.
     StopSending,
+    /// Recently timed out or dropped a connection but recovered on
+    /// retry: still holds this client's pages and still answers, so it
+    /// stays usable, but new pages go elsewhere while it proves itself.
+    Suspect,
     /// Crashed or unreachable.
     Dead,
 }
@@ -93,8 +97,14 @@ impl ClusterView {
         entry.free_pages = free_pages;
         entry.stored_pages = stored_pages;
         entry.cpu_permille = cpu_permille;
-        if entry.condition != Condition::Dead {
-            entry.condition = condition;
+        match entry.condition {
+            // Death is sticky: only an explicit mark_alive resurrects.
+            Condition::Dead => {}
+            // Suspicion clears through proven clean calls (mark_alive),
+            // not through an optimistic load report — though a server
+            // that says "stop sending" is believed immediately.
+            Condition::Suspect if condition != Condition::StopSending => {}
+            _ => entry.condition = condition,
         }
     }
 
@@ -116,6 +126,18 @@ impl ClusterView {
         }
     }
 
+    /// Marks a server suspect after a transient failure (timeout or
+    /// dropped connection that reconnect repaired). Suspect servers keep
+    /// serving the pages they hold but rank last for new pages. Has no
+    /// effect on a dead server — suspicion must not resurrect.
+    pub fn mark_suspect(&mut self, id: ServerId) {
+        if let Some(s) = self.servers.get_mut(&id) {
+            if s.condition != Condition::Dead {
+                s.condition = Condition::Suspect;
+            }
+        }
+    }
+
     /// Marks a server alive again (rebooted workstation rejoining).
     pub fn mark_alive(&mut self, id: ServerId) {
         if let Some(s) = self.servers.get_mut(&id) {
@@ -132,8 +154,9 @@ impl ClusterView {
 
     /// Picks the *most promising server*: the healthy server with the most
     /// free memory per unit link cost, excluding `exclude`. Servers under
-    /// pressure are considered only when no healthy server exists;
-    /// stop-sending and dead servers never qualify.
+    /// pressure are considered only when no healthy server exists, and
+    /// suspect servers only after those; stop-sending and dead servers
+    /// never qualify.
     pub fn most_promising(&self, exclude: &[ServerId]) -> Option<ServerId> {
         let candidates = |cond: Condition| {
             self.servers
@@ -151,7 +174,9 @@ impl ClusterView {
                 })
                 .map(|(&id, _)| id)
         };
-        candidates(Condition::Healthy).or_else(|| candidates(Condition::Pressure))
+        candidates(Condition::Healthy)
+            .or_else(|| candidates(Condition::Pressure))
+            .or_else(|| candidates(Condition::Suspect))
     }
 
     /// Finds a server (other than `exclude`) with at least `needed_pages`
@@ -279,6 +304,62 @@ mod tests {
         assert_eq!(v.server_with_capacity(40, &[]), Some(ServerId(1)));
         assert_eq!(v.server_with_capacity(60, &[]), None, "pressured excluded");
         assert_eq!(v.server_with_capacity(40, &[ServerId(1)]), None);
+    }
+
+    #[test]
+    fn suspect_servers_rank_after_pressure() {
+        let mut v = view3();
+        v.update_load(ServerId(0), 900, 0, 0, Condition::Healthy);
+        v.update_load(ServerId(1), 500, 0, 0, Condition::Pressure);
+        v.update_load(ServerId(2), 999, 0, 0, Condition::Healthy);
+        v.mark_suspect(ServerId(2));
+        assert_eq!(
+            v.most_promising(&[]),
+            Some(ServerId(0)),
+            "suspect loses to healthy despite more free memory"
+        );
+        v.mark_suspect(ServerId(0));
+        assert_eq!(
+            v.most_promising(&[]),
+            Some(ServerId(1)),
+            "pressure beats suspect"
+        );
+        v.update_load(ServerId(1), 0, 0, 0, Condition::StopSending);
+        assert_eq!(
+            v.most_promising(&[]),
+            Some(ServerId(2)),
+            "suspect is still usable as last resort"
+        );
+    }
+
+    #[test]
+    fn suspect_is_alive_and_not_cleared_by_load_reports() {
+        let mut v = view3();
+        v.mark_suspect(ServerId(0));
+        assert!(v.is_alive(ServerId(0)), "suspect servers still serve pages");
+        assert!(v.live_servers().contains(&ServerId(0)));
+        // An optimistic load report must not clear suspicion...
+        v.update_load(ServerId(0), 100, 0, 0, Condition::Healthy);
+        assert_eq!(v.status(ServerId(0)).unwrap().condition, Condition::Suspect);
+        // ...but an explicit stop-sending is believed immediately.
+        v.update_load(ServerId(0), 0, 0, 0, Condition::StopSending);
+        assert_eq!(
+            v.status(ServerId(0)).unwrap().condition,
+            Condition::StopSending
+        );
+        // Proven-clean promotion goes through mark_alive.
+        v.mark_suspect(ServerId(0));
+        v.mark_alive(ServerId(0));
+        assert_eq!(v.status(ServerId(0)).unwrap().condition, Condition::Healthy);
+    }
+
+    #[test]
+    fn suspicion_cannot_resurrect_the_dead() {
+        let mut v = view3();
+        v.mark_dead(ServerId(0));
+        v.mark_suspect(ServerId(0));
+        assert!(!v.is_alive(ServerId(0)));
+        assert_eq!(v.status(ServerId(0)).unwrap().condition, Condition::Dead);
     }
 
     #[test]

@@ -46,7 +46,17 @@ impl Engine for BasicParity {
         if is_new {
             ctx.pool.reserve_frame(slot.server)?;
         }
-        let (delta, _hint) = ctx.pool.page_out_delta(slot.server, slot.key, page)?;
+        let (delta, _hint) = match ctx.pool.page_out_delta(slot.server, slot.key, page) {
+            Ok(reply) => reply,
+            Err(e) => {
+                // Undo the reservation or the grant leaks on every
+                // failed first-time store.
+                if is_new {
+                    ctx.pool.return_frame(slot.server);
+                }
+                return Err(e);
+            }
+        };
         ctx.stats.net_data_transfers += 1;
         // Step 2: fold the delta into the parity page. The client must not
         // drop `page` before this completes (footnote in Section 2.2) —
@@ -103,8 +113,7 @@ impl Engine for BasicParity {
                     report.transfers += 1;
                     acc.xor_with(&piece);
                 }
-                ctx.pool.reserve_frame(server)?;
-                ctx.pool.page_out(server, parity_key, &acc)?;
+                ctx.reserve_and_page_out(server, parity_key, &acc)?;
                 ctx.stats.net_parity_transfers += 1;
                 report.transfers += 1;
                 report.parity_rebuilt += 1;
@@ -121,8 +130,7 @@ impl Engine for BasicParity {
                 ctx.stats.net_fetches += 1;
                 report.transfers += 1;
                 let rebuilt = reconstruct(&parity, survivors.iter());
-                ctx.pool.reserve_frame(server)?;
-                ctx.pool.page_out(server, plan.lost.key, &rebuilt)?;
+                ctx.reserve_and_page_out(server, plan.lost.key, &rebuilt)?;
                 ctx.stats.net_data_transfers += 1;
                 report.transfers += 1;
                 report.pages_rebuilt += 1;

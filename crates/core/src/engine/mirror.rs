@@ -83,9 +83,9 @@ impl Mirroring {
                         ctx.stats.net_data_transfers += 1;
                         Ok(loc)
                     }
-                    Err(RmpError::ServerCrashed(_)) | Err(RmpError::NoSpace(_)) => {
-                        self.store_copy(ctx, id, page, exclude)
-                    }
+                    Err(
+                        RmpError::ServerCrashed(_) | RmpError::Timeout(_) | RmpError::NoSpace(_),
+                    ) => self.store_copy(ctx, id, page, exclude),
                     Err(e) => Err(e),
                 }
             }
@@ -138,7 +138,7 @@ impl Engine for Mirroring {
                             ctx.stats.net_fetches += 1;
                             return Ok(page);
                         }
-                        Err(RmpError::ServerCrashed(_)) => continue,
+                        Err(RmpError::ServerCrashed(_) | RmpError::Timeout(_)) => continue,
                         Err(e) => return Err(e),
                     }
                 }

@@ -101,6 +101,30 @@ impl Ctx<'_> {
         self.pool.view().most_promising(exclude)
     }
 
+    /// Reserves a frame on `server` and ships `page` under `key`,
+    /// returning the frame grant to the pool when the pageout fails —
+    /// otherwise every failed store after a successful reservation leaks
+    /// one grant and slowly starves the server of frames it never sees.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerPool::reserve_frame`] and [`ServerPool::page_out`].
+    pub fn reserve_and_page_out(
+        &mut self,
+        server: ServerId,
+        key: StoreKey,
+        page: &Page,
+    ) -> Result<rmp_proto::LoadHint> {
+        self.pool.reserve_frame(server)?;
+        match self.pool.page_out(server, key, page) {
+            Ok(hint) => Ok(hint),
+            Err(e) => {
+                self.pool.return_frame(server);
+                Err(e)
+            }
+        }
+    }
+
     /// Stores a page remotely with full Section 2.1 dynamics: start from
     /// `preferred` (if given and healthy), fall back through the other
     /// servers by promise order on allocation denial or crash, and
@@ -132,16 +156,14 @@ impl Ctx<'_> {
                 })
                 .or_else(|| self.pick_server(&tried));
             while let Some(server) = candidate {
-                match self
-                    .pool
-                    .reserve_frame(server)
-                    .and_then(|()| self.pool.page_out(server, key, page))
-                {
+                match self.reserve_and_page_out(server, key, page) {
                     Ok(_hint) => {
                         self.stats.net_data_transfers += 1;
                         return Ok(Location::Remote { server, key });
                     }
-                    Err(RmpError::NoSpace(_)) | Err(RmpError::ServerCrashed(_)) => {
+                    Err(
+                        RmpError::NoSpace(_) | RmpError::ServerCrashed(_) | RmpError::Timeout(_),
+                    ) => {
                         tried.push(server);
                         candidate = self.pick_server(&tried);
                     }

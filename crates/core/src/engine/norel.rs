@@ -69,7 +69,9 @@ impl Engine for NoReliability {
                         ctx.stats.net_data_transfers += 1;
                         return Ok(());
                     }
-                    Err(RmpError::ServerCrashed(_)) | Err(RmpError::NoSpace(_)) => {
+                    Err(
+                        RmpError::ServerCrashed(_) | RmpError::Timeout(_) | RmpError::NoSpace(_),
+                    ) => {
                         // Fall through to fresh placement.
                     }
                     Err(e) => return Err(e),
@@ -181,8 +183,14 @@ impl Engine for NoReliability {
                     self.map.insert(id, Location::Remote { server, key });
                     promoted += 1;
                 }
-                Err(RmpError::NoSpace(_)) | Err(RmpError::ServerCrashed(_)) => continue,
-                Err(e) => return Err(e),
+                Err(RmpError::NoSpace(_) | RmpError::ServerCrashed(_) | RmpError::Timeout(_)) => {
+                    ctx.pool.return_frame(server);
+                    continue;
+                }
+                Err(e) => {
+                    ctx.pool.return_frame(server);
+                    return Err(e);
+                }
             }
         }
         Ok(promoted)

@@ -117,9 +117,7 @@ impl ParityLogging {
     /// storage whose groups went fully inactive.
     fn commit_group(&mut self, ctx: &mut Ctx<'_>, sealed: SealedGroup) -> Result<()> {
         let pkey = ctx.pool.fresh_key();
-        ctx.pool.reserve_frame(self.parity_server)?;
-        ctx.pool
-            .page_out(self.parity_server, pkey, &sealed.parity)?;
+        ctx.reserve_and_page_out(self.parity_server, pkey, &sealed.parity)?;
         ctx.stats.net_parity_transfers += 1;
         let members: Vec<PageId> = sealed.members.iter().map(|m| m.page_id).collect();
         let (_gid, reclaimed) = self
@@ -222,10 +220,7 @@ impl ParityLogging {
         let mut refreshed = false;
         while let Some(server) = self.next_server(ctx, &tried) {
             let key = ctx.pool.fresh_key();
-            let stored = ctx
-                .pool
-                .reserve_frame(server)
-                .and_then(|()| ctx.pool.page_out(server, key, page));
+            let stored = ctx.reserve_and_page_out(server, key, page);
             match stored {
                 Ok(_hint) => {
                     ctx.stats.net_data_transfers += 1;
@@ -260,7 +255,7 @@ impl ParityLogging {
                     }
                     tried.push(server);
                 }
-                Err(RmpError::ServerCrashed(_)) => tried.push(server),
+                Err(RmpError::ServerCrashed(_) | RmpError::Timeout(_)) => tried.push(server),
                 Err(e) => return Err(e),
             }
             if self.next_server(ctx, &tried).is_none() && !refreshed {
@@ -482,8 +477,7 @@ impl Engine for ParityLogging {
                     acc.xor_with(&piece);
                 }
                 let pkey = ctx.pool.fresh_key();
-                ctx.pool.reserve_frame(replacement)?;
-                ctx.pool.page_out(replacement, pkey, &acc)?;
+                ctx.reserve_and_page_out(replacement, pkey, &acc)?;
                 ctx.stats.net_parity_transfers += 1;
                 report.transfers += 1;
                 report.parity_rebuilt += 1;

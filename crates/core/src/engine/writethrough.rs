@@ -51,7 +51,9 @@ impl Engine for WriteThrough {
                         ctx.stats.net_data_transfers += 1;
                         Some(Location::Remote { server, key })
                     }
-                    Err(RmpError::ServerCrashed(_)) | Err(RmpError::NoSpace(_)) => None,
+                    Err(
+                        RmpError::ServerCrashed(_) | RmpError::Timeout(_) | RmpError::NoSpace(_),
+                    ) => None,
                     Err(e) => return Err(e),
                 }
             }
@@ -93,7 +95,11 @@ impl Engine for WriteThrough {
                         ctx.stats.net_fetches += 1;
                         return Ok(page);
                     }
-                    Err(RmpError::ServerCrashed(_)) | Err(RmpError::PageNotFound(_)) => {
+                    Err(
+                        RmpError::ServerCrashed(_)
+                        | RmpError::Timeout(_)
+                        | RmpError::PageNotFound(_),
+                    ) => {
                         self.remote.insert(id, None);
                     }
                     Err(e) => return Err(e),

@@ -98,6 +98,10 @@ impl Pager {
         disk: Option<Box<dyn PagingDevice>>,
     ) -> Result<Self> {
         config.validate()?;
+        let mut pool = pool;
+        // The pager's transport knobs are authoritative: whatever deadlines
+        // and retry policy the config carries govern every pool call.
+        pool.set_transport_config(config.transport.clone());
         let ids = pool.server_ids();
         let engine: Box<dyn Engine> = match config.policy {
             Policy::NoReliability => {
@@ -298,16 +302,21 @@ impl Pager {
         self.with_engine(|engine, ctx| engine.rebalance(ctx))
     }
 
-    /// Handles a failure from the engine: when it names a crashed server
-    /// and the policy is redundant, recover and signal "retry".
+    /// Handles a failure from the engine: when it names a crashed — or
+    /// retried-into-the-ground, for timeouts — server and the policy is
+    /// redundant, recover and signal "retry". By the time a timeout
+    /// surfaces here the pool has already exhausted its retry budget and
+    /// marked the server dead, so both variants mean the same thing:
+    /// that server is gone until an operator reconnects it.
     fn try_recover(&mut self, err: &RmpError) -> bool {
-        let RmpError::ServerCrashed(server) = err else {
-            return false;
+        let server = match err {
+            RmpError::ServerCrashed(s) | RmpError::Timeout(s) => *s,
+            _ => return false,
         };
         if !self.config.policy.survives_single_crash() {
             return false;
         }
-        self.recover_from_crash(*server).is_ok()
+        self.recover_from_crash(server).is_ok()
     }
 }
 

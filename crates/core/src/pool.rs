@@ -1,17 +1,20 @@
 //! The client's pool of server connections.
 
 use std::collections::{BTreeMap, HashMap};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rmp_cluster::{ClusterView, Condition, Registry};
 use rmp_proto::{LoadHint, Message};
-use rmp_types::{Page, Result, RmpError, ServerId, StoreKey};
+use rmp_types::{ErrorCode, Page, Result, RmpError, ServerId, StoreKey, TransportConfig};
 
 use crate::transport::{ServerTransport, TcpTransport};
 
 /// Frames requested per allocation round-trip; the client consumes the
 /// grant locally so most pageouts need no extra allocation message.
 const ALLOC_CHUNK: u32 = 64;
+
+/// Consecutive clean calls before a suspect server is trusted again.
+const SUSPECT_CLEAN_STREAK: u32 = 3;
 
 fn hint_condition(hint: LoadHint) -> Condition {
     match hint {
@@ -23,10 +26,16 @@ fn hint_condition(hint: LoadHint) -> Condition {
 
 /// Connections to every registered server plus the client's live load view.
 ///
-/// All wire traffic of the pager funnels through here, which is where
-/// service times are measured (for the adaptive policy), load hints are
-/// folded into the [`ClusterView`], and connection failures are converted
-/// into [`RmpError::ServerCrashed`] with the server marked dead.
+/// All wire traffic of the pager funnels through here, making it the
+/// single retry/backoff/reconnect point of the paging path: transient
+/// failures (timeouts, dropped connections) trigger an automatic
+/// reconnect and bounded retry with exponential backoff, with the server
+/// marked [`Condition::Suspect`] in the meantime; only when every
+/// attempt is exhausted is the server declared dead and the error
+/// surfaced as [`RmpError::Timeout`] or [`RmpError::ServerCrashed`].
+/// Service times of all attempts — including failed ones — feed the
+/// adaptive-policy statistics, so a degraded cluster looks slow, not
+/// idle.
 pub struct ServerPool {
     transports: BTreeMap<ServerId, Box<dyn ServerTransport>>,
     view: ClusterView,
@@ -38,11 +47,23 @@ pub struct ServerPool {
     /// Sum and count of service times, ms.
     service_total_ms: f64,
     service_count: u64,
+    /// Deadlines and retry policy applied to every call.
+    transport_cfg: TransportConfig,
+    /// Consecutive clean calls per suspect server, for re-promotion.
+    clean_streak: HashMap<ServerId, u32>,
+    /// xorshift64* state for backoff jitter; deterministic seed keeps
+    /// tests reproducible.
+    jitter_state: u64,
 }
 
 impl ServerPool {
-    /// Creates an empty pool.
+    /// Creates an empty pool with default transport deadlines.
     pub fn new() -> Self {
+        ServerPool::with_transport_config(TransportConfig::default())
+    }
+
+    /// Creates an empty pool with explicit deadlines and retry policy.
+    pub fn with_transport_config(transport_cfg: TransportConfig) -> Self {
         ServerPool {
             transports: BTreeMap::new(),
             view: ClusterView::new(),
@@ -52,22 +73,47 @@ impl ServerPool {
             wire_transfers: 0,
             service_total_ms: 0.0,
             service_count: 0,
+            transport_cfg,
+            clean_streak: HashMap::new(),
+            jitter_state: 0x2545_F491_4F6C_DD1D,
         }
     }
 
-    /// Connects to every server in the registry over TCP.
+    /// Connects to every server in the registry over TCP with default
+    /// deadlines.
     ///
     /// # Errors
     ///
     /// Fails if any server is unreachable.
     pub fn connect(registry: &Registry) -> Result<Self> {
-        let mut pool = ServerPool::new();
+        ServerPool::connect_with(registry, TransportConfig::default())
+    }
+
+    /// Connects to every server in the registry over TCP under
+    /// `transport_cfg`'s deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any server is unreachable within the connect deadline.
+    pub fn connect_with(registry: &Registry, transport_cfg: TransportConfig) -> Result<Self> {
+        let mut pool = ServerPool::with_transport_config(transport_cfg);
         for info in registry.iter() {
-            let transport = TcpTransport::connect(&info.addr)?;
+            let transport = TcpTransport::connect_with(&info.addr, &pool.transport_cfg)?;
             pool.addrs.insert(info.id, info.addr.clone());
             pool.add_transport(info.id, Box::new(transport), info.link_cost);
         }
         Ok(pool)
+    }
+
+    /// The deadlines and retry policy in force.
+    pub fn transport_config(&self) -> &TransportConfig {
+        &self.transport_cfg
+    }
+
+    /// Replaces the deadlines and retry policy (takes effect on the next
+    /// call; existing sockets keep their armed deadlines until redialed).
+    pub fn set_transport_config(&mut self, transport_cfg: TransportConfig) {
+        self.transport_cfg = transport_cfg;
     }
 
     /// Adds a server with an already-established transport.
@@ -93,9 +139,10 @@ impl ServerPool {
             .addrs
             .get(&id)
             .ok_or_else(|| RmpError::Config(format!("no known address for {id}")))?;
-        let transport = TcpTransport::connect(addr)?;
+        let transport = TcpTransport::connect_with(addr, &self.transport_cfg)?;
         self.transports.insert(id, Box::new(transport));
         self.grants.remove(&id);
+        self.clean_streak.remove(&id);
         self.view.mark_alive(id);
         Ok(())
     }
@@ -104,6 +151,7 @@ impl ServerPool {
     pub fn replace_transport(&mut self, id: ServerId, transport: Box<dyn ServerTransport>) {
         self.transports.insert(id, transport);
         self.grants.remove(&id);
+        self.clean_streak.remove(&id);
         self.view.mark_alive(id);
     }
 
@@ -143,26 +191,125 @@ impl ServerPool {
         }
     }
 
-    fn call(&mut self, id: ServerId, msg: &Message) -> Result<Message> {
-        let transport = self
-            .transports
-            .get_mut(&id)
-            .ok_or_else(|| RmpError::Config(format!("unknown server {id}")))?;
-        let start = Instant::now();
-        match transport.call(msg) {
-            Ok(reply) => {
-                let ms = start.elapsed().as_secs_f64() * 1000.0;
-                self.service_total_ms += ms;
-                self.service_count += 1;
-                self.view.record_service_time(id, ms);
-                Ok(reply)
-            }
-            Err(e) if e.is_server_failure() => {
-                self.view.mark_dead(id);
-                Err(RmpError::ServerCrashed(id))
-            }
-            Err(e) => Err(e),
+    /// Next jitter factor in `[1 - jitter, 1 + jitter]` (xorshift64*).
+    fn jitter_factor(&mut self) -> f64 {
+        let mut x = self.jitter_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.jitter_state = x;
+        let unit = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        let jitter = self.transport_cfg.retry.jitter;
+        1.0 - jitter + 2.0 * jitter * unit
+    }
+
+    /// Folds one attempt's elapsed time into the service statistics.
+    /// Failed and timed-out attempts count too: a flaky cluster must look
+    /// *slow* to the adaptive policy, not invisible.
+    fn record_attempt(&mut self, id: ServerId, start: Instant) {
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        self.service_total_ms += ms;
+        self.service_count += 1;
+        self.view.record_service_time(id, ms);
+    }
+
+    /// A call completed cleanly; a suspect server earns trust back after
+    /// [`SUSPECT_CLEAN_STREAK`] consecutive clean calls.
+    fn note_clean_call(&mut self, id: ServerId) {
+        let suspect = self
+            .view
+            .status(id)
+            .is_some_and(|s| s.condition == Condition::Suspect);
+        if !suspect {
+            self.clean_streak.remove(&id);
+            return;
         }
+        let streak = self.clean_streak.entry(id).or_insert(0);
+        *streak += 1;
+        if *streak >= SUSPECT_CLEAN_STREAK {
+            self.clean_streak.remove(&id);
+            self.view.mark_alive(id);
+        }
+    }
+
+    /// The single failure-handling point of the paging path.
+    ///
+    /// Sends `msg` to `id` and, on transient failure (timeout or dropped
+    /// connection), marks the server suspect, sleeps an exponentially
+    /// growing jittered backoff, reconnects, and retries — up to the
+    /// configured attempt budget. Only exhausting the budget declares the
+    /// server dead. Typed server errors are mapped here, centrally:
+    /// out-of-memory becomes [`RmpError::NoSpace`], shutting-down becomes
+    /// [`RmpError::ServerCrashed`] (with the server marked dead).
+    fn call(&mut self, id: ServerId, msg: &Message) -> Result<Message> {
+        let max_attempts = self.transport_cfg.retry.max_attempts.max(1);
+        let mut saw_timeout = false;
+        for attempt in 0..max_attempts {
+            let transport = self
+                .transports
+                .get_mut(&id)
+                .ok_or_else(|| RmpError::Config(format!("unknown server {id}")))?;
+            let start = Instant::now();
+            let outcome = transport.call(msg);
+            self.record_attempt(id, start);
+            let err = match outcome {
+                Ok(reply) => {
+                    self.note_clean_call(id);
+                    return Ok(reply);
+                }
+                Err(e) => e,
+            };
+            match err {
+                // The server answered: the transport is healthy, the
+                // request was simply refused. Map the typed codes.
+                RmpError::Remote {
+                    code: ErrorCode::OutOfMemory,
+                    ..
+                } => return Err(RmpError::NoSpace(id)),
+                RmpError::Remote {
+                    code: ErrorCode::ShuttingDown,
+                    ..
+                } => {
+                    // Retrying a draining server only delays the failover.
+                    self.view.mark_dead(id);
+                    self.grants.remove(&id);
+                    return Err(RmpError::ServerCrashed(id));
+                }
+                e if e.is_timeout() || e.is_server_failure() => {
+                    saw_timeout |= e.is_timeout();
+                    self.clean_streak.remove(&id);
+                    if attempt + 1 >= max_attempts {
+                        break;
+                    }
+                    // Transient until proven otherwise: deprioritize the
+                    // server, give it a moment, and redial.
+                    self.view.mark_suspect(id);
+                    let backoff = self.transport_cfg.retry.backoff_for(attempt);
+                    if !backoff.is_zero() {
+                        let jittered = backoff.as_secs_f64() * self.jitter_factor();
+                        std::thread::sleep(Duration::from_secs_f64(jittered.max(0.0)));
+                    }
+                    // A restarted server lost this client's grants; drop
+                    // them so the next reserve re-allocates.
+                    self.grants.remove(&id);
+                    if let Some(t) = self.transports.get_mut(&id) {
+                        // Best-effort: an unsupported or failed redial
+                        // leaves the old transport in place, and the next
+                        // attempt decides whether the server is back.
+                        let _ = t.reconnect();
+                    }
+                }
+                e => return Err(e),
+            }
+        }
+        // Out of attempts: the failure is no longer transient.
+        self.view.mark_dead(id);
+        self.grants.remove(&id);
+        Err(if saw_timeout {
+            RmpError::Timeout(id)
+        } else {
+            RmpError::ServerCrashed(id)
+        })
     }
 
     fn apply_hint(&mut self, id: ServerId, hint: LoadHint) {
@@ -211,6 +358,24 @@ impl ServerPool {
         }
     }
 
+    /// Returns an unused frame grant to `id`'s local pool — the undo of a
+    /// successful [`ServerPool::reserve_frame`] whose follow-up pageout
+    /// failed. Without this the grant would leak: the client would burn
+    /// one allocation round-trip per failed store and slowly starve the
+    /// server of frames it never uses.
+    pub fn return_frame(&mut self, id: ServerId) {
+        // A dead server's grants died with it (they are cleared on
+        // reconnect); only live servers get the frame back.
+        if self.view.is_alive(id) {
+            *self.grants.entry(id).or_insert(0) += 1;
+        }
+    }
+
+    /// Granted-but-unused frames held locally for `id` (test hook).
+    pub fn granted_frames(&self, id: ServerId) -> u32 {
+        self.grants.get(&id).copied().unwrap_or(0)
+    }
+
     /// Ships a page to `id` under `key`.
     ///
     /// # Errors
@@ -235,7 +400,6 @@ impl ServerPool {
                 "unexpected reply to PageOut: {:?}",
                 other.opcode()
             ))),
-            Err(RmpError::Protocol(m)) if m.contains("out of memory") => Err(RmpError::NoSpace(id)),
             Err(e) => Err(e),
         }
     }
@@ -303,7 +467,6 @@ impl ServerPool {
                 "unexpected reply to PageOutDelta: {:?}",
                 other.opcode()
             ))),
-            Err(RmpError::Protocol(m)) if m.contains("out of memory") => Err(RmpError::NoSpace(id)),
             Err(e) => Err(e),
         }
     }
@@ -330,7 +493,6 @@ impl ServerPool {
                 "unexpected reply to XorInto: {:?}",
                 other.opcode()
             ))),
-            Err(RmpError::Protocol(m)) if m.contains("out of memory") => Err(RmpError::NoSpace(id)),
             Err(e) => Err(e),
         }
     }

@@ -1,9 +1,9 @@
 //! Client-side transport to one remote memory server.
 
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 
 use rmp_proto::{Framed, Message};
-use rmp_types::Result;
+use rmp_types::{Result, RmpError, TransportConfig};
 
 /// A request/response channel to one server.
 ///
@@ -14,8 +14,9 @@ pub trait ServerTransport: Send {
     ///
     /// # Errors
     ///
-    /// I/O failures signal a crashed/unreachable server; protocol `Error`
-    /// replies surface as [`rmp_types::RmpError::Protocol`].
+    /// I/O failures signal a crashed/unreachable server (timeouts arrive
+    /// as `TimedOut`/`WouldBlock` I/O errors); protocol `Error` replies
+    /// surface as [`rmp_types::RmpError::Remote`].
     fn call(&mut self, msg: &Message) -> Result<Message>;
 
     /// Sends `msg` without waiting for a reply (used for crash injection,
@@ -25,27 +26,86 @@ pub trait ServerTransport: Send {
     ///
     /// Propagates send failures.
     fn send_only(&mut self, msg: &Message) -> Result<()>;
+
+    /// Drops and re-establishes the underlying connection, used by the
+    /// pool's retry loop after a transient failure. Transports without a
+    /// reconnect story (in-process fakes that never lose a connection)
+    /// keep the default.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::Unsupported`] by default; implementations propagate
+    /// redial failures.
+    fn reconnect(&mut self) -> Result<()> {
+        Err(RmpError::Unsupported("transport cannot reconnect"))
+    }
 }
 
 /// TCP transport — "the RMP connects to the remote memory servers using
 /// sockets over TCP/IP" (Section 3.1).
+///
+/// Every socket operation runs under the deadlines of its
+/// [`TransportConfig`]: connects use `connect_timeout`, each blocking
+/// read/write uses `read_timeout`/`write_timeout`. The paper's pager
+/// relied on kernel TCP timeouts (minutes); a page fault cannot wait
+/// that long, so deadlines here are what keeps the paging path bounded.
 pub struct TcpTransport {
     framed: Framed<TcpStream>,
+    addr: String,
+    config: TransportConfig,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("addr", &self.addr)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TcpTransport {
-    /// Connects to `addr` (`host:port`).
+    /// Connects to `addr` (`host:port`) with default deadlines.
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: &str) -> Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        TcpTransport::connect_with(addr, &TransportConfig::default())
+    }
+
+    /// Connects to `addr` under `config.connect_timeout` and arms the
+    /// per-operation read/write deadlines.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut` when no connection is established within the deadline;
+    /// otherwise propagates resolution and connection failures.
+    pub fn connect_with(addr: &str, config: &TransportConfig) -> Result<Self> {
+        let stream = dial(addr, config)?;
         Ok(TcpTransport {
             framed: Framed::new(stream),
+            addr: addr.to_string(),
+            config: config.clone(),
         })
     }
+
+    /// The address this transport dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+fn dial(addr: &str, config: &TransportConfig) -> Result<TcpStream> {
+    let socket_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| RmpError::Config(format!("address {addr} resolves to nothing")))?;
+    let stream = TcpStream::connect_timeout(&socket_addr, config.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    Ok(stream)
 }
 
 impl ServerTransport for TcpTransport {
@@ -55,5 +115,97 @@ impl ServerTransport for TcpTransport {
 
     fn send_only(&mut self, msg: &Message) -> Result<()> {
         self.framed.send(msg)
+    }
+
+    fn reconnect(&mut self) -> Result<()> {
+        self.framed = Framed::new(dial(&self.addr, &self.config)?);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::time::{Duration, Instant};
+
+    fn quick_config() -> TransportConfig {
+        TransportConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_millis(200),
+            ..TransportConfig::default()
+        }
+    }
+
+    #[test]
+    fn read_deadline_bounds_a_silent_server() {
+        // A listener that accepts and then never replies: the exact hang
+        // the paper's kernel-timeout pager would sit on for minutes.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let guard = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().expect("accept");
+            // Swallow the request, send nothing back, hold the socket open.
+            let mut sink = [0u8; 4096];
+            while matches!(sock.read(&mut sink), Ok(n) if n > 0) {}
+        });
+
+        let mut transport = TcpTransport::connect_with(&addr, &quick_config()).expect("connect");
+        let start = Instant::now();
+        let err = transport.call(&Message::LoadQuery).expect_err("deadline");
+        assert!(err.is_timeout(), "expected timeout, got {err:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "call returned in bounded time"
+        );
+        drop(transport);
+        guard.join().expect("server thread");
+    }
+
+    #[test]
+    fn connect_timeout_bounds_an_unreachable_address() {
+        // Reserved TEST-NET-1 address: on a normal network the connect
+        // can neither succeed nor be refused, so only the deadline gets
+        // us out. Some sandboxed environments intercept the connect and
+        // answer — the invariant under test is the *bound*, not the
+        // outcome.
+        let start = Instant::now();
+        let _ = TcpTransport::connect_with("192.0.2.1:9", &quick_config());
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "connect returned in bounded time"
+        );
+    }
+
+    #[test]
+    fn reconnect_redials_the_stored_address() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let guard = std::thread::spawn(move || {
+            // Two sequential connections: the original and the redial.
+            for _ in 0..2 {
+                let (sock, _) = listener.accept().expect("accept");
+                drop(sock);
+            }
+        });
+        let mut transport = TcpTransport::connect_with(&addr, &quick_config()).expect("connect");
+        transport.reconnect().expect("redial");
+        guard.join().expect("listener thread");
+    }
+
+    #[test]
+    fn default_reconnect_is_unsupported() {
+        struct Fake;
+        impl ServerTransport for Fake {
+            fn call(&mut self, _msg: &Message) -> Result<Message> {
+                Ok(Message::LoadQuery)
+            }
+            fn send_only(&mut self, _msg: &Message) -> Result<()> {
+                Ok(())
+            }
+        }
+        assert!(matches!(Fake.reconnect(), Err(RmpError::Unsupported(_))));
     }
 }

@@ -14,7 +14,9 @@ use rmp_blockdev::{PagingDevice, RamDisk};
 use rmp_core::transport::ServerTransport;
 use rmp_core::{Pager, ServerPool};
 use rmp_proto::{LoadHint, Message};
-use rmp_types::{Page, PageId, PagerConfig, Policy, Result, RmpError, ServerId, StoreKey};
+use rmp_types::{
+    ErrorCode, Page, PageId, PagerConfig, Policy, Result, RmpError, ServerId, StoreKey,
+};
 
 /// Scripted failure modes.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -164,6 +166,7 @@ impl ServerTransport for FakeTransport {
                 Message::XorAck { id }
             }
             other => Message::Error {
+                code: ErrorCode::Internal,
                 message: format!("fake server: unhandled {:?}", other.opcode()),
             },
         })

@@ -1,0 +1,671 @@
+//! Deadline/retry fault injection against a scripted flaky transport.
+//!
+//! [`FlakyTransport`] scripts per-call outcomes (timeouts, dropped
+//! connections, typed refusals, permanent death) over a page store that
+//! survives disconnects — the failure shapes the retry/backoff layer in
+//! `ServerPool::call` exists to absorb. The tests assert the transport
+//! contract from the failure-semantics design: timeouts retry with
+//! backoff, transient failures reconnect and keep the server (Suspect,
+//! not Dead), permanent death falls through to the existing crash
+//! recovery, and no call path can block without a deadline.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use rmp_blockdev::{PagingDevice, RamDisk};
+use rmp_core::transport::{ServerTransport, TcpTransport};
+use rmp_core::{Pager, ServerPool};
+use rmp_proto::{LoadHint, Message};
+use rmp_types::{
+    ErrorCode, Page, PageId, PagerConfig, Policy, Result, RetryPolicy, RmpError, ServerId,
+    StoreKey, TransportConfig,
+};
+
+/// One scripted call outcome; an exhausted script answers honestly.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// Serve the request.
+    Serve,
+    /// Deadline expiry after realistic wall-clock time.
+    SlowTimeout(Duration),
+    /// Deadline expiry (instant, for call-count tests).
+    TimedOut,
+    /// Connection drops; subsequent calls fail until `reconnect`.
+    Disconnect,
+    /// Typed protocol refusal (the request was answered, not lost).
+    Refuse(ErrorCode),
+}
+
+struct FlakyState {
+    pages: HashMap<StoreKey, Page>,
+    script: VecDeque<Step>,
+    disconnected: bool,
+    dead: bool,
+    calls: u64,
+    reconnects: u64,
+}
+
+/// Handle the test keeps; the transport shares the same state, so pages
+/// survive disconnects and death exactly like a real server's memory.
+#[derive(Clone)]
+struct FlakyServer(Rc<RefCell<FlakyState>>);
+
+impl FlakyServer {
+    fn new() -> Self {
+        FlakyServer(Rc::new(RefCell::new(FlakyState {
+            pages: HashMap::new(),
+            script: VecDeque::new(),
+            disconnected: false,
+            dead: false,
+            calls: 0,
+            reconnects: 0,
+        })))
+    }
+
+    fn script(&self, steps: &[Step]) {
+        self.0.borrow_mut().script.extend(steps.iter().copied());
+    }
+
+    fn kill(&self) {
+        self.0.borrow_mut().dead = true;
+    }
+
+    /// Reboot with memory intact (a network partition healing).
+    fn revive(&self) {
+        let mut st = self.0.borrow_mut();
+        st.dead = false;
+        st.disconnected = false;
+    }
+
+    /// Reboot with memory wiped (a real workstation restart).
+    fn revive_empty(&self) {
+        self.revive();
+        self.0.borrow_mut().pages.clear();
+    }
+
+    fn calls(&self) -> u64 {
+        self.0.borrow().calls
+    }
+
+    fn reconnects(&self) -> u64 {
+        self.0.borrow().reconnects
+    }
+}
+
+struct FlakyTransport(Rc<RefCell<FlakyState>>);
+
+// SAFETY: the pool requires `ServerTransport: Send`, but every test here
+// drives the pager from one thread and the `Rc` never crosses threads.
+unsafe impl Send for FlakyTransport {}
+
+fn io_err(kind: std::io::ErrorKind, msg: &str) -> RmpError {
+    RmpError::Io(std::io::Error::new(kind, msg))
+}
+
+impl ServerTransport for FlakyTransport {
+    fn call(&mut self, msg: &Message) -> Result<Message> {
+        let mut st = self.0.borrow_mut();
+        st.calls += 1;
+        if st.dead {
+            return Err(io_err(std::io::ErrorKind::ConnectionRefused, "dead"));
+        }
+        if st.disconnected {
+            return Err(io_err(std::io::ErrorKind::BrokenPipe, "disconnected"));
+        }
+        match st.script.pop_front().unwrap_or(Step::Serve) {
+            Step::Serve => {}
+            Step::SlowTimeout(d) => {
+                std::thread::sleep(d);
+                return Err(io_err(std::io::ErrorKind::TimedOut, "deadline"));
+            }
+            Step::TimedOut => return Err(io_err(std::io::ErrorKind::TimedOut, "deadline")),
+            Step::Disconnect => {
+                st.disconnected = true;
+                return Err(io_err(std::io::ErrorKind::ConnectionReset, "dropped"));
+            }
+            Step::Refuse(code) => {
+                return Err(RmpError::Remote {
+                    code,
+                    message: "scripted refusal".into(),
+                })
+            }
+        }
+        Ok(match msg.clone() {
+            Message::Alloc { pages } => Message::AllocReply {
+                granted: pages,
+                hint: LoadHint::Ok,
+            },
+            Message::PageOut { id, page } => {
+                st.pages.insert(id, page);
+                Message::PageOutAck {
+                    id,
+                    hint: LoadHint::Ok,
+                }
+            }
+            Message::PageIn { id } => match st.pages.get(&id) {
+                Some(p) => Message::PageInReply {
+                    id,
+                    page: p.clone(),
+                },
+                None => Message::PageInMiss { id },
+            },
+            Message::Free { id } => {
+                st.pages.remove(&id);
+                Message::FreeAck { id }
+            }
+            Message::LoadQuery => Message::LoadReport {
+                free_pages: 1 << 20,
+                stored_pages: st.pages.len() as u64,
+                cpu_permille: 0,
+                hint: LoadHint::Ok,
+            },
+            Message::PageOutDelta { id, page } => {
+                let delta = match st.pages.get(&id) {
+                    Some(old) => {
+                        let mut d = old.clone();
+                        d.xor_with(&page);
+                        d
+                    }
+                    None => page.clone(),
+                };
+                st.pages.insert(id, page);
+                Message::PageOutDeltaReply {
+                    id,
+                    delta,
+                    hint: LoadHint::Ok,
+                }
+            }
+            Message::XorInto { id, page } => {
+                match st.pages.get_mut(&id) {
+                    Some(existing) => existing.xor_with(&page),
+                    None => {
+                        st.pages.insert(id, page);
+                    }
+                }
+                Message::XorAck { id }
+            }
+            other => Message::Error {
+                code: ErrorCode::Internal,
+                message: format!("flaky server: unhandled {:?}", other.opcode()),
+            },
+        })
+    }
+
+    fn send_only(&mut self, _msg: &Message) -> Result<()> {
+        Ok(())
+    }
+
+    fn reconnect(&mut self) -> Result<()> {
+        let mut st = self.0.borrow_mut();
+        st.reconnects += 1;
+        if st.dead {
+            Err(io_err(std::io::ErrorKind::ConnectionRefused, "still dead"))
+        } else {
+            st.disconnected = false;
+            Ok(())
+        }
+    }
+}
+
+/// Fast deterministic retry policy so tests finish quickly.
+fn test_transport_config() -> TransportConfig {
+    TransportConfig {
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(20),
+            jitter: 0.0,
+        },
+        ..TransportConfig::default()
+    }
+}
+
+fn flaky_pool(n: usize) -> (Vec<FlakyServer>, ServerPool) {
+    let mut pool = ServerPool::with_transport_config(test_transport_config());
+    let mut servers = Vec::new();
+    for i in 0..n {
+        let server = FlakyServer::new();
+        pool.add_transport(
+            ServerId(i as u32),
+            Box::new(FlakyTransport(Rc::clone(&server.0))),
+            1.0,
+        );
+        servers.push(server);
+    }
+    (servers, pool)
+}
+
+fn flaky_pager(policy: Policy, servers: usize, n: usize) -> (Vec<FlakyServer>, Pager) {
+    let (flaky, pool) = flaky_pool(n);
+    let pager = Pager::builder(
+        PagerConfig::new(policy)
+            .with_servers(servers)
+            .with_transport(test_transport_config()),
+    )
+    .pool(pool)
+    .disk(Box::new(RamDisk::unbounded()))
+    .build()
+    .expect("pager");
+    (flaky, pager)
+}
+
+// --- timeout → retry with backoff, per policy ------------------------------
+
+fn assert_timeout_retried(policy: Policy, servers: usize, transports: usize) {
+    let (flaky, mut pager) = flaky_pager(policy, servers, transports);
+    // Two deadline expiries, then the server answers: the pool must ride
+    // through both within one logical call and sleep its backoff between
+    // attempts (5 ms then 10 ms with jitter off).
+    flaky[0].script(&[Step::TimedOut, Step::TimedOut]);
+    let start = Instant::now();
+    for i in 0..8u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout rides through timeouts");
+    }
+    pager.flush().expect("flush");
+    assert!(
+        start.elapsed() >= Duration::from_millis(14),
+        "{policy:?}: retries must back off (5 ms + 10 ms), elapsed {:?}",
+        start.elapsed()
+    );
+    assert!(
+        flaky[0].reconnects() >= 2,
+        "{policy:?}: each retry redials first"
+    );
+    for i in 0..8u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("readback"),
+            Page::deterministic(i),
+            "{policy:?}: page {i} survived the flaky window"
+        );
+    }
+    assert!(
+        pager.pool().view().is_alive(ServerId(0)),
+        "{policy:?}: a server that recovered within the retry budget is not dead"
+    );
+}
+
+#[test]
+fn mirroring_timeout_retries_with_backoff() {
+    assert_timeout_retried(Policy::Mirroring, 2, 2);
+}
+
+#[test]
+fn basic_parity_timeout_retries_with_backoff() {
+    assert_timeout_retried(Policy::BasicParity, 2, 3);
+}
+
+#[test]
+fn parity_logging_timeout_retries_with_backoff() {
+    assert_timeout_retried(Policy::ParityLogging, 2, 3);
+}
+
+// --- transient disconnect → reconnect + reuse (Suspect, not Dead) ----------
+
+fn assert_disconnect_reconnected(policy: Policy, servers: usize, transports: usize) {
+    let (flaky, mut pager) = flaky_pager(policy, servers, transports);
+    flaky[0].script(&[Step::Disconnect]);
+    for i in 0..8u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout rides through the drop");
+    }
+    pager.flush().expect("flush");
+    assert!(
+        flaky[0].reconnects() >= 1,
+        "{policy:?}: the dropped connection was redialed"
+    );
+    assert!(
+        pager.pool().view().is_alive(ServerId(0)),
+        "{policy:?}: one dropped connection must not kill the server"
+    );
+    for i in 0..8u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("readback"),
+            Page::deterministic(i),
+            "{policy:?}: pages stored before/after the drop are intact"
+        );
+    }
+}
+
+#[test]
+fn mirroring_disconnect_reconnects_and_reuses_server() {
+    assert_disconnect_reconnected(Policy::Mirroring, 2, 2);
+}
+
+#[test]
+fn basic_parity_disconnect_reconnects_and_reuses_server() {
+    assert_disconnect_reconnected(Policy::BasicParity, 2, 3);
+}
+
+#[test]
+fn parity_logging_disconnect_reconnects_and_reuses_server() {
+    assert_disconnect_reconnected(Policy::ParityLogging, 2, 3);
+}
+
+// --- suspect lifecycle ------------------------------------------------------
+
+#[test]
+fn flaky_server_goes_suspect_then_earns_healthy_back() {
+    let (flaky, mut pool) = flaky_pool(1);
+    flaky[0].script(&[Step::TimedOut]);
+    pool.page_out(ServerId(0), StoreKey(1), &Page::deterministic(1))
+        .expect("retried");
+    assert_eq!(
+        pool.view().status(ServerId(0)).unwrap().condition,
+        rmp_cluster::Condition::Suspect,
+        "transient failure leaves the server suspect"
+    );
+    // The clean call that finished the retried pageout counts as streak 1;
+    // two more clean calls restore trust.
+    pool.page_in(ServerId(0), StoreKey(1)).expect("clean");
+    pool.page_in(ServerId(0), StoreKey(1)).expect("clean");
+    assert_eq!(
+        pool.view().status(ServerId(0)).unwrap().condition,
+        rmp_cluster::Condition::Healthy,
+        "three consecutive clean calls promote suspect back to healthy"
+    );
+}
+
+#[test]
+fn suspect_servers_are_deprioritized_for_new_pages() {
+    let (flaky, mut pool) = flaky_pool(2);
+    // Give server 0 the better load report, then make it suspect: the
+    // placement ranking must still prefer the healthy server.
+    pool.refresh_loads();
+    pool.view_mut()
+        .update_load(ServerId(0), 1 << 21, 0, 0, rmp_cluster::Condition::Healthy);
+    assert_eq!(pool.view().most_promising(&[]), Some(ServerId(0)));
+    flaky[0].script(&[Step::TimedOut]);
+    pool.page_out(ServerId(0), StoreKey(1), &Page::deterministic(1))
+        .expect("retried");
+    assert_eq!(
+        pool.view().status(ServerId(0)).unwrap().condition,
+        rmp_cluster::Condition::Suspect
+    );
+    assert_eq!(
+        pool.view().most_promising(&[]),
+        Some(ServerId(1)),
+        "a suspect server loses placement priority to any healthy one"
+    );
+    assert!(
+        pool.view().live_servers().contains(&ServerId(0)),
+        "suspect is deprioritized, not abandoned: its pages stay reachable"
+    );
+}
+
+// --- permanent death → existing crash recovery ------------------------------
+
+#[test]
+fn mirroring_permanent_death_recovers_from_mirror() {
+    let (flaky, mut pager) = flaky_pager(Policy::Mirroring, 2, 3);
+    for i in 0..12u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    flaky[0].kill();
+    // Reads must survive: the retry budget drains, server 0 is declared
+    // dead, and the surviving mirror serves every page.
+    for i in 0..12u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("mirror survives"),
+            Page::deterministic(i)
+        );
+    }
+    assert!(!pager.pool().view().is_alive(ServerId(0)));
+    // The existing recovery machinery restores two-copy redundancy on the
+    // survivors.
+    pager.pool_mut().refresh_loads();
+    pager.recover_from_crash(ServerId(0)).expect("re-mirror");
+}
+
+#[test]
+fn parity_logging_permanent_death_recovers_via_parity() {
+    let (flaky, mut pager) = flaky_pager(Policy::ParityLogging, 2, 3);
+    for i in 0..12u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    pager.flush().expect("flush");
+    flaky[0].kill();
+    for i in 0..12u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("parity reconstruction"),
+            Page::deterministic(i)
+        );
+    }
+    assert!(!pager.pool().view().is_alive(ServerId(0)));
+}
+
+#[test]
+fn basic_parity_rebuilds_a_wiped_server_in_place() {
+    let (flaky, mut pager) = flaky_pager(Policy::BasicParity, 2, 3);
+    for i in 0..12u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    // The workstation restarts with empty memory; basic parity rebuilds
+    // the lost pages onto it in place once it is back.
+    flaky[0].kill();
+    flaky[0].revive_empty();
+    pager.pool_mut().view_mut().mark_alive(ServerId(0));
+    pager.recover_from_crash(ServerId(0)).expect("rebuild");
+    for i in 0..12u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("rebuilt"),
+            Page::deterministic(i)
+        );
+    }
+}
+
+// --- typed refusals ---------------------------------------------------------
+
+#[test]
+fn typed_out_of_memory_maps_to_no_space_without_retry() {
+    let (flaky, mut pool) = flaky_pool(1);
+    // First call (Alloc) succeeds; the pageout is refused with the typed
+    // out-of-memory code.
+    flaky[0].script(&[Step::Serve, Step::Refuse(ErrorCode::OutOfMemory)]);
+    pool.reserve_frame(ServerId(0)).expect("alloc");
+    let err = pool
+        .page_out(ServerId(0), StoreKey(9), &Page::deterministic(9))
+        .expect_err("refused");
+    assert!(matches!(err, RmpError::NoSpace(ServerId(0))), "got {err:?}");
+    assert_eq!(
+        flaky[0].calls(),
+        2,
+        "a typed refusal is an answer, not a transport failure: no retry"
+    );
+    assert!(
+        pool.view().is_alive(ServerId(0)),
+        "an out-of-memory server still serves its stored pages"
+    );
+}
+
+#[test]
+fn typed_shutting_down_declares_the_server_dead_without_retry() {
+    let (flaky, mut pool) = flaky_pool(1);
+    flaky[0].script(&[Step::Refuse(ErrorCode::ShuttingDown)]);
+    let err = pool
+        .page_in(ServerId(0), StoreKey(1))
+        .expect_err("draining");
+    assert!(matches!(err, RmpError::ServerCrashed(ServerId(0))));
+    assert_eq!(flaky[0].calls(), 1, "no point retrying a draining server");
+    assert!(!pool.view().is_alive(ServerId(0)));
+}
+
+#[test]
+fn exhausted_timeouts_surface_as_typed_timeout_and_death() {
+    let (flaky, mut pool) = flaky_pool(1);
+    flaky[0].script(&[Step::TimedOut, Step::TimedOut, Step::TimedOut]);
+    let err = pool
+        .page_in(ServerId(0), StoreKey(1))
+        .expect_err("exhausted");
+    assert!(
+        matches!(err, RmpError::Timeout(ServerId(0))),
+        "timeouts surface as Timeout, not a generic crash: {err:?}"
+    );
+    assert_eq!(flaky[0].calls(), 3, "the full retry budget was spent");
+    assert!(!pool.view().is_alive(ServerId(0)));
+}
+
+// --- grant accounting (the reserve/pageout leak) ----------------------------
+
+#[test]
+fn failed_pageout_returns_the_reserved_frame() {
+    let (flaky, mut pool) = flaky_pool(1);
+    flaky[0].script(&[Step::Serve, Step::Refuse(ErrorCode::OutOfMemory)]);
+    pool.reserve_frame(ServerId(0)).expect("alloc of 64");
+    let granted_after_reserve = pool.granted_frames(ServerId(0));
+    pool.page_out(ServerId(0), StoreKey(5), &Page::deterministic(5))
+        .expect_err("refused");
+    pool.return_frame(ServerId(0));
+    assert_eq!(
+        pool.granted_frames(ServerId(0)),
+        granted_after_reserve + 1,
+        "the unused frame went back to the local grant pool"
+    );
+    let calls_before = flaky[0].calls();
+    pool.reserve_frame(ServerId(0)).expect("local grant");
+    assert_eq!(
+        flaky[0].calls(),
+        calls_before,
+        "re-reserving consumes the returned frame without another Alloc"
+    );
+}
+
+#[test]
+fn engine_fallback_does_not_leak_grants() {
+    // Server 0 accepts the Alloc but refuses every store; the engine must
+    // return the frame before falling back, so 0's local grant count is
+    // intact when the server recovers.
+    let (flaky, mut pager) = flaky_pager(Policy::NoReliability, 2, 2);
+    pager.pool_mut().refresh_loads();
+    flaky[0].script(&[
+        Step::Serve,                          // Alloc succeeds...
+        Step::Refuse(ErrorCode::OutOfMemory), // ...every store is refused.
+        Step::Refuse(ErrorCode::OutOfMemory),
+        Step::Refuse(ErrorCode::OutOfMemory),
+    ]);
+    for i in 0..4u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("lands on server 1 or disk");
+    }
+    // One Alloc granted a 64-frame chunk; the reserve took one frame and
+    // the refused store must have put it back — any leak shows up as a
+    // count below the full chunk.
+    assert_eq!(
+        pager.pool().granted_frames(ServerId(0)),
+        64,
+        "refused stores returned their frames instead of leaking the grant"
+    );
+}
+
+// --- degraded pool flips the adaptive disk switch ---------------------------
+
+#[test]
+fn degraded_pool_flips_prefers_disk() {
+    let (flaky, pool) = flaky_pool(2);
+    let mut pager = Pager::builder(
+        PagerConfig::new(Policy::NoReliability)
+            .with_servers(2)
+            .with_adaptive_threshold_ms(5.0)
+            .with_transport(TransportConfig {
+                retry: RetryPolicy::no_retry(),
+                ..TransportConfig::default()
+            }),
+    )
+    .pool(pool)
+    .disk(Box::new(RamDisk::unbounded()))
+    .build()
+    .expect("pager");
+    // Every call burns 15 ms of deadline before failing — the service-time
+    // statistics must see that elapsed time even though the calls failed,
+    // otherwise a hung cluster looks *fast* (failures returned "instantly")
+    // and the adaptive switch never fires.
+    for server in &flaky {
+        server.script(&[Step::SlowTimeout(Duration::from_millis(15)); 8]);
+    }
+    for i in 0..6u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("disk fallback absorbs the failures");
+    }
+    assert!(
+        pager.prefers_disk(),
+        "avg service time {} ms over threshold 5 ms must flip the disk switch",
+        pager.pool().avg_service_ms()
+    );
+    for i in 0..6u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("readback"),
+            Page::deterministic(i)
+        );
+    }
+}
+
+// --- no call path may block without a deadline ------------------------------
+
+#[test]
+fn silent_server_cannot_block_the_paging_path() {
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    // A real TCP server that accepts and then never answers: without armed
+    // deadlines, page_in would block inside read_exact for minutes.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let guard = std::thread::spawn(move || {
+        // Exactly two dials arrive: the initial connect and the one redial
+        // the 2-attempt retry budget performs. Swallow each request and
+        // never answer.
+        let mut held = Vec::new();
+        for _ in 0..2 {
+            match listener.accept() {
+                Ok((mut sock, _)) => {
+                    let mut sink = [0u8; 4096];
+                    let _ = sock.read(&mut sink);
+                    held.push(sock);
+                }
+                Err(_) => break,
+            }
+        }
+    });
+
+    let cfg = TransportConfig {
+        connect_timeout: Duration::from_millis(300),
+        read_timeout: Duration::from_millis(100),
+        write_timeout: Duration::from_millis(300),
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter: 0.0,
+        },
+    };
+    let mut pool = ServerPool::with_transport_config(cfg.clone());
+    let transport = TcpTransport::connect_with(&addr, &cfg).expect("connect");
+    pool.add_transport(ServerId(0), Box::new(transport), 1.0);
+
+    let start = Instant::now();
+    let err = pool
+        .page_in(ServerId(0), StoreKey(1))
+        .expect_err("no reply ever comes");
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "the paging path returned in bounded time, not kernel-TCP time"
+    );
+    assert!(
+        matches!(err, RmpError::Timeout(ServerId(0))),
+        "deadline expiry surfaces as the typed timeout: {err:?}"
+    );
+    drop(pool);
+    guard.join().expect("listener thread");
+}

@@ -1,7 +1,7 @@
 //! Protocol messages and their binary encoding.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use rmp_types::{Page, Result, RmpError, StoreKey, PAGE_SIZE};
+use rmp_types::{ErrorCode, Page, Result, RmpError, StoreKey, PAGE_SIZE};
 
 use crate::wire::{FrameHeader, Opcode, HEADER_LEN};
 
@@ -131,9 +131,11 @@ pub enum Message {
     InjectCrash,
     /// Orderly session shutdown.
     Shutdown,
-    /// Error reply with human-readable context.
+    /// Error reply: a typed failure reason plus human-readable context.
     Error {
-        /// Description of the failure.
+        /// Typed failure reason driving client-side handling.
+        code: ErrorCode,
+        /// Description of the failure (diagnostics only).
         message: String,
     },
     /// Basic-parity pageout: store `page` under `id`, reply with the XOR of
@@ -245,8 +247,9 @@ impl Message {
                     payload.put_u64_le(id.0);
                 }
             }
-            Message::Error { message } => {
+            Message::Error { code, message } => {
                 let bytes = message.as_bytes();
+                payload.put_u8(code.to_u8());
                 payload.put_u32_le(bytes.len() as u32);
                 payload.put_slice(bytes);
             }
@@ -390,13 +393,14 @@ impl Message {
             Opcode::InjectCrash => Message::InjectCrash,
             Opcode::Shutdown => Message::Shutdown,
             Opcode::Error => {
-                need(&buf, 4, "Error")?;
+                need(&buf, 5, "Error")?;
+                let code = ErrorCode::from_u8(buf.get_u8());
                 let len = buf.get_u32_le() as usize;
                 need(&buf, len, "Error message")?;
                 let bytes = buf.copy_to_bytes(len);
                 let message = String::from_utf8(bytes.to_vec())
                     .map_err(|_| RmpError::Protocol("error message not UTF-8".into()))?;
-                Message::Error { message }
+                Message::Error { code, message }
             }
             Opcode::PageOutDelta => {
                 need(&buf, 8, "PageOutDelta")?;
@@ -497,7 +501,12 @@ mod tests {
         round_trip(Message::InjectCrash);
         round_trip(Message::Shutdown);
         round_trip(Message::Error {
+            code: ErrorCode::OutOfMemory,
             message: "swap full".into(),
+        });
+        round_trip(Message::Error {
+            code: ErrorCode::ShuttingDown,
+            message: String::new(),
         });
         round_trip(Message::PageOutDelta {
             id: StoreKey(13),
@@ -557,9 +566,25 @@ mod tests {
     #[test]
     fn error_message_must_be_utf8() {
         let mut payload = BytesMut::new();
+        payload.put_u8(ErrorCode::Internal.to_u8());
         payload.put_u32_le(2);
         payload.put_slice(&[0xFF, 0xFE]);
         assert!(Message::decode(Opcode::Error, payload.freeze()).is_err());
+    }
+
+    #[test]
+    fn unknown_error_code_degrades_to_internal() {
+        let mut payload = BytesMut::new();
+        payload.put_u8(200); // Code from a future protocol revision.
+        payload.put_u32_le(2);
+        payload.put_slice(b"hi");
+        match Message::decode(Opcode::Error, payload.freeze()).expect("decodes") {
+            Message::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Internal);
+                assert_eq!(message, "hi");
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
     }
 
     #[test]

@@ -82,7 +82,9 @@ impl<S: Read + Write> Framed<S> {
     /// used by the paging daemon.
     ///
     /// If the server answers with [`Message::Error`] this returns
-    /// [`RmpError::Protocol`] carrying the server's message.
+    /// [`RmpError::Remote`] carrying the typed code and the server's
+    /// message, so callers can branch on the reason without string
+    /// matching.
     ///
     /// # Errors
     ///
@@ -90,9 +92,7 @@ impl<S: Read + Write> Framed<S> {
     pub fn call(&mut self, msg: &Message) -> Result<Message> {
         self.send(msg)?;
         match self.recv()? {
-            Message::Error { message } => {
-                Err(RmpError::Protocol(format!("server error: {message}")))
-            }
+            Message::Error { code, message } => Err(RmpError::Remote { code, message }),
             reply => Ok(reply),
         }
     }
@@ -101,7 +101,7 @@ impl<S: Read + Write> Framed<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rmp_types::{Page, StoreKey};
+    use rmp_types::{ErrorCode, Page, StoreKey};
     use std::collections::VecDeque;
     use std::io;
 
@@ -189,6 +189,7 @@ mod tests {
     #[test]
     fn call_surfaces_server_error() {
         let reply = Message::Error {
+            code: ErrorCode::OutOfMemory,
             message: "denied".into(),
         };
         let mut framed = Framed::new(Pipe {
@@ -196,6 +197,13 @@ mod tests {
             out: Vec::new(),
         });
         let err = framed.call(&Message::LoadQuery).expect_err("error reply");
+        match &err {
+            RmpError::Remote { code, message } => {
+                assert_eq!(*code, ErrorCode::OutOfMemory);
+                assert_eq!(message, "denied");
+            }
+            other => panic!("expected typed remote error, got {other:?}"),
+        }
         assert!(err.to_string().contains("denied"));
     }
 }

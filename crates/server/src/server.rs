@@ -8,7 +8,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 use rmp_proto::{Framed, LoadHint, Message};
-use rmp_types::{Result, RmpError};
+use rmp_types::{ErrorCode, Result, RmpError};
 
 use crate::store::PageStore;
 
@@ -205,6 +205,15 @@ enum SessionAction {
 }
 
 fn handle_message(shared: &Shared, scope: SessionScope, msg: Message) -> SessionAction {
+    // A shutdown may land between this session's recv and dispatch; answer
+    // with a typed code so the client can write the page elsewhere instead
+    // of diagnosing a dead socket.
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return SessionAction::Reply(Message::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining connections".into(),
+        });
+    }
     match msg {
         Message::Alloc { pages } => {
             let granted = shared.store.lock().grant(pages as usize) as u32;
@@ -222,6 +231,7 @@ fn handle_message(shared: &Shared, scope: SessionScope, msg: Message) -> Session
                 })
             } else {
                 SessionAction::Reply(Message::Error {
+                    code: ErrorCode::OutOfMemory,
                     message: format!("out of memory storing {id}"),
                 })
             }
@@ -274,6 +284,7 @@ fn handle_message(shared: &Shared, scope: SessionScope, msg: Message) -> Session
                     hint: shared.hint(),
                 }),
                 None => SessionAction::Reply(Message::Error {
+                    code: ErrorCode::OutOfMemory,
                     message: format!("out of memory storing {id}"),
                 }),
             }
@@ -284,6 +295,7 @@ fn handle_message(shared: &Shared, scope: SessionScope, msg: Message) -> Session
                 SessionAction::Reply(Message::XorAck { id })
             } else {
                 SessionAction::Reply(Message::Error {
+                    code: ErrorCode::OutOfMemory,
                     message: format!("out of memory creating parity {id}"),
                 })
             }
@@ -292,6 +304,7 @@ fn handle_message(shared: &Shared, scope: SessionScope, msg: Message) -> Session
         Message::Shutdown => SessionAction::Close,
         // Replies arriving as requests are protocol violations.
         other => SessionAction::Reply(Message::Error {
+            code: ErrorCode::Internal,
             message: format!("unexpected request {:?}", other.opcode()),
         }),
     }

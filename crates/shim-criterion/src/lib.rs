@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the workspace's benchmark harness compiling and runnable
+//! without the registry: benchmarks execute as simple timed loops and
+//! print mean wall-clock per iteration. No statistical analysis, no
+//! HTML reports — just enough to smoke-test the bench code paths.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized; only the variant the workspace uses.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup cost.
+    SmallInput,
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives the measured routine inside `bench_function`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup` output per iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the iteration count used for each benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1) as u64;
+        self
+    }
+
+    /// Runs `f` as a timed loop and prints the mean per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: self.samples,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters.max(1));
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if per_iter > 0 => {
+                let gib = bytes as f64 / per_iter as f64; // bytes/ns == GiB-ish/s
+                format!("  ({gib:.3} GB/s)")
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {per_iter} ns/iter{rate}", self.name);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group with default settings (20 iterations).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 20,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the
+/// measured work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles bench functions under one name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        let mut runs = 0u64;
+        group
+            .throughput(Throughput::Bytes(4096))
+            .sample_size(5)
+            .bench_function("count", |bench| bench.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn iter_batched_sets_up_each_iteration() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        let mut setups = 0u64;
+        group.sample_size(7).bench_function("batched", |bench| {
+            bench.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 8]
+                },
+                |buf| buf.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 7);
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the bounded MPSC channel subset used by the write-behind
+//! device, implemented over `std::sync::mpsc`.
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when every sender is gone and the queue is empty.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of a bounded channel; cloneable.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the queue is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value when the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Receives the next value, blocking while the queue is empty.
+        ///
+        /// # Errors
+        ///
+        /// Fails when every sender has been dropped and nothing is queued.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Receives without blocking, `None` when empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued values
+    /// (`cap == 0` gives a rendezvous channel).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn values_arrive_in_order() {
+            let (tx, rx) = bounded(4);
+            for i in 0..4 {
+                tx.send(i).expect("send");
+            }
+            for i in 0..4 {
+                assert_eq!(rx.recv().expect("recv"), i);
+            }
+        }
+
+        #[test]
+        fn full_queue_applies_backpressure() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).expect("fits");
+            let tx2 = tx.clone();
+            let handle = std::thread::spawn(move || tx2.send(2).expect("unblocks"));
+            assert_eq!(rx.recv().expect("recv"), 1);
+            handle.join().expect("join");
+            assert_eq!(rx.recv().expect("recv"), 2);
+        }
+
+        #[test]
+        fn dropped_receiver_errors_send() {
+            let (tx, rx) = bounded(1);
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn dropped_senders_error_recv() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

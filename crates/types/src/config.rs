@@ -1,7 +1,126 @@
 //! Pager configuration.
 
+use std::time::Duration;
+
 use crate::error::{Result, RmpError};
 use crate::policy::Policy;
+
+/// Bounded-retry policy applied by the server pool before a server is
+/// declared dead.
+///
+/// Attempt `n` (zero-based, after the first failure) sleeps
+/// `min(base_backoff * 2^n, max_backoff)` scaled by a random factor in
+/// `[1 - jitter, 1 + jitter]`, then reconnects and retries. With the
+/// defaults (3 attempts, 10 ms base, 500 ms cap, 20 % jitter) a
+/// transient stall costs at most ~40 ms of backoff before the pager
+/// falls back to crash recovery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per logical call, including the first
+    /// (`1` disables retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Random scale applied to each sleep, as a fraction in `[0, 1]`;
+    /// `0.2` means ±20 %. Keeps retried mirror writes from re-colliding.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter: 0.2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: one attempt, no backoff.
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    /// Nominal backoff before retry `attempt` (zero-based), without
+    /// jitter: exponential from `base_backoff`, capped at `max_backoff`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_backoff
+            .checked_mul(factor)
+            .map_or(self.max_backoff, |d| d.min(self.max_backoff))
+    }
+}
+
+/// Deadlines and retry behaviour of the TCP transport.
+///
+/// Every socket operation in the paging path runs under one of these
+/// deadlines; a pager configured with finite timeouts can never block
+/// indefinitely on a hung server (the paper's pager relied on the
+/// kernel's TCP timeouts, minutes long — far beyond what a page fault
+/// can tolerate).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransportConfig {
+    /// Deadline for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for each blocking read (one reply frame).
+    pub read_timeout: Duration,
+    /// Deadline for each blocking write (one request frame).
+    pub write_timeout: Duration,
+    /// Retry/backoff behaviour on transient failures.
+    pub retry: RetryPolicy,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            connect_timeout: Duration::from_millis(1000),
+            read_timeout: Duration::from_millis(2000),
+            write_timeout: Duration::from_millis(2000),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Validates deadline and retry parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmpError::Config`] for zero timeouts, zero attempts, or
+    /// jitter outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.connect_timeout.is_zero()
+            || self.read_timeout.is_zero()
+            || self.write_timeout.is_zero()
+        {
+            return Err(RmpError::Config(
+                "transport timeouts must be positive".into(),
+            ));
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(RmpError::Config("retry needs at least one attempt".into()));
+        }
+        if !(0.0..=1.0).contains(&self.retry.jitter) || !self.retry.jitter.is_finite() {
+            return Err(RmpError::Config(format!(
+                "retry jitter {} outside [0, 1]",
+                self.retry.jitter
+            )));
+        }
+        if self.retry.max_backoff < self.retry.base_backoff {
+            return Err(RmpError::Config("max backoff below base backoff".into()));
+        }
+        Ok(())
+    }
+}
 
 /// Configuration of the remote memory pager client.
 ///
@@ -37,6 +156,8 @@ pub struct PagerConfig {
     /// Adaptive network-load switching threshold, ms per request
     /// (Section 5, "Network load"); `None` disables the adaptive switch.
     pub adaptive_threshold_ms: Option<f64>,
+    /// Socket deadlines and retry/backoff behaviour of the paging path.
+    pub transport: TransportConfig,
 }
 
 impl PagerConfig {
@@ -55,6 +176,7 @@ impl PagerConfig {
             disk_fallback: true,
             group_size: servers,
             adaptive_threshold_ms: None,
+            transport: TransportConfig::default(),
         }
     }
 
@@ -88,6 +210,18 @@ impl PagerConfig {
     /// network service time exceeds `ms`.
     pub fn with_adaptive_threshold_ms(mut self, ms: f64) -> Self {
         self.adaptive_threshold_ms = Some(ms);
+        self
+    }
+
+    /// Replaces the transport deadlines and retry policy.
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Replaces just the retry policy, keeping the default deadlines.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.transport.retry = retry;
         self
     }
 
@@ -129,7 +263,7 @@ impl PagerConfig {
                 )));
             }
         }
-        Ok(())
+        self.transport.validate()
     }
 }
 
@@ -209,5 +343,48 @@ mod tests {
     fn with_servers_resets_group_size() {
         let cfg = PagerConfig::new(Policy::ParityLogging).with_servers(8);
         assert_eq!(cfg.group_size, 8);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let retry = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(50),
+            jitter: 0.0,
+        };
+        assert_eq!(retry.backoff_for(0), Duration::from_millis(10));
+        assert_eq!(retry.backoff_for(1), Duration::from_millis(20));
+        assert_eq!(retry.backoff_for(2), Duration::from_millis(40));
+        assert_eq!(retry.backoff_for(3), Duration::from_millis(50));
+        assert_eq!(retry.backoff_for(40), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn no_retry_policy_is_single_attempt() {
+        let retry = RetryPolicy::no_retry();
+        assert_eq!(retry.max_attempts, 1);
+        assert_eq!(retry.backoff_for(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn rejects_bad_transport_config() {
+        let mut cfg = PagerConfig::default();
+        cfg.transport.read_timeout = Duration::ZERO;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = PagerConfig::default();
+        cfg.transport.retry.max_attempts = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = PagerConfig::default();
+        cfg.transport.retry.jitter = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = PagerConfig::default();
+        cfg.transport.retry.max_backoff = Duration::from_millis(1);
+        assert!(cfg.validate().is_err());
+
+        assert!(PagerConfig::default().validate().is_ok());
     }
 }

@@ -8,6 +8,62 @@ use crate::ids::{PageId, ServerId};
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, RmpError>;
 
+/// Typed failure reason carried in protocol `Error` frames.
+///
+/// Replaces string matching on error messages: a server reports *why* a
+/// request failed as one of these codes, and the client maps each code
+/// to pager-level behaviour (`OutOfMemory` → try another server,
+/// `ShuttingDown` → treat the server as gone, ...). The human-readable
+/// message travels alongside the code for diagnostics only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The server's swap allocation is exhausted; the request may
+    /// succeed on a different server.
+    OutOfMemory,
+    /// The request named a page or group the server does not hold.
+    UnknownKey,
+    /// The server is draining connections and will not accept work.
+    ShuttingDown,
+    /// An unexpected server-side failure; not attributable to the
+    /// request.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire encoding of the code.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::OutOfMemory => 1,
+            ErrorCode::UnknownKey => 2,
+            ErrorCode::ShuttingDown => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    /// Decodes a wire byte; unknown bytes map to [`ErrorCode::Internal`]
+    /// so newer servers stay intelligible to older clients.
+    pub fn from_u8(raw: u8) -> ErrorCode {
+        match raw {
+            1 => ErrorCode::OutOfMemory,
+            2 => ErrorCode::UnknownKey,
+            3 => ErrorCode::ShuttingDown,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::OutOfMemory => "out-of-memory",
+            ErrorCode::UnknownKey => "unknown-key",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
 /// Errors produced by the remote memory pager and its substrates.
 #[derive(Debug)]
 pub enum RmpError {
@@ -15,6 +71,17 @@ pub enum RmpError {
     Io(io::Error),
     /// A wire-protocol frame was malformed or unexpected.
     Protocol(String),
+    /// A server returned a typed `Error` frame; the request itself was
+    /// delivered and answered, so the transport is healthy.
+    Remote {
+        /// Typed failure reason.
+        code: ErrorCode,
+        /// Diagnostic message supplied by the server.
+        message: String,
+    },
+    /// A request to a server exceeded its configured deadline
+    /// (connect, read, or write timeout).
+    Timeout(ServerId),
     /// A server denied a swap-space allocation request (out of memory).
     NoSpace(ServerId),
     /// No registered server can accept more pages and no disk fallback is
@@ -40,6 +107,10 @@ impl fmt::Display for RmpError {
         match self {
             RmpError::Io(e) => write!(f, "i/o error: {e}"),
             RmpError::Protocol(m) => write!(f, "protocol error: {m}"),
+            RmpError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+            RmpError::Timeout(s) => write!(f, "request to server {s} timed out"),
             RmpError::NoSpace(s) => write!(f, "server {s} denied swap allocation"),
             RmpError::ClusterFull => write!(f, "no server has free memory and no disk fallback"),
             RmpError::PageNotFound(p) => write!(f, "page {p} not found"),
@@ -72,7 +143,8 @@ impl RmpError {
     /// server, i.e. the condition the reliability policies recover from.
     pub fn is_server_failure(&self) -> bool {
         match self {
-            RmpError::ServerCrashed(_) => true,
+            RmpError::ServerCrashed(_) | RmpError::Timeout(_) => true,
+            RmpError::Remote { code, .. } => *code == ErrorCode::ShuttingDown,
             RmpError::Io(e) => matches!(
                 e.kind(),
                 io::ErrorKind::ConnectionReset
@@ -81,6 +153,20 @@ impl RmpError {
                     | io::ErrorKind::UnexpectedEof
                     | io::ErrorKind::ConnectionRefused
                     | io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` when the error is a deadline expiry: the server
+    /// may still be alive but slow, which retry/backoff handles
+    /// differently from a hard crash.
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            RmpError::Timeout(_) => true,
+            RmpError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
             ),
             _ => false,
         }
@@ -111,6 +197,49 @@ mod tests {
         assert!(RmpError::ServerCrashed(ServerId(0)).is_server_failure());
         assert!(!RmpError::ClusterFull.is_server_failure());
         assert!(!RmpError::Corrupt(PageId(1)).is_server_failure());
+    }
+
+    #[test]
+    fn error_code_roundtrips_on_wire() {
+        for code in [
+            ErrorCode::OutOfMemory,
+            ErrorCode::UnknownKey,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.to_u8()), code);
+        }
+        // Unknown bytes degrade to Internal rather than failing decode.
+        assert_eq!(ErrorCode::from_u8(0), ErrorCode::Internal);
+        assert_eq!(ErrorCode::from_u8(250), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn timeout_classification() {
+        assert!(RmpError::Timeout(ServerId(1)).is_timeout());
+        assert!(RmpError::Timeout(ServerId(1)).is_server_failure());
+        let wouldblock: RmpError = io::Error::new(io::ErrorKind::WouldBlock, "t/o").into();
+        assert!(wouldblock.is_timeout());
+        let timed: RmpError = io::Error::new(io::ErrorKind::TimedOut, "t/o").into();
+        assert!(timed.is_timeout());
+        assert!(!RmpError::ServerCrashed(ServerId(0)).is_timeout());
+        assert!(!RmpError::ClusterFull.is_timeout());
+    }
+
+    #[test]
+    fn remote_errors_classify_by_code() {
+        let oom = RmpError::Remote {
+            code: ErrorCode::OutOfMemory,
+            message: "swap full".into(),
+        };
+        assert!(!oom.is_server_failure());
+        assert!(!oom.is_timeout());
+        let down = RmpError::Remote {
+            code: ErrorCode::ShuttingDown,
+            message: "draining".into(),
+        };
+        assert!(down.is_server_failure());
+        assert!(oom.to_string().contains("out-of-memory"));
     }
 
     #[test]

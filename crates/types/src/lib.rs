@@ -17,8 +17,8 @@ pub mod page;
 pub mod policy;
 pub mod stats;
 
-pub use config::PagerConfig;
-pub use error::{Result, RmpError};
+pub use config::{PagerConfig, RetryPolicy, TransportConfig};
+pub use error::{ErrorCode, Result, RmpError};
 pub use hw::Hw1996;
 pub use ids::{ClientId, GroupId, PageId, ServerId, StoreKey};
 pub use page::{Page, PAGE_SIZE};

@@ -53,7 +53,9 @@ fn parity_logging_survives_a_chaotic_week() {
                 reference.remove(&id);
             }
             // 4 %: flush (seal the pending parity group).
-            88..=91 => pager.flush().unwrap_or_else(|e| panic!("step {step}: flush: {e}")),
+            88..=91 => pager
+                .flush()
+                .unwrap_or_else(|e| panic!("step {step}: flush: {e}")),
             // 4 %: crash a random data server (at most one down at once).
             92..=95 => {
                 if crashed.is_none() {
@@ -151,7 +153,9 @@ fn mirroring_survives_the_same_chaos() {
     }
     for (&id, &v) in &reference {
         assert_eq!(
-            pager.page_in(id).unwrap_or_else(|e| panic!("sweep {id}: {e}")),
+            pager
+                .page_in(id)
+                .unwrap_or_else(|e| panic!("sweep {id}: {e}")),
             Page::deterministic(v)
         );
     }
