@@ -57,9 +57,11 @@ fn bench_parity(c: &mut Criterion) {
 
 fn bench_proto(c: &mut Criterion) {
     let mut g = c.benchmark_group("proto");
+    let page = Page::deterministic(42);
     let msg = Message::PageOut {
         id: StoreKey(42),
-        page: Page::deterministic(42),
+        checksum: page.checksum(),
+        page,
     };
     g.throughput(Throughput::Bytes(PAGE_SIZE as u64));
     g.bench_function("encode_pageout", |bench| {

@@ -4,21 +4,39 @@
 //! memory overhead, and crash-recovery overhead ("not as important ...
 //! since it is affordable to devote a few more seconds whenever a server
 //! crashes"). This harness crashes a real server under each policy and
-//! measures what recovery actually takes: pages rebuilt, page transfers,
-//! and wall time — alongside the policy's steady-state overheads.
+//! measures what recovery actually takes: the cost of serving pageins
+//! *degraded* (straight from the surviving redundancy, before any rebuild
+//! runs), then pages rebuilt, page transfers, and wall time for the full
+//! recovery — alongside the policy's steady-state overheads.
+//!
+//! Results are also written as JSON (`BENCH_recovery.json`, or the path
+//! in `BENCH_OUT`) so CI can archive them; `RECOVERY_PAGES` overrides the
+//! resident-page count for smoke runs.
+
+use std::time::Instant;
 
 use rmp::LocalCluster;
 use rmp_blockdev::PagingDevice;
 use rmp_types::{Page, PageId, PagerConfig, Policy, ServerId};
 
-const PAGES: u64 = 1500;
-
 fn main() {
-    println!("Crash recovery cost per reliability policy ({PAGES} pages resident)\n");
+    let pages: u64 = std::env::var("RECOVERY_PAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    println!("Crash recovery cost per reliability policy ({pages} pages resident)\n");
     println!(
-        "{:<15} {:>9} {:>10} {:>10} {:>10} {:>12} {:>10}",
-        "policy", "xfers/out", "mem ovhd", "rebuilt", "rec xfers", "rec time", "data loss"
+        "{:<15} {:>9} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "policy",
+        "xfers/out",
+        "mem ovhd",
+        "deg xfers",
+        "rebuilt",
+        "rec xfers",
+        "rec time",
+        "data loss"
     );
+    let mut json_rows: Vec<String> = Vec::new();
     for policy in [
         Policy::NoReliability,
         Policy::ParityLogging,
@@ -38,18 +56,53 @@ fn main() {
         let mut pager = cluster
             .pager(PagerConfig::new(policy).with_servers(servers))
             .expect("pager");
-        for i in 0..PAGES {
+        for i in 0..pages {
             pager
                 .page_out(PageId(i), &Page::deterministic(i))
                 .expect("pageout");
         }
         pager.flush().expect("flush");
         let overhead = pager.stats().outbound_transfers_per_pageout();
-        // Crash the server holding the most pages.
+        // Crash the server holding the most pages; on a tie prefer the
+        // lowest index, so parity policies lose a data server (reads then
+        // actually exercise the degraded path) rather than the parity
+        // column parked on the highest-numbered server.
         let victim = (0..pool_size)
-            .max_by_key(|&i| cluster.handles()[i].stored_pages())
+            .max_by_key(|&i| (cluster.handles()[i].stored_pages(), std::cmp::Reverse(i)))
             .expect("nonempty");
         cluster.handles()[victim].crash();
+        // Degraded reads first: pageins naming the dead server are served
+        // from redundancy at per-page cost, before any rebuild runs.
+        let mut degraded = 0u64;
+        let mut degraded_transfers = 0u64;
+        let mut degraded_ns = 0u128;
+        if policy.survives_single_crash() {
+            for i in 0..pages {
+                let before = pager.stats().degraded_reads;
+                let wire = pager.pool().wire_transfers();
+                let t = Instant::now();
+                let page = pager.page_in(PageId(i)).expect("degraded read");
+                assert_eq!(page, Page::deterministic(i), "{policy}: degraded content");
+                if pager.stats().degraded_reads > before {
+                    degraded += 1;
+                    degraded_transfers += pager.pool().wire_transfers() - wire;
+                    degraded_ns += t.elapsed().as_nanos();
+                    if degraded >= 32 {
+                        break;
+                    }
+                }
+            }
+        }
+        let deg_per_read = if degraded > 0 {
+            degraded_transfers as f64 / degraded as f64
+        } else {
+            0.0
+        };
+        let deg_ms_per_read = if degraded > 0 {
+            degraded_ns as f64 / degraded as f64 / 1e6
+        } else {
+            0.0
+        };
         if policy == Policy::BasicParity {
             cluster.handles()[victim].restart();
             pager
@@ -62,30 +115,49 @@ fn main() {
             Ok(report) => {
                 // Verify everything afterwards.
                 let mut intact = true;
-                for i in 0..PAGES {
+                for i in 0..pages {
                     if pager.page_in(PageId(i)).ok().as_ref() != Some(&Page::deterministic(i)) {
                         intact = false;
                         break;
                     }
                 }
                 println!(
-                    "{:<15} {:>9.2} {:>9.2}x {:>10} {:>10} {:>9.1} ms {:>10}",
+                    "{:<15} {:>9.2} {:>9.2}x {:>10.2} {:>10} {:>10} {:>9.1} ms {:>10}",
                     policy.label(),
                     overhead,
                     policy.memory_overhead(servers, 0.10),
+                    deg_per_read,
                     report.total_rebuilt(),
                     report.transfers,
                     report.elapsed.as_secs_f64() * 1000.0,
                     if intact { "none" } else { "CORRUPT" },
                 );
                 assert!(intact, "{policy}: data intact after recovery");
-            }
-            Err(e) => {
-                println!(
-                    "{:<15} {:>9.2} {:>9.2}x {:>10} {:>10} {:>12} {:>10}",
+                json_rows.push(format!(
+                    "    {{\"policy\": \"{}\", \"transfers_per_pageout\": {:.4}, \
+                     \"memory_overhead\": {:.4}, \"degraded_reads\": {}, \
+                     \"degraded_transfers_per_read\": {:.4}, \
+                     \"degraded_ms_per_read\": {:.4}, \"pages_rebuilt\": {}, \
+                     \"recovery_transfers\": {}, \"recovery_ms\": {:.3}, \
+                     \"data_loss\": false}}",
                     policy.label(),
                     overhead,
                     policy.memory_overhead(servers, 0.10),
+                    degraded,
+                    deg_per_read,
+                    deg_ms_per_read,
+                    report.total_rebuilt(),
+                    report.transfers,
+                    report.elapsed.as_secs_f64() * 1000.0,
+                ));
+            }
+            Err(e) => {
+                println!(
+                    "{:<15} {:>9.2} {:>9.2}x {:>10} {:>10} {:>10} {:>12} {:>10}",
+                    policy.label(),
+                    overhead,
+                    policy.memory_overhead(servers, 0.10),
+                    "-",
                     "-",
                     "-",
                     "-",
@@ -95,9 +167,26 @@ fn main() {
                     policy == Policy::NoReliability,
                     "only no-reliability may lose data, got {e} under {policy}"
                 );
+                json_rows.push(format!(
+                    "    {{\"policy\": \"{}\", \"transfers_per_pageout\": {:.4}, \
+                     \"memory_overhead\": {:.4}, \"degraded_reads\": 0, \
+                     \"degraded_transfers_per_read\": 0, \"degraded_ms_per_read\": 0, \
+                     \"pages_rebuilt\": 0, \"recovery_transfers\": 0, \
+                     \"recovery_ms\": 0, \"data_loss\": true}}",
+                    policy.label(),
+                    overhead,
+                    policy.memory_overhead(servers, 0.10),
+                ));
             }
         }
     }
+    let json = format!(
+        "{{\n  \"bench\": \"recovery\",\n  \"pages\": {pages},\n  \"policies\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_recovery.json".into());
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
     println!("\npaper's trade-off, measured: mirroring recovers with the fewest");
     println!("transfers but pays 2x memory and 2 transfers per pageout; parity");
     println!("logging pays 1+1/S per pageout and ~1.1x memory, recovering each");

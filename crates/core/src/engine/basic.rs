@@ -1,11 +1,14 @@
 //! The basic PARITY policy: RAID-style fixed parity groups.
 
+use std::collections::VecDeque;
+
+use rmp_parity::basic::BasicRecovery;
 use rmp_parity::xor::reconstruct;
 use rmp_parity::BasicParityMap;
-use rmp_types::{Page, PageId, Result, RmpError, ServerId};
+use rmp_types::{Page, PageId, Result, RmpError, ServerId, StoreKey};
 
 use crate::engine::{Ctx, Engine};
-use crate::recovery::RecoveryReport;
+use crate::recovery::RecoveryStep;
 
 /// Fixed-layout parity (Section 2.2, "Parity"): page `(i, j)` is bound to
 /// server `i`, stripe slot `j`; parity page `j` covers all `j`th pages.
@@ -19,6 +22,16 @@ use crate::recovery::RecoveryReport;
 /// paper moves on to parity logging.
 pub struct BasicParity {
     map: BasicParityMap,
+    rebuild_queue: VecDeque<BasicWork>,
+}
+
+/// One planned rebuild item: a lost data page, or a lost parity page.
+enum BasicWork {
+    Data(BasicRecovery),
+    Parity {
+        key: StoreKey,
+        members: Vec<(ServerId, StoreKey)>,
+    },
 }
 
 impl BasicParity {
@@ -30,7 +43,36 @@ impl BasicParity {
     pub fn new(data_servers: Vec<ServerId>, parity_server: ServerId) -> Result<Self> {
         Ok(BasicParity {
             map: BasicParityMap::new(data_servers, parity_server)?,
+            rebuild_queue: VecDeque::new(),
         })
+    }
+
+    /// Fetches every surviving member of `plan`'s stripe plus its parity
+    /// page and solves the XOR equation for the lost page.
+    fn reconstruct_one(&self, ctx: &mut Ctx<'_>, plan: &BasicRecovery) -> Result<(Page, u64)> {
+        let mut transfers = 0;
+        let mut survivors = Vec::with_capacity(plan.fetch.len());
+        for &(s, k) in &plan.fetch {
+            if !ctx.pool.view().is_alive(s) {
+                return Err(RmpError::Unrecoverable(format!(
+                    "stripe of {} lost two members ({s} is down too)",
+                    plan.page_id
+                )));
+            }
+            survivors.push(ctx.pool.page_in(s, k)?);
+            ctx.stats.net_fetches += 1;
+            transfers += 1;
+        }
+        if !ctx.pool.view().is_alive(plan.parity.0) {
+            return Err(RmpError::Unrecoverable(format!(
+                "stripe of {} lost its parity server {} too",
+                plan.page_id, plan.parity.0
+            )));
+        }
+        let parity = ctx.pool.page_in(plan.parity.0, plan.parity.1)?;
+        ctx.stats.net_fetches += 1;
+        transfers += 1;
+        Ok((reconstruct(&parity, survivors.iter()), transfers))
     }
 }
 
@@ -94,50 +136,124 @@ impl Engine for BasicParity {
         self.map.location(id).is_some()
     }
 
-    fn recover(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
-        let start = std::time::Instant::now();
-        let mut report = RecoveryReport::new(server);
+    fn degraded_read(&mut self, ctx: &mut Ctx<'_>, id: PageId, dead: ServerId) -> Result<Page> {
+        let slot = self.map.location(id).ok_or(RmpError::PageNotFound(id))?;
+        if slot.server != dead && ctx.pool.view().is_alive(slot.server) {
+            // The page's own server survived the crash; read it directly.
+            let page = ctx.pool.page_in(slot.server, slot.key)?;
+            ctx.stats.net_fetches += 1;
+            return Ok(page);
+        }
+        // Reconstruct only the requested page from its stripe — the full
+        // column rebuild runs separately.
+        let plan = self
+            .map
+            .recovery_plan(slot.server)?
+            .into_iter()
+            .find(|p| p.page_id == id)
+            .ok_or(RmpError::PageNotFound(id))?;
+        let (page, _transfers) = self.reconstruct_one(ctx, &plan)?;
+        Ok(page)
+    }
+
+    fn primary_location(&self, id: PageId) -> Option<(ServerId, StoreKey)> {
+        let slot = self.map.location(id)?;
+        Some((slot.server, slot.key))
+    }
+
+    fn plan_recovery(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {
         if !ctx.pool.view().is_alive(server) {
             return Err(RmpError::Unrecoverable(format!(
                 "basic parity rebuilds in place: reconnect {server} (rebooted) first"
             )));
         }
+        self.rebuild_queue.clear();
         if server == self.map.parity_server() {
             // Parity-server crash: recompute every parity page from its
             // members.
-            for (parity_key, members) in self.map.parity_rebuild_plan() {
-                let mut acc = Page::zeroed();
-                for (s, k) in members {
-                    let piece = ctx.pool.page_in(s, k)?;
-                    ctx.stats.net_fetches += 1;
-                    report.transfers += 1;
-                    acc.xor_with(&piece);
-                }
-                ctx.reserve_and_page_out(server, parity_key, &acc)?;
-                ctx.stats.net_parity_transfers += 1;
-                report.transfers += 1;
-                report.parity_rebuilt += 1;
+            for (key, members) in self.map.parity_rebuild_plan() {
+                self.rebuild_queue
+                    .push_back(BasicWork::Parity { key, members });
             }
         } else {
             for plan in self.map.recovery_plan(server)? {
-                let mut survivors = Vec::with_capacity(plan.fetch.len());
-                for (s, k) in &plan.fetch {
-                    survivors.push(ctx.pool.page_in(*s, *k)?);
-                    ctx.stats.net_fetches += 1;
-                    report.transfers += 1;
-                }
-                let parity = ctx.pool.page_in(plan.parity.0, plan.parity.1)?;
-                ctx.stats.net_fetches += 1;
-                report.transfers += 1;
-                let rebuilt = reconstruct(&parity, survivors.iter());
-                ctx.reserve_and_page_out(server, plan.lost.key, &rebuilt)?;
-                ctx.stats.net_data_transfers += 1;
-                report.transfers += 1;
-                report.pages_rebuilt += 1;
+                self.rebuild_queue.push_back(BasicWork::Data(plan));
             }
         }
-        report.elapsed = start.elapsed();
-        Ok(report)
+        Ok(self.rebuild_queue.len() as u64)
+    }
+
+    fn recovery_step(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        server: ServerId,
+        page_budget: usize,
+    ) -> Result<RecoveryStep> {
+        let mut step = RecoveryStep::default();
+        while ((step.pages_rebuilt + step.parity_rebuilt) as usize) < page_budget {
+            let Some(work) = self.rebuild_queue.pop_front() else {
+                break;
+            };
+            match work {
+                BasicWork::Data(plan) => {
+                    let (rebuilt, transfers) = match self.reconstruct_one(ctx, &plan) {
+                        Ok(ok) => ok,
+                        Err(e) => {
+                            self.rebuild_queue.push_front(BasicWork::Data(plan));
+                            return Err(e);
+                        }
+                    };
+                    step.transfers += transfers;
+                    if let Err(e) = ctx.reserve_and_page_out(server, plan.lost.key, &rebuilt) {
+                        self.rebuild_queue.push_front(BasicWork::Data(plan));
+                        return Err(e);
+                    }
+                    ctx.stats.net_data_transfers += 1;
+                    step.transfers += 1;
+                    step.pages_rebuilt += 1;
+                }
+                BasicWork::Parity { key, members } => {
+                    let mut acc = Page::zeroed();
+                    let mut fetched = 0;
+                    let mut failed = None;
+                    for &(s, k) in &members {
+                        if !ctx.pool.view().is_alive(s) {
+                            failed = Some(RmpError::Unrecoverable(format!(
+                                "parity stripe {key} lost member server {s} too"
+                            )));
+                            break;
+                        }
+                        match ctx.pool.page_in(s, k) {
+                            Ok(piece) => {
+                                ctx.stats.net_fetches += 1;
+                                fetched += 1;
+                                acc.xor_with(&piece);
+                            }
+                            Err(e) => {
+                                failed = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    step.transfers += fetched;
+                    if let Some(e) = failed {
+                        self.rebuild_queue
+                            .push_front(BasicWork::Parity { key, members });
+                        return Err(e);
+                    }
+                    if let Err(e) = ctx.reserve_and_page_out(server, key, &acc) {
+                        self.rebuild_queue
+                            .push_front(BasicWork::Parity { key, members });
+                        return Err(e);
+                    }
+                    ctx.stats.net_parity_transfers += 1;
+                    step.transfers += 1;
+                    step.parity_rebuilt += 1;
+                }
+            }
+        }
+        step.remaining = self.rebuild_queue.len() as u64;
+        Ok(step)
     }
 
     fn migrate_from(&mut self, _ctx: &mut Ctx<'_>, _server: ServerId) -> Result<u64> {

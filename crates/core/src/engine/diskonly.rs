@@ -5,7 +5,7 @@ use std::collections::HashSet;
 use rmp_types::{Page, PageId, Result, RmpError, ServerId};
 
 use crate::engine::{Ctx, Engine};
-use crate::recovery::RecoveryReport;
+use crate::recovery::RecoveryStep;
 
 /// Pass-through to the local disk — the configuration the paper's figures
 /// label DISK, where "the page transfer requests go directly from the DEC
@@ -49,10 +49,19 @@ impl Engine for DiskOnly {
         self.present.contains(&id)
     }
 
-    fn recover(&mut self, _ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
+    fn plan_recovery(&mut self, _ctx: &mut Ctx<'_>, _server: ServerId) -> Result<u64> {
         // Disk paging involves no remote servers; a workstation crash
         // elsewhere loses nothing of ours.
-        Ok(RecoveryReport::new(server))
+        Ok(0)
+    }
+
+    fn recovery_step(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        _server: ServerId,
+        _page_budget: usize,
+    ) -> Result<RecoveryStep> {
+        Ok(RecoveryStep::default())
     }
 
     fn migrate_from(&mut self, _ctx: &mut Ctx<'_>, _server: ServerId) -> Result<u64> {

@@ -1,11 +1,11 @@
 //! The MIRRORING policy: two copies on two servers.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
-use rmp_types::{Page, PageId, Result, RmpError, ServerId};
+use rmp_types::{Page, PageId, Result, RmpError, ServerId, StoreKey};
 
 use crate::engine::{Ctx, Engine, Location};
-use crate::recovery::RecoveryReport;
+use crate::recovery::RecoveryStep;
 
 /// A mirrored page: two copies at distinct locations.
 #[derive(Clone, Copy, Debug)]
@@ -22,6 +22,8 @@ struct MirrorEntry {
 pub struct Mirroring {
     map: HashMap<PageId, MirrorEntry>,
     cursor: usize,
+    /// Pages awaiting re-mirroring after a crash (incremental recovery).
+    rebuild_queue: VecDeque<PageId>,
 }
 
 impl Mirroring {
@@ -130,25 +132,28 @@ impl Engine for Mirroring {
             .get(&id)
             .copied()
             .ok_or(RmpError::PageNotFound(id))?;
-        for loc in [entry.primary, entry.mirror] {
-            match loc {
-                Location::Remote { server, key } if ctx.pool.view().is_alive(server) => {
-                    match ctx.pool.page_in(server, key) {
-                        Ok(page) => {
-                            ctx.stats.net_fetches += 1;
-                            return Ok(page);
-                        }
-                        Err(RmpError::ServerCrashed(_) | RmpError::Timeout(_)) => continue,
-                        Err(e) => return Err(e),
-                    }
+        match entry.primary {
+            Location::Remote { server, key } => {
+                if !ctx.pool.view().is_alive(server) {
+                    return Err(RmpError::ServerCrashed(server));
                 }
-                Location::Remote { .. } => continue,
-                Location::LocalDisk => return ctx.disk_read(id),
+                match ctx.pool.page_in(server, key) {
+                    Ok(page) => {
+                        ctx.stats.net_fetches += 1;
+                        Ok(page)
+                    }
+                    // Surface the crash: the pager serves this read from
+                    // the surviving copy via `degraded_read` and enqueues
+                    // the re-mirror, rather than the engine quietly eating
+                    // the fault.
+                    Err(RmpError::ServerCrashed(_) | RmpError::Timeout(_)) => {
+                        Err(RmpError::ServerCrashed(server))
+                    }
+                    Err(e) => Err(e),
+                }
             }
+            Location::LocalDisk => ctx.disk_read(id),
         }
-        Err(RmpError::Unrecoverable(format!(
-            "both copies of {id} unavailable"
-        )))
     }
 
     fn free(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<()> {
@@ -171,34 +176,106 @@ impl Engine for Mirroring {
         self.map.contains_key(&id)
     }
 
-    fn recover(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
-        let start = std::time::Instant::now();
-        let mut report = RecoveryReport::new(server);
-        for id in self.pages_on(server) {
-            let entry = self.map[&id];
+    fn degraded_read(&mut self, ctx: &mut Ctx<'_>, id: PageId, dead: ServerId) -> Result<Page> {
+        let entry = self
+            .map
+            .get(&id)
+            .copied()
+            .ok_or(RmpError::PageNotFound(id))?;
+        for loc in [entry.primary, entry.mirror] {
+            match loc {
+                Location::Remote { server, key }
+                    if server != dead && ctx.pool.view().is_alive(server) =>
+                {
+                    match ctx.pool.page_in(server, key) {
+                        Ok(page) => {
+                            ctx.stats.net_fetches += 1;
+                            return Ok(page);
+                        }
+                        Err(RmpError::ServerCrashed(_) | RmpError::Timeout(_)) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Location::Remote { .. } => continue,
+                Location::LocalDisk => return ctx.disk_read(id),
+            }
+        }
+        Err(RmpError::Unrecoverable(format!(
+            "both copies of {id} unavailable"
+        )))
+    }
+
+    fn primary_location(&self, id: PageId) -> Option<(ServerId, StoreKey)> {
+        match self.map.get(&id)?.primary {
+            Location::Remote { server, key } => Some((server, key)),
+            Location::LocalDisk => None,
+        }
+    }
+
+    fn plan_recovery(&mut self, _ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {
+        self.rebuild_queue = self.pages_on(server).into();
+        Ok(self.rebuild_queue.len() as u64)
+    }
+
+    fn recovery_step(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        server: ServerId,
+        page_budget: usize,
+    ) -> Result<RecoveryStep> {
+        let mut step = RecoveryStep::default();
+        while (step.pages_rebuilt as usize) < page_budget {
+            let Some(id) = self.rebuild_queue.pop_front() else {
+                break;
+            };
+            // Entries overwritten or freed since planning need no rebuild.
+            let Some(entry) = self.map.get(&id).copied() else {
+                continue;
+            };
             let (lost_is_primary, survivor) =
                 if Self::location_server(entry.primary) == Some(server) {
                     (true, entry.mirror)
-                } else {
+                } else if Self::location_server(entry.mirror) == Some(server) {
                     (false, entry.primary)
+                } else {
+                    continue;
                 };
-            // Fetch the surviving copy.
-            let page = match survivor {
+            // Fetch the surviving copy; a failure puts the page back so a
+            // replanned retry does not skip it.
+            let fetched = match survivor {
                 Location::Remote { server: s, key } => {
-                    let p = ctx.pool.page_in(s, key)?;
-                    ctx.stats.net_fetches += 1;
-                    report.transfers += 1;
-                    p
+                    if !ctx.pool.view().is_alive(s) {
+                        return Err(RmpError::Unrecoverable(format!(
+                            "both copies of {id} lost ({server} and {s})"
+                        )));
+                    }
+                    ctx.pool.page_in(s, key).inspect(|_| {
+                        ctx.stats.net_fetches += 1;
+                        step.transfers += 1;
+                    })
                 }
-                Location::LocalDisk => ctx.disk_read(id)?,
+                Location::LocalDisk => ctx.disk_read(id),
+            };
+            let page = match fetched {
+                Ok(p) => p,
+                Err(e) => {
+                    self.rebuild_queue.push_front(id);
+                    return Err(e);
+                }
             };
             // Re-mirror onto a live server distinct from the survivor.
             let mut exclude = vec![server];
             exclude.extend(Self::location_server(survivor));
             let key = ctx.pool.fresh_key();
-            let new_copy = ctx.store_with_fallback(id, key, &page, None, &exclude)?;
-            report.transfers += 1;
-            report.pages_rebuilt += 1;
+            let new_copy = match ctx.store_with_fallback(id, key, &page, None, &exclude) {
+                Ok(loc) => loc,
+                Err(e) => {
+                    self.rebuild_queue.push_front(id);
+                    return Err(e);
+                }
+            };
+            step.transfers += 1;
+            step.pages_rebuilt += 1;
             let entry = if lost_is_primary {
                 MirrorEntry {
                     primary: new_copy,
@@ -212,8 +289,8 @@ impl Engine for Mirroring {
             };
             self.map.insert(id, entry);
         }
-        report.elapsed = start.elapsed();
-        Ok(report)
+        step.remaining = self.rebuild_queue.len() as u64;
+        Ok(step)
     }
 
     fn migrate_from(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {

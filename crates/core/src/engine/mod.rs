@@ -17,7 +17,7 @@ use rmp_cluster::Condition;
 use rmp_types::{Page, PageId, Result, RmpError, ServerId, StoreKey, TransferStats};
 
 use crate::pool::ServerPool;
-use crate::recovery::RecoveryReport;
+use crate::recovery::{RecoveryReport, RecoveryStep};
 
 /// Where a logical page currently lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -221,15 +221,84 @@ pub trait Engine: Send {
         Ok(())
     }
 
-    /// Recovers from the crash of `server`, reconstructing lost pages onto
-    /// the surviving servers (or the same server after it rejoined, for
-    /// the fixed-layout basic parity).
+    /// Serves a pagein for `id` from redundancy, without the crashed (or
+    /// corrupt) server `dead`: mirroring reads the surviving copy, the
+    /// parity policies reconstruct *only the requested page* from its
+    /// parity group, write-through reads the local disk. Placement maps
+    /// are left untouched — the full rebuild runs separately through
+    /// [`Engine::plan_recovery`] / [`Engine::recovery_step`].
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::Unsupported`] when the policy keeps no redundancy;
+    /// [`RmpError::Unrecoverable`] when the redundancy needed for this
+    /// page is itself gone.
+    fn degraded_read(&mut self, _ctx: &mut Ctx<'_>, _id: PageId, _dead: ServerId) -> Result<Page> {
+        Err(RmpError::Unsupported("policy keeps no redundancy"))
+    }
+
+    /// Where the engine reads `id` from first (the primary copy), for
+    /// routing around a corrupt copy. `None` when the page is unknown or
+    /// lives only on the local disk.
+    fn primary_location(&self, _id: PageId) -> Option<(ServerId, StoreKey)> {
+        None
+    }
+
+    /// Plans incremental recovery from the crash of `server`: enumerates
+    /// the rebuild work against the engine's current maps and stores it
+    /// engine-side. Returns the number of work items planned; calling
+    /// again discards any previous plan (the replan path after a
+    /// mid-recovery fault).
     ///
     /// # Errors
     ///
     /// [`RmpError::Unrecoverable`] when the policy keeps no redundancy or
     /// more than one fault hit the same redundancy group.
-    fn recover(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport>;
+    fn plan_recovery(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64>;
+
+    /// Executes planned recovery work, rebuilding at most `page_budget`
+    /// pages, and reports how many items remain.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::ServerCrashed`] / [`RmpError::Timeout`] when another
+    /// server fails mid-step (the caller replans);
+    /// [`RmpError::Unrecoverable`] when a page's remaining redundancy is
+    /// gone too.
+    fn recovery_step(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        server: ServerId,
+        page_budget: usize,
+    ) -> Result<RecoveryStep>;
+
+    /// Recovers from the crash of `server` in one synchronous pass,
+    /// reconstructing lost pages onto the surviving servers (or the same
+    /// server after it rejoined, for the fixed-layout basic parity).
+    /// Provided: drains [`Engine::plan_recovery`] /
+    /// [`Engine::recovery_step`] to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::Unrecoverable`] when the policy keeps no redundancy or
+    /// more than one fault hit the same redundancy group.
+    fn recover(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
+        let start = std::time::Instant::now();
+        let mut report = RecoveryReport::new(server);
+        if self.plan_recovery(ctx, server)? > 0 {
+            loop {
+                let step = self.recovery_step(ctx, server, usize::MAX)?;
+                report.pages_rebuilt += step.pages_rebuilt;
+                report.parity_rebuilt += step.parity_rebuilt;
+                report.transfers += step.transfers;
+                if step.remaining == 0 {
+                    break;
+                }
+            }
+        }
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
 
     /// Moves every page off `server` (which asked us to stop sending) to
     /// other servers or the local disk. Returns pages moved.

@@ -2,10 +2,10 @@
 
 use std::collections::HashMap;
 
-use rmp_types::{Page, PageId, Result, RmpError, ServerId};
+use rmp_types::{Page, PageId, Result, RmpError, ServerId, StoreKey};
 
 use crate::engine::{Ctx, Engine, Location};
-use crate::recovery::RecoveryReport;
+use crate::recovery::RecoveryStep;
 
 /// Single-copy remote paging: each page lives on exactly one server (or
 /// the local disk as fallback). Fastest policy, no crash tolerance — the
@@ -125,10 +125,17 @@ impl Engine for NoReliability {
         self.map.contains_key(&id)
     }
 
-    fn recover(&mut self, _ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
+    fn primary_location(&self, id: PageId) -> Option<(ServerId, StoreKey)> {
+        match self.map.get(&id)? {
+            Location::Remote { server, key } => Some((*server, *key)),
+            Location::LocalDisk => None,
+        }
+    }
+
+    fn plan_recovery(&mut self, _ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {
         let lost = self.pages_on(server);
         if lost.is_empty() {
-            return Ok(RecoveryReport::new(server));
+            return Ok(0);
         }
         // Purge the lost locations so later pageins fail cleanly instead
         // of hammering a dead server.
@@ -139,6 +146,17 @@ impl Engine for NoReliability {
             "no-reliability lost {} page(s) with {server}",
             lost.len()
         )))
+    }
+
+    fn recovery_step(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        _server: ServerId,
+        _page_budget: usize,
+    ) -> Result<RecoveryStep> {
+        // Planning either finds nothing lost or fails unrecoverably, so
+        // there is never work to step through.
+        Ok(RecoveryStep::default())
     }
 
     fn migrate_from(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {

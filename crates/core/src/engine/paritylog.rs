@@ -1,13 +1,13 @@
 //! PARITY LOGGING — the paper's novel policy.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use rmp_parity::xor::reconstruct;
 use rmp_parity::{GroupTable, ParityBuffer, SealedGroup};
-use rmp_types::{Page, PageId, Result, RmpError, ServerId};
+use rmp_types::{GroupId, Page, PageId, Result, RmpError, ServerId, StoreKey};
 
 use crate::engine::{Ctx, Engine, Location};
-use crate::recovery::RecoveryReport;
+use crate::recovery::RecoveryStep;
 
 /// Active-fraction threshold below which garbage collection compacts a
 /// group when a server runs short of memory.
@@ -30,6 +30,20 @@ pub struct ParityLogging {
     freed_pending: HashSet<PageId>,
     cursor: usize,
     gc_in_progress: bool,
+    /// Rebuild work planned by [`Engine::plan_recovery`].
+    rebuild_queue: VecDeque<PlWork>,
+}
+
+/// One planned rebuild item of the parity log.
+#[derive(Clone, Copy, Debug)]
+enum PlWork {
+    /// Recover the client-side unsealed group (pending pages).
+    Pending,
+    /// Rebuild the sealed group's member lost with the crash.
+    Group(GroupId),
+    /// Recompute the sealed group's parity page onto the replacement
+    /// parity server.
+    ParityGroup(GroupId),
 }
 
 impl ParityLogging {
@@ -70,6 +84,7 @@ impl ParityLogging {
             freed_pending: HashSet::new(),
             cursor: 0,
             gc_in_progress: false,
+            rebuild_queue: VecDeque::new(),
         })
     }
 
@@ -294,8 +309,6 @@ impl ParityLogging {
         Ok(())
     }
 
-    /// Rebuilds a pending (unsealed) page lost with `crashed` using the
-    /// client-side parity buffer.
     /// Recovers pending (unsealed) pages lost with `crashed` using the
     /// client-side parity buffer, then re-logs *every* pending page
     /// through fresh groups so full single-crash tolerance is restored
@@ -304,7 +317,7 @@ impl ParityLogging {
         &mut self,
         ctx: &mut Ctx<'_>,
         crashed: ServerId,
-        report: &mut RecoveryReport,
+        step: &mut RecoveryStep,
     ) -> Result<()> {
         let pending: Vec<_> = self.buffer.members().to_vec();
         if pending.is_empty() {
@@ -322,14 +335,20 @@ impl ParityLogging {
         let mut contents: Vec<(rmp_parity::GroupMember, Page)> = Vec::new();
         let mut rebuilt = self.buffer.accumulated().clone();
         for m in pending.iter().filter(|m| m.server != crashed) {
+            if !ctx.pool.view().is_alive(m.server) {
+                return Err(RmpError::Unrecoverable(format!(
+                    "unsealed group lost two members ({crashed} and {})",
+                    m.server
+                )));
+            }
             let piece = ctx.pool.page_in(m.server, m.key)?;
             ctx.stats.net_fetches += 1;
-            report.transfers += 1;
+            step.transfers += 1;
             rebuilt.xor_with(&piece);
             contents.push((*m, piece));
         }
         if let Some(&&lost) = lost.first() {
-            report.pages_rebuilt += 1;
+            step.pages_rebuilt += 1;
             contents.push((lost, rebuilt));
         }
         // Re-log the current version of each pending page and release the
@@ -343,13 +362,123 @@ impl ParityLogging {
                 });
             if is_current && !self.freed_pending.contains(&m.page_id) {
                 self.page_out_inner(ctx, m.page_id, &page, &[crashed])?;
-                report.transfers += 1;
+                step.transfers += 1;
             }
             self.freed_pending.remove(&m.page_id);
             if m.server != crashed && ctx.pool.view().is_alive(m.server) {
                 ctx.pool.free(m.server, m.key)?;
             }
         }
+        Ok(())
+    }
+
+    /// Rebuilds the member of sealed group `gid` lost with `crashed`,
+    /// then re-logs the group's active members so full redundancy is
+    /// restored and the damaged group drains.
+    fn recover_group(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        crashed: ServerId,
+        gid: GroupId,
+        step: &mut RecoveryStep,
+    ) -> Result<()> {
+        // Work from the full group state: we need every member's page id
+        // and active flag, not just the storage addresses. A group
+        // reclaimed by an earlier item's re-logging holds no current data
+        // any more — nothing to rebuild from it.
+        let Some(state) = self.groups.group(gid).cloned() else {
+            return Ok(());
+        };
+        let Some(lost_slot) = state.members.iter().position(|m| m.server == crashed) else {
+            return Ok(());
+        };
+        // Fetch the survivors (all slots except the lost one).
+        let mut contents: Vec<Option<Page>> = vec![None; state.members.len()];
+        for (slot, m) in state.members.iter().enumerate() {
+            if slot == lost_slot {
+                continue;
+            }
+            if !ctx.pool.view().is_alive(m.server) {
+                return Err(RmpError::Unrecoverable(format!(
+                    "group {gid:?} lost two members ({crashed} and {})",
+                    m.server
+                )));
+            }
+            let piece = ctx.pool.page_in(m.server, m.key)?;
+            ctx.stats.net_fetches += 1;
+            step.transfers += 1;
+            contents[slot] = Some(piece);
+        }
+        if !ctx.pool.view().is_alive(state.parity_server) {
+            return Err(RmpError::Unrecoverable(format!(
+                "group {gid:?} lost a member and its parity ({crashed} and {})",
+                state.parity_server
+            )));
+        }
+        let parity = ctx.pool.page_in(state.parity_server, state.parity_key)?;
+        ctx.stats.net_fetches += 1;
+        step.transfers += 1;
+        let rebuilt = reconstruct(&parity, contents.iter().flatten());
+        contents[lost_slot] = Some(rebuilt);
+        step.pages_rebuilt += 1;
+        // Restore full redundancy by re-logging the *current* version of
+        // every active member through fresh parity groups; the damaged
+        // group drains to fully-inactive and is reclaimed (freeing the
+        // survivors' old copies and the parity page).
+        for (slot, m) in state.members.iter().enumerate() {
+            if !m.active {
+                continue;
+            }
+            let is_current = self.location.get(&m.page_id)
+                == Some(&Location::Remote {
+                    server: m.server,
+                    key: m.key,
+                });
+            if !is_current {
+                continue;
+            }
+            let page = contents[slot].as_ref().expect("fetched or rebuilt");
+            self.page_out_inner(ctx, m.page_id, page, &[crashed])?;
+            step.transfers += 1;
+        }
+        Ok(())
+    }
+
+    /// Recomputes the parity page of sealed group `gid` onto the
+    /// replacement parity server chosen at plan time.
+    fn rebuild_parity(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        gid: GroupId,
+        step: &mut RecoveryStep,
+    ) -> Result<()> {
+        let Some(state) = self.groups.group(gid).cloned() else {
+            return Ok(());
+        };
+        if ctx.pool.view().is_alive(state.parity_server) {
+            // Already relocated (a replanned step ran this item before).
+            return Ok(());
+        }
+        let replacement = self.parity_server;
+        let mut acc = Page::zeroed();
+        for m in &state.members {
+            if !ctx.pool.view().is_alive(m.server) {
+                return Err(RmpError::Unrecoverable(format!(
+                    "group {gid:?} lost its parity and a member ({})",
+                    m.server
+                )));
+            }
+            let piece = ctx.pool.page_in(m.server, m.key)?;
+            ctx.stats.net_fetches += 1;
+            step.transfers += 1;
+            acc.xor_with(&piece);
+        }
+        let pkey = ctx.pool.fresh_key();
+        ctx.reserve_and_page_out(replacement, pkey, &acc)?;
+        ctx.stats.net_parity_transfers += 1;
+        step.transfers += 1;
+        step.parity_rebuilt += 1;
+        self.groups.relocate_parity(gid, replacement, pkey)?;
         Ok(())
     }
 }
@@ -403,63 +532,98 @@ impl Engine for ParityLogging {
         Ok(())
     }
 
-    fn recover(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
-        let start = std::time::Instant::now();
-        let mut report = RecoveryReport::new(server);
-        // Pending pages first — the unsealed group's parity lives in the
-        // client's buffer.
-        self.recover_pending(ctx, server, &mut report)?;
-        let (recoveries, rebuilds) = self.groups.recovery_plan(server)?;
-        for plan in recoveries {
-            // Work from the full group state: we need every member's
-            // page id and active flag, not just the storage addresses.
-            // A group reclaimed by an earlier plan's re-logging holds no
-            // current data any more — nothing to rebuild from it.
-            let Some(state) = self.groups.group(plan.group).cloned() else {
-                continue;
-            };
-            // Fetch the survivors (all slots except the lost one).
-            let mut contents: Vec<Option<Page>> = vec![None; state.members.len()];
-            for (slot, m) in state.members.iter().enumerate() {
-                if slot == plan.slot {
+    fn degraded_read(&mut self, ctx: &mut Ctx<'_>, id: PageId, dead: ServerId) -> Result<Page> {
+        let loc = self
+            .location
+            .get(&id)
+            .copied()
+            .ok_or(RmpError::PageNotFound(id))?;
+        let (server, key) = match loc {
+            Location::LocalDisk => return ctx.disk_read(id),
+            Location::Remote { server, key } => (server, key),
+        };
+        if server != dead && ctx.pool.view().is_alive(server) {
+            // The page's own server survived the crash; read it directly.
+            let page = ctx.pool.page_in(server, key)?;
+            ctx.stats.net_fetches += 1;
+            return Ok(page);
+        }
+        // Pending (unsealed) pages reconstruct from the client-side
+        // accumulator XOR the other pending members.
+        if self.buffer.members().iter().any(|m| m.page_id == id) {
+            let mut rebuilt = self.buffer.accumulated().clone();
+            for m in self.buffer.members().to_vec() {
+                if m.page_id == id {
                     continue;
+                }
+                if !ctx.pool.view().is_alive(m.server) {
+                    return Err(RmpError::Unrecoverable(format!(
+                        "unsealed group of {id} lost two members"
+                    )));
                 }
                 let piece = ctx.pool.page_in(m.server, m.key)?;
                 ctx.stats.net_fetches += 1;
-                report.transfers += 1;
-                contents[slot] = Some(piece);
+                rebuilt.xor_with(&piece);
             }
-            let (ps, pk) = plan.parity.expect("data-member plans carry parity");
-            let parity = ctx.pool.page_in(ps, pk)?;
+            return Ok(rebuilt);
+        }
+        // Sealed pages solve their group's XOR equation — fetch the other
+        // members and the parity page, nothing else.
+        let loc = self
+            .groups
+            .location_of(id)
+            .ok_or(RmpError::PageNotFound(id))?;
+        let state = self
+            .groups
+            .group(loc.group)
+            .cloned()
+            .ok_or(RmpError::PageNotFound(id))?;
+        let mut survivors = Vec::with_capacity(state.members.len().saturating_sub(1));
+        for (slot, m) in state.members.iter().enumerate() {
+            if slot == loc.slot {
+                continue;
+            }
+            if !ctx.pool.view().is_alive(m.server) {
+                return Err(RmpError::Unrecoverable(format!(
+                    "group of {id} lost two members ({dead} and {})",
+                    m.server
+                )));
+            }
+            survivors.push(ctx.pool.page_in(m.server, m.key)?);
             ctx.stats.net_fetches += 1;
-            report.transfers += 1;
-            let rebuilt = reconstruct(&parity, contents.iter().flatten());
-            contents[plan.slot] = Some(rebuilt);
-            report.pages_rebuilt += 1;
-            // Restore full redundancy by re-logging the *current* version
-            // of every active member through fresh parity groups; the
-            // damaged group drains to fully-inactive and is reclaimed
-            // (freeing the survivors' old copies and the parity page).
-            for (slot, m) in state.members.iter().enumerate() {
-                if !m.active {
-                    continue;
-                }
-                let is_current = self.location.get(&m.page_id)
-                    == Some(&Location::Remote {
-                        server: m.server,
-                        key: m.key,
-                    });
-                if !is_current {
-                    continue;
-                }
-                let page = contents[slot].as_ref().expect("fetched or rebuilt");
-                self.page_out_inner(ctx, m.page_id, page, &[server])?;
-                report.transfers += 1;
-            }
+        }
+        if !ctx.pool.view().is_alive(state.parity_server) {
+            return Err(RmpError::Unrecoverable(format!(
+                "group of {id} lost a member and its parity"
+            )));
+        }
+        let parity = ctx.pool.page_in(state.parity_server, state.parity_key)?;
+        ctx.stats.net_fetches += 1;
+        Ok(reconstruct(&parity, survivors.iter()))
+    }
+
+    fn primary_location(&self, id: PageId) -> Option<(ServerId, StoreKey)> {
+        match self.location.get(&id)? {
+            Location::Remote { server, key } => Some((*server, *key)),
+            Location::LocalDisk => None,
+        }
+    }
+
+    fn plan_recovery(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {
+        self.rebuild_queue.clear();
+        // Pending pages first — the unsealed group's parity lives in the
+        // client's buffer.
+        if !self.buffer.members().is_empty() {
+            self.rebuild_queue.push_back(PlWork::Pending);
+        }
+        let (recoveries, rebuilds) = self.groups.recovery_plan(server)?;
+        for plan in recoveries {
+            self.rebuild_queue.push_back(PlWork::Group(plan.group));
         }
         if !rebuilds.is_empty() {
-            // The parity server died: pick a replacement and recompute
-            // every group's parity page onto it.
+            // The parity server died: pick a replacement now so re-logged
+            // groups seal onto a live server; each group's parity page is
+            // recomputed step by step.
             let replacement = ctx
                 .pool
                 .view()
@@ -469,26 +633,41 @@ impl Engine for ParityLogging {
                 .ok_or_else(|| RmpError::Unrecoverable("no live server to host parity".into()))?;
             self.parity_server = replacement;
             for plan in rebuilds {
-                let mut acc = Page::zeroed();
-                for (s, k) in &plan.fetch {
-                    let piece = ctx.pool.page_in(*s, *k)?;
-                    ctx.stats.net_fetches += 1;
-                    report.transfers += 1;
-                    acc.xor_with(&piece);
-                }
-                let pkey = ctx.pool.fresh_key();
-                ctx.reserve_and_page_out(replacement, pkey, &acc)?;
-                ctx.stats.net_parity_transfers += 1;
-                report.transfers += 1;
-                report.parity_rebuilt += 1;
-                self.groups.relocate_parity(plan.group, replacement, pkey)?;
+                self.rebuild_queue
+                    .push_back(PlWork::ParityGroup(plan.group));
             }
         }
-        // Seal whatever the re-logging left pending so the damaged groups
-        // drain out of the table before the next fault.
-        self.flush(ctx)?;
-        report.elapsed = start.elapsed();
-        Ok(report)
+        Ok(self.rebuild_queue.len() as u64)
+    }
+
+    fn recovery_step(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        server: ServerId,
+        page_budget: usize,
+    ) -> Result<RecoveryStep> {
+        let mut step = RecoveryStep::default();
+        while ((step.pages_rebuilt + step.parity_rebuilt) as usize) < page_budget {
+            let Some(work) = self.rebuild_queue.pop_front() else {
+                break;
+            };
+            let outcome = match work {
+                PlWork::Pending => self.recover_pending(ctx, server, &mut step),
+                PlWork::Group(gid) => self.recover_group(ctx, server, gid, &mut step),
+                PlWork::ParityGroup(gid) => self.rebuild_parity(ctx, gid, &mut step),
+            };
+            if let Err(e) = outcome {
+                self.rebuild_queue.push_front(work);
+                return Err(e);
+            }
+        }
+        if self.rebuild_queue.is_empty() {
+            // Seal whatever the re-logging left pending so the damaged
+            // groups drain out of the table before the next fault.
+            self.flush(ctx)?;
+        }
+        step.remaining = self.rebuild_queue.len() as u64;
+        Ok(step)
     }
 
     fn migrate_from(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {

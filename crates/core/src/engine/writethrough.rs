@@ -1,11 +1,11 @@
 //! WRITE THROUGH — remote memory as a cache of the local disk (§4.7).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
-use rmp_types::{Page, PageId, Result, RmpError, ServerId};
+use rmp_types::{Page, PageId, Result, RmpError, ServerId, StoreKey};
 
 use crate::engine::{Ctx, Engine, Location};
-use crate::recovery::RecoveryReport;
+use crate::recovery::RecoveryStep;
 
 /// "Another approach would be to store all remote pages to the local disk
 /// as well, effectively treating remote memory as a write-through cache of
@@ -18,6 +18,8 @@ pub struct WriteThrough {
     /// Remote cache location per page; every page is *also* on disk.
     remote: HashMap<PageId, Option<Location>>,
     cursor: usize,
+    /// Cache entries awaiting re-population after a crash.
+    rebuild_queue: VecDeque<PageId>,
 }
 
 impl WriteThrough {
@@ -89,21 +91,26 @@ impl Engine for WriteThrough {
         }
         if let Some(Some(Location::Remote { server, key })) = self.remote.get(&id) {
             let (server, key) = (*server, *key);
-            if ctx.pool.view().is_alive(server) {
-                match ctx.pool.page_in(server, key) {
-                    Ok(page) => {
-                        ctx.stats.net_fetches += 1;
-                        return Ok(page);
-                    }
-                    Err(
-                        RmpError::ServerCrashed(_)
-                        | RmpError::Timeout(_)
-                        | RmpError::PageNotFound(_),
-                    ) => {
-                        self.remote.insert(id, None);
-                    }
-                    Err(e) => return Err(e),
+            if !ctx.pool.view().is_alive(server) {
+                return Err(RmpError::ServerCrashed(server));
+            }
+            match ctx.pool.page_in(server, key) {
+                Ok(page) => {
+                    ctx.stats.net_fetches += 1;
+                    return Ok(page);
                 }
+                // Surface the crash so the pager serves this read from the
+                // disk copy via `degraded_read` and enqueues the cache
+                // re-population.
+                Err(RmpError::ServerCrashed(_) | RmpError::Timeout(_)) => {
+                    return Err(RmpError::ServerCrashed(server));
+                }
+                // A plain cache miss (the server restarted empty): drop
+                // the stale slot and fall through to disk.
+                Err(RmpError::PageNotFound(_)) => {
+                    self.remote.insert(id, None);
+                }
+                Err(e) => return Err(e),
             }
         }
         // The disk always has the truth.
@@ -126,28 +133,72 @@ impl Engine for WriteThrough {
         self.remote.contains_key(&id)
     }
 
-    fn recover(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<RecoveryReport> {
-        let start = std::time::Instant::now();
-        let mut report = RecoveryReport::new(server);
-        // Nothing is lost — the disk has every page. Re-populate the
-        // remote cache from disk so reads stay at memory speed.
-        for id in self.pages_on(server) {
-            let page = ctx.disk_read(id)?;
+    fn degraded_read(&mut self, ctx: &mut Ctx<'_>, id: PageId, _dead: ServerId) -> Result<Page> {
+        if !self.remote.contains_key(&id) {
+            return Err(RmpError::PageNotFound(id));
+        }
+        // The disk always has the truth.
+        ctx.disk_read(id)
+    }
+
+    fn primary_location(&self, id: PageId) -> Option<(ServerId, StoreKey)> {
+        match self.remote.get(&id)? {
+            Some(Location::Remote { server, key }) => Some((*server, *key)),
+            _ => None,
+        }
+    }
+
+    fn plan_recovery(&mut self, _ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {
+        // Nothing is lost — the disk has every page. Plan to re-populate
+        // the remote cache from disk so reads return to memory speed.
+        self.rebuild_queue = self.pages_on(server).into();
+        Ok(self.rebuild_queue.len() as u64)
+    }
+
+    fn recovery_step(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        server: ServerId,
+        page_budget: usize,
+    ) -> Result<RecoveryStep> {
+        let mut step = RecoveryStep::default();
+        while (step.pages_rebuilt as usize) < page_budget {
+            let Some(id) = self.rebuild_queue.pop_front() else {
+                break;
+            };
+            // Skip entries whose cache slot moved since planning.
+            let still_lost = matches!(
+                self.remote.get(&id),
+                Some(Some(Location::Remote { server: s, .. })) if *s == server
+            );
+            if !still_lost {
+                continue;
+            }
+            let page = match ctx.disk_read(id) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.rebuild_queue.push_front(id);
+                    return Err(e);
+                }
+            };
             let key = ctx.pool.fresh_key();
             match ctx.store_with_fallback(id, key, &page, None, &[server]) {
                 Ok(Location::LocalDisk) | Err(RmpError::ClusterFull) => {
                     self.remote.insert(id, None);
                 }
                 Ok(loc) => {
-                    report.transfers += 1;
-                    report.pages_rebuilt += 1;
+                    step.transfers += 1;
+                    step.pages_rebuilt += 1;
                     self.remote.insert(id, Some(loc));
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.rebuild_queue.push_front(id);
+                    return Err(e);
+                }
             }
         }
-        report.elapsed = start.elapsed();
-        Ok(report)
+        step.remaining = self.rebuild_queue.len() as u64;
+        Ok(step)
     }
 
     fn migrate_from(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {

@@ -1,5 +1,7 @@
 //! The pager: policy dispatch, crash handling, adaptive switching.
 
+use std::collections::{HashMap, VecDeque};
+
 use rmp_blockdev::PagingDevice;
 use rmp_types::{Page, PageId, PagerConfig, Policy, Result, RmpError, ServerId, TransferStats};
 
@@ -8,7 +10,7 @@ use crate::engine::{
     paritylog::ParityLogging, writethrough::WriteThrough, Ctx, Engine,
 };
 use crate::pool::ServerPool;
-use crate::recovery::RecoveryReport;
+use crate::recovery::{RecoveryPlan, RecoveryReport};
 
 /// Builder for [`Pager`].
 ///
@@ -75,6 +77,17 @@ pub struct Pager {
     engine: Box<dyn Engine>,
     stats: TransferStats,
     prefer_disk: bool,
+    /// Writer-side checksums: what each page hashed to when we last wrote
+    /// it. Catches store-level corruption that the wire checksum cannot —
+    /// a server recomputes its checksum over whatever bytes it holds, so
+    /// a bit flipped at rest still produces a self-consistent reply.
+    page_sums: HashMap<PageId, u64>,
+    /// Crashed servers whose full rebuild has been deferred: degraded
+    /// reads serve requests in the meantime, and `periodic_maintenance`
+    /// works the queue off in budgeted steps.
+    pending_recovery: VecDeque<ServerId>,
+    /// The rebuild currently in flight, if any.
+    active_plan: Option<RecoveryPlan>,
 }
 
 impl Pager {
@@ -102,6 +115,7 @@ impl Pager {
         // The pager's transport knobs are authoritative: whatever deadlines
         // and retry policy the config carries govern every pool call.
         pool.set_transport_config(config.transport.clone());
+        pool.set_verify_checksums(config.verify_checksums);
         let ids = pool.server_ids();
         let engine: Box<dyn Engine> = match config.policy {
             Policy::NoReliability => {
@@ -156,6 +170,9 @@ impl Pager {
             engine,
             stats: TransferStats::default(),
             prefer_disk: false,
+            page_sums: HashMap::new(),
+            pending_recovery: VecDeque::new(),
+            active_plan: None,
         })
     }
 
@@ -211,8 +228,115 @@ impl Pager {
         &mut self.pool
     }
 
+    /// Records the crash of `server` without rebuilding anything yet: the
+    /// pool stops routing to it (except under basic parity, which rebuilds
+    /// in place onto the rebooted workstation) and, when the policy keeps
+    /// redundancy, the full rebuild is queued for the maintenance driver.
+    pub fn note_crash(&mut self, server: ServerId) {
+        if self.config.policy != Policy::BasicParity {
+            self.pool.view_mut().mark_dead(server);
+        }
+        if self.config.policy.survives_single_crash() {
+            self.enqueue_recovery(server);
+        }
+    }
+
+    fn enqueue_recovery(&mut self, server: ServerId) {
+        let queued = self.pending_recovery.contains(&server)
+            || self
+                .active_plan
+                .as_ref()
+                .is_some_and(|p| p.crashed() == server);
+        if !queued {
+            self.pending_recovery.push_back(server);
+        }
+    }
+
+    /// Crashed servers whose rebuild has not finished yet (queued plus the
+    /// one in flight).
+    pub fn recovery_backlog(&self) -> usize {
+        self.pending_recovery.len() + usize::from(self.active_plan.is_some())
+    }
+
+    /// Runs one bounded step of `plan`, folding second faults into a
+    /// re-plan instead of aborting. Returns `Ok(true)` when the plan is
+    /// done.
+    fn drive_plan(&mut self, plan: &mut RecoveryPlan, page_budget: usize) -> Result<bool> {
+        loop {
+            let result = self.with_engine(|engine, ctx| plan.step(engine, ctx, page_budget));
+            match result {
+                Err(RmpError::ServerCrashed(other)) | Err(RmpError::Timeout(other))
+                    if other != plan.crashed() && self.config.policy.survives_single_crash() =>
+                {
+                    // A second fault mid-step. Fold the newly dead server
+                    // into the picture and re-plan around it; the engine
+                    // re-queues the item it was working on, so nothing is
+                    // skipped.
+                    self.note_crash(other);
+                    if !plan.replan() {
+                        return Err(RmpError::Unrecoverable(format!(
+                            "recovery of {} kept losing servers",
+                            plan.crashed()
+                        )));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Advances the background rebuild by at most `page_budget` pages:
+    /// picks up the next queued crash when idle, runs one plan step, and
+    /// returns the finished report when a plan completes this tick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures. [`RmpError::Unrecoverable`] is *not*
+    /// an error here: the lost data cannot come back, so the plan is
+    /// dropped and reads surface the loss instead of maintenance wedging
+    /// on it forever.
+    pub fn recovery_tick(&mut self, page_budget: usize) -> Result<Option<RecoveryReport>> {
+        if self.active_plan.is_none() {
+            let Some(next) = self.pending_recovery.pop_front() else {
+                return Ok(None);
+            };
+            self.active_plan = Some(RecoveryPlan::new(next));
+        }
+        let mut plan = self.active_plan.take().expect("plan set above");
+        match self.drive_plan(&mut plan, page_budget) {
+            Ok(true) => {
+                self.stats.recovery_steps += 1;
+                Ok(Some(plan.report()))
+            }
+            Ok(false) => {
+                self.stats.recovery_steps += 1;
+                self.active_plan = Some(plan);
+                Ok(None)
+            }
+            Err(RmpError::Unrecoverable(_)) => Ok(None),
+            Err(e) => {
+                // Transient failure (disk, space): keep the plan and let a
+                // later tick retry it.
+                self.active_plan = Some(plan);
+                Err(e)
+            }
+        }
+    }
+
+    /// Finishes every queued rebuild. Mutations (pageout, free) call this
+    /// first: a write landing in a half-rebuilt stripe would corrupt its
+    /// parity, and plan-time snapshots assume the placement they saw.
+    fn drain_recovery_queue(&mut self) -> Result<()> {
+        while self.active_plan.is_some() || !self.pending_recovery.is_empty() {
+            self.recovery_tick(usize::MAX)?;
+        }
+        Ok(())
+    }
+
     /// Recovers from the crash of `server`: reconstructs every lost page
     /// from the policy's redundancy and re-homes it on surviving servers.
+    /// Any background rebuild already queued for `server` is subsumed by
+    /// this synchronous drain.
     ///
     /// # Errors
     ///
@@ -225,7 +349,17 @@ impl Pager {
         if self.config.policy != Policy::BasicParity {
             self.pool.view_mut().mark_dead(server);
         }
-        self.with_engine(|engine, ctx| engine.recover(ctx, server))
+        self.pending_recovery.retain(|&s| s != server);
+        let mut plan = match self.active_plan.take() {
+            Some(p) if p.crashed() == server => p,
+            Some(other) => {
+                self.active_plan = Some(other);
+                RecoveryPlan::new(server)
+            }
+            None => RecoveryPlan::new(server),
+        };
+        while !self.drive_plan(&mut plan, usize::MAX)? {}
+        Ok(plan.report())
     }
 
     /// Moves every page off `server` in response to a stop-sending
@@ -245,11 +379,19 @@ impl Pager {
     /// client "periodically checks the memory load of all possible remote
     /// memory servers"). Returns `(pages_migrated, pages_promoted)`.
     ///
+    /// This is also the incremental-recovery driver: servers that stopped
+    /// answering load probes are marked dead and queued for rebuild, and
+    /// one budgeted recovery step ([`PagerConfig::recovery_page_budget`]
+    /// pages) runs per call.
+    ///
     /// # Errors
     ///
     /// Propagates storage failures.
     pub fn periodic_maintenance(&mut self) -> Result<(u64, u64)> {
-        self.pool.refresh_loads();
+        for server in self.pool.refresh_loads() {
+            self.note_crash(server);
+        }
+        self.recovery_tick(self.config.recovery_page_budget)?;
         let migrated = self.service_advisories()?;
         let promoted = self.with_engine(|engine, ctx| engine.rebalance(ctx))?;
         Ok((migrated, promoted))
@@ -298,7 +440,9 @@ impl Pager {
     ///
     /// Propagates storage failures.
     pub fn rebalance(&mut self) -> Result<u64> {
-        self.pool.refresh_loads();
+        for server in self.pool.refresh_loads() {
+            self.note_crash(server);
+        }
         self.with_engine(|engine, ctx| engine.rebalance(ctx))
     }
 
@@ -318,31 +462,125 @@ impl Pager {
         }
         self.recover_from_crash(server).is_ok()
     }
+
+    /// Serves `id` from the policy's redundancy without touching `dead`,
+    /// verifying the reconstruction against the writer's checksum.
+    fn degraded_read(&mut self, id: PageId, dead: ServerId) -> Result<Page> {
+        let page = self.with_engine(|engine, ctx| engine.degraded_read(ctx, id, dead))?;
+        if let Some(e) = self.check_sum(id, &page) {
+            return Err(e);
+        }
+        self.stats.degraded_reads += 1;
+        Ok(page)
+    }
+
+    /// Compares `page` against the checksum recorded when it was written.
+    /// `None` means clean (or verification is off / the page predates it).
+    fn check_sum(&mut self, id: PageId, page: &Page) -> Option<RmpError> {
+        if !self.config.verify_checksums {
+            return None;
+        }
+        let expect = *self.page_sums.get(&id)?;
+        if page.checksum() == expect {
+            return None;
+        }
+        self.stats.checksum_failures += 1;
+        Some(match self.engine.primary_location(id) {
+            Some((server, key)) => RmpError::CorruptPage { server, key },
+            None => RmpError::Corrupt(id),
+        })
+    }
 }
 
 impl PagingDevice for Pager {
     fn page_out(&mut self, id: PageId, page: &Page) -> Result<()> {
         self.update_adaptive();
-        let result = self.with_engine(|engine, ctx| engine.page_out(ctx, id, page));
-        match result {
-            Err(e) if self.try_recover(&e) => {
-                self.with_engine(|engine, ctx| engine.page_out(ctx, id, page))
+        // Writes must not race an in-flight rebuild: a pageout landing in
+        // a half-rebuilt stripe would leave its parity wrong, and plans
+        // snapshot the placement they saw at plan time.
+        self.drain_recovery_queue()?;
+        // Each failed attempt can take down at most one server, so the
+        // pool size bounds how many recover-and-retry rounds make sense.
+        let mut retries = self.pool.server_ids().len().max(1);
+        loop {
+            match self.with_engine(|engine, ctx| engine.page_out(ctx, id, page)) {
+                Ok(()) => {
+                    if self.config.verify_checksums {
+                        self.page_sums.insert(id, page.checksum());
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    if retries == 0 || !self.try_recover(&e) {
+                        return Err(e);
+                    }
+                    retries -= 1;
+                }
             }
-            other => other,
         }
     }
 
     fn page_in(&mut self, id: PageId) -> Result<Page> {
-        let result = self.with_engine(|engine, ctx| engine.page_in(ctx, id));
-        match result {
-            Err(e) if self.try_recover(&e) => {
-                self.with_engine(|engine, ctx| engine.page_in(ctx, id))
+        let mut retries = self.pool.server_ids().len().max(1);
+        loop {
+            // `check_sum` counts the failures it detects itself; corruption
+            // the pool caught on the wire arrives as an error and is
+            // counted here.
+            let err = match self.with_engine(|engine, ctx| engine.page_in(ctx, id)) {
+                Ok(page) => match self.check_sum(id, &page) {
+                    None => return Ok(page),
+                    Some(e) => e,
+                },
+                Err(e) => {
+                    if matches!(e, RmpError::CorruptPage { .. }) {
+                        self.stats.checksum_failures += 1;
+                    }
+                    e
+                }
+            };
+            match err {
+                RmpError::ServerCrashed(dead) | RmpError::Timeout(dead)
+                    if self.config.policy.survives_single_crash() =>
+                {
+                    // Serve the request first: read around the crash and
+                    // leave the full rebuild to the maintenance driver.
+                    self.note_crash(dead);
+                    match self.degraded_read(id, dead) {
+                        Ok(page) => return Ok(page),
+                        // No redundancy path for this page (disk copy,
+                        // unsupported): fall back to recover-then-retry.
+                        Err(RmpError::Unsupported(_)) => {
+                            if retries == 0 || !self.try_recover(&err) {
+                                return Err(err);
+                            }
+                            retries -= 1;
+                        }
+                        // Another server died under the degraded read;
+                        // loop and route around it too.
+                        Err(e @ (RmpError::ServerCrashed(_) | RmpError::Timeout(_))) => {
+                            if retries == 0 {
+                                return Err(e);
+                            }
+                            retries -= 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                // The copy we read is provably wrong (wire or store): pull
+                // the page from redundancy instead.
+                RmpError::CorruptPage { server, .. } => match self.degraded_read(id, server) {
+                    Ok(page) => return Ok(page),
+                    Err(RmpError::Unsupported(_)) => return Err(err),
+                    Err(e) => return Err(e),
+                },
+                e => return Err(e),
             }
-            other => other,
         }
     }
 
     fn free(&mut self, id: PageId) -> Result<()> {
+        self.drain_recovery_queue()?;
+        self.page_sums.remove(&id);
         self.with_engine(|engine, ctx| engine.free(ctx, id))
     }
 

@@ -54,6 +54,11 @@ pub struct ServerPool {
     /// xorshift64* state for backoff jitter; deterministic seed keeps
     /// tests reproducible.
     jitter_state: u64,
+    /// When set, every fetched page is verified against the checksum the
+    /// server computed over its stored bytes; a mismatch surfaces as
+    /// [`RmpError::CorruptPage`] without marking the server dead (it
+    /// answered — the fault is in the data, not the transport).
+    verify_checksums: bool,
 }
 
 impl ServerPool {
@@ -76,7 +81,15 @@ impl ServerPool {
             transport_cfg,
             clean_streak: HashMap::new(),
             jitter_state: 0x2545_F491_4F6C_DD1D,
+            verify_checksums: true,
         }
+    }
+
+    /// Enables or disables end-to-end checksum verification of fetched
+    /// pages (on by default; the pager wires this to
+    /// [`rmp_types::PagerConfig::verify_checksums`]).
+    pub fn set_verify_checksums(&mut self, enabled: bool) {
+        self.verify_checksums = enabled;
     }
 
     /// Connects to every server in the registry over TCP with default
@@ -387,6 +400,7 @@ impl ServerPool {
             id,
             &Message::PageOut {
                 id: key,
+                checksum: page.checksum(),
                 page: page.clone(),
             },
         );
@@ -404,16 +418,22 @@ impl ServerPool {
         }
     }
 
-    /// Fetches the page stored under `key` on `id`.
+    /// Fetches the page stored under `key` on `id`, verifying the
+    /// server's checksum against the received bytes.
     ///
     /// # Errors
     ///
     /// [`RmpError::PageNotFound`] on a miss, [`RmpError::ServerCrashed`]
-    /// on connection failure.
+    /// on connection failure, [`RmpError::CorruptPage`] when the page
+    /// bytes fail their checksum (wire-level corruption — the server
+    /// stays alive in the view).
     pub fn page_in(&mut self, id: ServerId, key: StoreKey) -> Result<Page> {
         match self.call(id, &Message::PageIn { id: key })? {
-            Message::PageInReply { page, .. } => {
+            Message::PageInReply { checksum, page, .. } => {
                 self.wire_transfers += 1;
+                if self.verify_checksums && page.checksum() != checksum {
+                    return Err(RmpError::CorruptPage { server: id, key });
+                }
                 Ok(page)
             }
             Message::PageInMiss { .. } => Err(RmpError::PageNotFound(rmp_types::PageId(key.0))),
@@ -454,6 +474,7 @@ impl ServerPool {
             id,
             &Message::PageOutDelta {
                 id: key,
+                checksum: page.checksum(),
                 page: page.clone(),
             },
         );
@@ -528,13 +549,21 @@ impl ServerPool {
     }
 
     /// Refreshes the load view of every live server; dead servers are
-    /// skipped, newly unreachable ones get marked dead.
-    pub fn refresh_loads(&mut self) {
+    /// skipped, newly unreachable ones get marked dead. Returns the
+    /// servers that died during this refresh, so the caller can enqueue
+    /// their recovery proactively instead of waiting for a pagein to
+    /// trip over them.
+    pub fn refresh_loads(&mut self) -> Vec<ServerId> {
+        let mut newly_dead = Vec::new();
         for id in self.server_ids() {
             if self.view.is_alive(id) {
                 let _ = self.query_load(id);
+                if !self.view.is_alive(id) {
+                    newly_dead.push(id);
+                }
             }
         }
+        newly_dead
     }
 
     /// Enumerates every storage key the server currently holds, following

@@ -31,6 +31,14 @@ enum Fault {
     Amnesia,
     /// Reply with a nonsensical message (protocol violation).
     Garbage,
+    /// Serve pageins with one bit flipped and the checksum recomputed
+    /// over the corrupted bytes — corruption *at rest*: the reply is
+    /// self-consistent, so only the writer's own checksum can catch it.
+    BitFlipStore,
+    /// Serve pageins with one bit flipped but the stored page's checksum
+    /// — corruption *on the wire*: the reply is self-inconsistent and the
+    /// pool's frame verification catches it.
+    BitFlipWire,
 }
 
 /// Shared mutable state of one fake server.
@@ -102,7 +110,7 @@ impl ServerTransport for FakeTransport {
                 },
                 hint: LoadHint::Ok,
             },
-            Message::PageOut { id, page } => {
+            Message::PageOut { id, page, .. } => {
                 st.pages.insert(id, page);
                 Message::PageOutAck {
                     id,
@@ -114,10 +122,22 @@ impl ServerTransport for FakeTransport {
                     Message::PageInMiss { id }
                 } else {
                     match st.pages.get(&id) {
-                        Some(p) => Message::PageInReply {
-                            id,
-                            page: p.clone(),
-                        },
+                        Some(p) => {
+                            let mut page = p.clone();
+                            let checksum = match st.fault {
+                                Fault::BitFlipStore => {
+                                    page.as_mut()[0] ^= 0x01;
+                                    page.checksum()
+                                }
+                                Fault::BitFlipWire => {
+                                    let original = page.checksum();
+                                    page.as_mut()[0] ^= 0x01;
+                                    original
+                                }
+                                _ => page.checksum(),
+                            };
+                            Message::PageInReply { id, checksum, page }
+                        }
                         None => Message::PageInMiss { id },
                     }
                 }
@@ -140,7 +160,7 @@ impl ServerTransport for FakeTransport {
                     LoadHint::Ok
                 },
             },
-            Message::PageOutDelta { id, page } => {
+            Message::PageOutDelta { id, page, .. } => {
                 let delta = match st.pages.get(&id) {
                     Some(old) => {
                         let mut d = old.clone();
@@ -361,6 +381,111 @@ fn advisories_trigger_automatic_migration() {
             Page::deterministic(i)
         );
     }
+}
+
+/// Writes through `pager`, corrupts server 0 with `fault`, and asserts
+/// every read still returns the exact bytes written — the redundant
+/// policies must detect the flip (at either layer) and heal the read from
+/// redundancy, never serve wrong content.
+fn assert_bit_flip_healed(policy: Policy, servers: usize, n: usize, fault: Fault) {
+    let (fakes, mut pager) = fake_pager(policy, servers, n);
+    for i in 0..24u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    pager.flush().expect("flush");
+    fakes[0].set_fault(fault);
+    for i in 0..24u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("healed from redundancy"),
+            Page::deterministic(i),
+            "{policy:?}/{fault:?}: page {i} must never come back wrong"
+        );
+    }
+    let stats = pager.stats();
+    assert!(
+        stats.checksum_failures > 0,
+        "{policy:?}/{fault:?}: the flipped bits were detected"
+    );
+    assert!(
+        stats.degraded_reads > 0,
+        "{policy:?}/{fault:?}: corrupted copies were served from redundancy"
+    );
+    assert!(
+        pager.pool().view().is_alive(ServerId(0)),
+        "{policy:?}/{fault:?}: a corrupt page is a data fault, not a crash"
+    );
+}
+
+#[test]
+fn mirroring_heals_store_level_bit_flips() {
+    assert_bit_flip_healed(Policy::Mirroring, 2, 3, Fault::BitFlipStore);
+}
+
+#[test]
+fn mirroring_heals_wire_level_bit_flips() {
+    assert_bit_flip_healed(Policy::Mirroring, 2, 3, Fault::BitFlipWire);
+}
+
+#[test]
+fn basic_parity_heals_store_level_bit_flips() {
+    assert_bit_flip_healed(Policy::BasicParity, 2, 3, Fault::BitFlipStore);
+}
+
+#[test]
+fn basic_parity_heals_wire_level_bit_flips() {
+    assert_bit_flip_healed(Policy::BasicParity, 2, 3, Fault::BitFlipWire);
+}
+
+#[test]
+fn parity_logging_heals_store_level_bit_flips() {
+    assert_bit_flip_healed(Policy::ParityLogging, 2, 3, Fault::BitFlipStore);
+}
+
+#[test]
+fn parity_logging_heals_wire_level_bit_flips() {
+    assert_bit_flip_healed(Policy::ParityLogging, 2, 3, Fault::BitFlipWire);
+}
+
+#[test]
+fn write_through_heals_store_level_bit_flips() {
+    assert_bit_flip_healed(Policy::WriteThrough, 2, 2, Fault::BitFlipStore);
+}
+
+#[test]
+fn write_through_heals_wire_level_bit_flips() {
+    assert_bit_flip_healed(Policy::WriteThrough, 2, 2, Fault::BitFlipWire);
+}
+
+#[test]
+fn unreplicated_bit_flip_surfaces_as_corrupt_page() {
+    let (fakes, mut pager) = fake_pager(Policy::NoReliability, 2, 2);
+    for i in 0..16u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    for f in &fakes {
+        f.set_fault(Fault::BitFlipStore);
+    }
+    let mut corrupt = 0u64;
+    for i in 0..16u64 {
+        match pager.page_in(PageId(i)) {
+            Ok(page) => assert_eq!(
+                page,
+                Page::deterministic(i),
+                "a page served as Ok must be the bytes written"
+            ),
+            Err(RmpError::CorruptPage { .. }) => corrupt += 1,
+            Err(other) => panic!("expected CorruptPage, got {other}"),
+        }
+    }
+    assert!(
+        corrupt > 0,
+        "without redundancy the flip is surfaced, not silently served"
+    );
+    assert!(pager.stats().checksum_failures >= corrupt);
 }
 
 #[test]

@@ -137,7 +137,7 @@ impl ServerTransport for FlakyTransport {
                 granted: pages,
                 hint: LoadHint::Ok,
             },
-            Message::PageOut { id, page } => {
+            Message::PageOut { id, page, .. } => {
                 st.pages.insert(id, page);
                 Message::PageOutAck {
                     id,
@@ -147,6 +147,7 @@ impl ServerTransport for FlakyTransport {
             Message::PageIn { id } => match st.pages.get(&id) {
                 Some(p) => Message::PageInReply {
                     id,
+                    checksum: p.checksum(),
                     page: p.clone(),
                 },
                 None => Message::PageInMiss { id },
@@ -161,7 +162,7 @@ impl ServerTransport for FlakyTransport {
                 cpu_permille: 0,
                 hint: LoadHint::Ok,
             },
-            Message::PageOutDelta { id, page } => {
+            Message::PageOutDelta { id, page, .. } => {
                 let delta = match st.pages.get(&id) {
                     Some(old) => {
                         let mut d = old.clone();

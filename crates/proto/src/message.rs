@@ -62,6 +62,9 @@ pub enum Message {
     PageOut {
         /// Page identifier within this client's swap space.
         id: StoreKey,
+        /// FNV checksum of `page`, stamped by the writer and carried
+        /// end-to-end so either side can detect payload corruption.
+        checksum: u64,
         /// Page contents.
         page: Page,
     },
@@ -81,6 +84,10 @@ pub enum Message {
     PageInReply {
         /// Identifier echoed back.
         id: StoreKey,
+        /// FNV checksum of `page` as computed by the server over the
+        /// stored bytes; lets the client detect both wire and
+        /// store-level corruption.
+        checksum: u64,
         /// Page contents.
         page: Page,
     },
@@ -144,6 +151,8 @@ pub enum Message {
     PageOutDelta {
         /// Page identifier within this client's swap space.
         id: StoreKey,
+        /// FNV checksum of `page`, stamped by the writer.
+        checksum: u64,
         /// New page contents.
         page: Page,
     },
@@ -208,9 +217,10 @@ impl Message {
                 payload.put_u32_le(*granted);
                 payload.put_u8(hint.to_u8());
             }
-            Message::PageOut { id, page } => {
-                payload.reserve(8 + PAGE_SIZE);
+            Message::PageOut { id, checksum, page } => {
+                payload.reserve(16 + PAGE_SIZE);
                 payload.put_u64_le(id.0);
+                payload.put_u64_le(*checksum);
                 payload.put_slice(page.as_ref());
             }
             Message::PageOutAck { id, hint } => {
@@ -218,9 +228,10 @@ impl Message {
                 payload.put_u8(hint.to_u8());
             }
             Message::PageIn { id } | Message::PageInMiss { id } => payload.put_u64_le(id.0),
-            Message::PageInReply { id, page } => {
-                payload.reserve(8 + PAGE_SIZE);
+            Message::PageInReply { id, checksum, page } => {
+                payload.reserve(16 + PAGE_SIZE);
                 payload.put_u64_le(id.0);
+                payload.put_u64_le(*checksum);
                 payload.put_slice(page.as_ref());
             }
             Message::Free { id } | Message::FreeAck { id } => payload.put_u64_le(id.0),
@@ -253,7 +264,13 @@ impl Message {
                 payload.put_u32_le(bytes.len() as u32);
                 payload.put_slice(bytes);
             }
-            Message::PageOutDelta { id, page } | Message::XorInto { id, page } => {
+            Message::PageOutDelta { id, checksum, page } => {
+                payload.reserve(16 + PAGE_SIZE);
+                payload.put_u64_le(id.0);
+                payload.put_u64_le(*checksum);
+                payload.put_slice(page.as_ref());
+            }
+            Message::XorInto { id, page } => {
                 payload.reserve(8 + PAGE_SIZE);
                 payload.put_u64_le(id.0);
                 payload.put_slice(page.as_ref());
@@ -316,10 +333,12 @@ impl Message {
                 }
             }
             Opcode::PageOut => {
-                need(&buf, 8, "PageOut")?;
+                need(&buf, 16, "PageOut")?;
                 let id = StoreKey(buf.get_u64_le());
+                let checksum = buf.get_u64_le();
                 Message::PageOut {
                     id,
+                    checksum,
                     page: get_page(&mut buf)?,
                 }
             }
@@ -337,10 +356,12 @@ impl Message {
                 }
             }
             Opcode::PageInReply => {
-                need(&buf, 8, "PageInReply")?;
+                need(&buf, 16, "PageInReply")?;
                 let id = StoreKey(buf.get_u64_le());
+                let checksum = buf.get_u64_le();
                 Message::PageInReply {
                     id,
+                    checksum,
                     page: get_page(&mut buf)?,
                 }
             }
@@ -403,10 +424,12 @@ impl Message {
                 Message::Error { code, message }
             }
             Opcode::PageOutDelta => {
-                need(&buf, 8, "PageOutDelta")?;
+                need(&buf, 16, "PageOutDelta")?;
                 let id = StoreKey(buf.get_u64_le());
+                let checksum = buf.get_u64_le();
                 Message::PageOutDelta {
                     id,
+                    checksum,
                     page: get_page(&mut buf)?,
                 }
             }
@@ -469,6 +492,7 @@ mod tests {
         });
         round_trip(Message::PageOut {
             id: StoreKey(42),
+            checksum: Page::deterministic(7).checksum(),
             page: Page::deterministic(7),
         });
         round_trip(Message::PageOutAck {
@@ -478,6 +502,7 @@ mod tests {
         round_trip(Message::PageIn { id: StoreKey(9) });
         round_trip(Message::PageInReply {
             id: StoreKey(9),
+            checksum: Page::filled(0x5A).checksum(),
             page: Page::filled(0x5A),
         });
         round_trip(Message::PageInMiss { id: StoreKey(9) });
@@ -510,6 +535,7 @@ mod tests {
         });
         round_trip(Message::PageOutDelta {
             id: StoreKey(13),
+            checksum: Page::deterministic(13).checksum(),
             page: Page::deterministic(13),
         });
         round_trip(Message::PageOutDeltaReply {
@@ -528,6 +554,7 @@ mod tests {
     fn truncated_pageout_rejected() {
         let msg = Message::PageOut {
             id: StoreKey(1),
+            checksum: Page::zeroed().checksum(),
             page: Page::zeroed(),
         };
         let bytes = msg.encode();
@@ -588,11 +615,12 @@ mod tests {
     }
 
     #[test]
-    fn pageout_frame_is_header_plus_id_plus_page() {
+    fn pageout_frame_is_header_plus_id_plus_checksum_plus_page() {
         let msg = Message::PageOut {
             id: StoreKey(0),
+            checksum: Page::zeroed().checksum(),
             page: Page::zeroed(),
         };
-        assert_eq!(msg.encode().len(), HEADER_LEN + 8 + PAGE_SIZE);
+        assert_eq!(msg.encode().len(), HEADER_LEN + 8 + 8 + PAGE_SIZE);
     }
 }

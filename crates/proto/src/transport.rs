@@ -136,9 +136,11 @@ mod tests {
 
     #[test]
     fn send_then_recv_round_trips() {
+        let page = Page::deterministic(3);
         let msg = Message::PageOut {
             id: StoreKey(77),
-            page: Page::deterministic(3),
+            checksum: page.checksum(),
+            page,
         };
         let mut tx = Framed::new(Pipe {
             inp: VecDeque::new(),

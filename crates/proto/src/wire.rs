@@ -6,8 +6,9 @@ use rmp_types::{Result, RmpError, PAGE_SIZE};
 /// Magic bytes opening every frame (`"RM"`).
 pub const MAGIC: u16 = 0x524D;
 
-/// Protocol version carried by every frame.
-pub const VERSION: u8 = 1;
+/// Protocol version carried by every frame. Version 2 added the
+/// end-to-end page checksum to `PageOut`/`PageInReply`/`PageOutDelta`.
+pub const VERSION: u8 = 2;
 
 /// Size of the encoded frame header in bytes.
 pub const HEADER_LEN: usize = 8;

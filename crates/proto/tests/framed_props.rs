@@ -76,6 +76,7 @@ fn message_for(seed: u64) -> Message {
         0 => Message::PageIn { id: StoreKey(seed) },
         1 => Message::PageOut {
             id: StoreKey(seed),
+            checksum: Page::deterministic(seed).checksum(),
             page: Page::deterministic(seed),
         },
         2 => Message::AllocReply {

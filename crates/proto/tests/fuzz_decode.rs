@@ -34,6 +34,7 @@ proptest! {
     ) {
         let msg = Message::PageOut {
             id: StoreKey(key),
+            checksum: Page::deterministic(seed).checksum(),
             page: Page::deterministic(seed),
         };
         let mut bytes = msg.encode().to_vec();

@@ -1,5 +1,6 @@
 //! Threaded TCP remote memory server.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,7 +42,10 @@ struct Shared {
     config: ServerConfig,
     crashed: AtomicBool,
     shutting_down: AtomicBool,
-    sessions: Mutex<Vec<TcpStream>>,
+    /// Live client connections, keyed by session id so each entry can be
+    /// pruned when its session thread exits (an append-only list would
+    /// leak one fd per client that ever connected).
+    sessions: Mutex<HashMap<u64, TcpStream>>,
     busy_nanos: AtomicU64,
     served_requests: AtomicU64,
     next_session: AtomicU64,
@@ -121,7 +125,7 @@ impl MemoryServer {
             config,
             crashed: AtomicBool::new(false),
             shutting_down: AtomicBool::new(false),
-            sessions: Mutex::new(Vec::new()),
+            sessions: Mutex::new(HashMap::new()),
             busy_nanos: AtomicU64::new(0),
             served_requests: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
@@ -153,21 +157,20 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             }
             continue;
         }
+        let sid = shared.next_session.fetch_add(1, Ordering::SeqCst) & (u64::MAX >> SESSION_SHIFT);
         if let Ok(clone) = stream.try_clone() {
-            shared.sessions.lock().push(clone);
+            shared.sessions.lock().insert(sid, clone);
         }
         let session_shared = Arc::clone(&shared);
         let _ = std::thread::Builder::new()
             .name("rmp-session".into())
-            .spawn(move || session_loop(stream, session_shared));
+            .spawn(move || session_loop(stream, session_shared, sid));
     }
 }
 
-fn session_loop(stream: TcpStream, shared: Arc<Shared>) {
+fn session_loop(stream: TcpStream, shared: Arc<Shared>, sid: u64) {
     let _ = stream.set_nodelay(true);
-    let scope = SessionScope {
-        sid: shared.next_session.fetch_add(1, Ordering::SeqCst) & (u64::MAX >> SESSION_SHIFT),
-    };
+    let scope = SessionScope { sid };
     let mut framed = Framed::new(stream);
     loop {
         if shared.crashed.load(Ordering::SeqCst) || shared.shutting_down.load(Ordering::SeqCst) {
@@ -196,6 +199,10 @@ fn session_loop(stream: TcpStream, shared: Arc<Shared>) {
             }
         }
     }
+    // The session is over (client hung up, shutdown, or crash): release
+    // its tracked stream so long-lived servers don't accumulate one fd
+    // per client that ever connected.
+    shared.sessions.lock().remove(&sid);
 }
 
 enum SessionAction {
@@ -222,7 +229,16 @@ fn handle_message(shared: &Shared, scope: SessionScope, msg: Message) -> Session
                 hint: shared.hint(),
             })
         }
-        Message::PageOut { id, page } => {
+        Message::PageOut { id, checksum, page } => {
+            // Verify before storing: a page mangled in flight must be
+            // rejected here, not discovered at pagein time when the
+            // client no longer holds the original.
+            if page.checksum() != checksum {
+                return SessionAction::Reply(Message::Error {
+                    code: ErrorCode::Corrupt,
+                    message: format!("pageout {id} failed its checksum"),
+                });
+            }
             let stored = shared.store.lock().insert(scope.scope(id), page);
             if stored {
                 SessionAction::Reply(Message::PageOutAck {
@@ -237,7 +253,14 @@ fn handle_message(shared: &Shared, scope: SessionScope, msg: Message) -> Session
             }
         }
         Message::PageIn { id } => match shared.store.lock().get(scope.scope(id)) {
-            Some(page) => SessionAction::Reply(Message::PageInReply { id, page }),
+            // The checksum is recomputed over the *stored* bytes, so a
+            // client comparing it against the writer's checksum detects
+            // store-level corruption, not just wire damage.
+            Some(page) => SessionAction::Reply(Message::PageInReply {
+                id,
+                checksum: page.checksum(),
+                page,
+            }),
             None => SessionAction::Reply(Message::PageInMiss { id }),
         },
         Message::Free { id } => {
@@ -273,7 +296,13 @@ fn handle_message(shared: &Shared, scope: SessionScope, msg: Message) -> Session
             let ids = ids.into_iter().map(|k| scope.unscope(k)).collect();
             SessionAction::Reply(Message::ListPagesReply { ids, more })
         }
-        Message::PageOutDelta { id, page } => {
+        Message::PageOutDelta { id, checksum, page } => {
+            if page.checksum() != checksum {
+                return SessionAction::Reply(Message::Error {
+                    code: ErrorCode::Corrupt,
+                    message: format!("pageout delta {id} failed its checksum"),
+                });
+            }
             // Bind the result first: holding the store lock across the
             // `hint()` call below would self-deadlock.
             let delta = shared.store.lock().replace_delta(scope.scope(id), page);
@@ -322,7 +351,7 @@ fn busy_permille(shared: &Shared) -> u16 {
 fn crash_now(shared: &Shared) {
     shared.crashed.store(true, Ordering::SeqCst);
     shared.store.lock().clear();
-    for s in shared.sessions.lock().drain(..) {
+    for (_, s) in shared.sessions.lock().drain() {
         let _ = s.shutdown(std::net::Shutdown::Both);
     }
 }
@@ -375,6 +404,13 @@ impl ServerHandle {
         self.shared.served_requests.load(Ordering::Relaxed)
     }
 
+    /// Client connections currently tracked; entries are pruned as their
+    /// session threads exit, so this stays bounded by the number of
+    /// *live* clients rather than growing with every client ever seen.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.sessions.lock().len()
+    }
+
     /// Fraction of wall time spent servicing requests — the server CPU
     /// utilization of Section 4.5 (measured < 15 % in the paper).
     pub fn busy_fraction(&self) -> f64 {
@@ -388,7 +424,7 @@ impl ServerHandle {
 
     fn shutdown_in_place(&mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        for s in self.shared.sessions.lock().drain(..) {
+        for (_, s) in self.shared.sessions.lock().drain() {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
         // Wake the accept loop so it observes the flag.
@@ -416,6 +452,14 @@ mod tests {
         Framed::new(TcpStream::connect(handle.addr()).expect("connect"))
     }
 
+    fn page_out(id: StoreKey, page: Page) -> Message {
+        Message::PageOut {
+            id,
+            checksum: page.checksum(),
+            page,
+        }
+    }
+
     fn small_server() -> ServerHandle {
         MemoryServer::spawn(ServerConfig {
             capacity_pages: 8,
@@ -433,18 +477,20 @@ mod tests {
         assert!(matches!(reply, Message::AllocReply { granted: 4, .. }));
         let page = Page::deterministic(11);
         let reply = c
-            .call(&Message::PageOut {
-                id: StoreKey(1),
-                page: page.clone(),
-            })
+            .call(&page_out(StoreKey(1), page.clone()))
             .expect("pageout");
         assert!(matches!(reply, Message::PageOutAck { .. }));
         let reply = c
             .call(&Message::PageIn { id: StoreKey(1) })
             .expect("pagein");
         match reply {
-            Message::PageInReply { id, page: got } => {
+            Message::PageInReply {
+                id,
+                checksum,
+                page: got,
+            } => {
                 assert_eq!(id, StoreKey(1));
+                assert_eq!(checksum, page.checksum());
                 assert_eq!(got, page);
             }
             other => panic!("unexpected reply {other:?}"),
@@ -485,16 +531,10 @@ mod tests {
         let server = small_server();
         let mut c = connect(&server);
         for i in 0..8u64 {
-            c.call(&Message::PageOut {
-                id: StoreKey(i),
-                page: Page::zeroed(),
-            })
-            .expect("fits");
+            c.call(&page_out(StoreKey(i), Page::zeroed()))
+                .expect("fits");
         }
-        let err = c.call(&Message::PageOut {
-            id: StoreKey(8),
-            page: Page::zeroed(),
-        });
+        let err = c.call(&page_out(StoreKey(8), Page::zeroed()));
         assert!(err.is_err(), "hard capacity enforced");
         server.shutdown();
     }
@@ -503,11 +543,8 @@ mod tests {
     fn crash_drops_pages_and_severs_connections() {
         let server = small_server();
         let mut c = connect(&server);
-        c.call(&Message::PageOut {
-            id: StoreKey(1),
-            page: Page::filled(1),
-        })
-        .expect("store");
+        c.call(&page_out(StoreKey(1), Page::filled(1)))
+            .expect("store");
         assert_eq!(server.stored_pages(), 1);
         server.crash();
         assert!(server.is_crashed());
@@ -538,11 +575,8 @@ mod tests {
     fn restart_brings_server_back_empty() {
         let server = small_server();
         let mut c = connect(&server);
-        c.call(&Message::PageOut {
-            id: StoreKey(1),
-            page: Page::filled(1),
-        })
-        .expect("store");
+        c.call(&page_out(StoreKey(1), Page::filled(1)))
+            .expect("store");
         server.crash();
         server.restart();
         let mut c2 = connect(&server);
@@ -563,11 +597,8 @@ mod tests {
         })
         .expect("spawn");
         let mut c = connect(&server);
-        c.call(&Message::PageOut {
-            id: StoreKey(1),
-            page: Page::zeroed(),
-        })
-        .expect("store");
+        c.call(&page_out(StoreKey(1), Page::zeroed()))
+            .expect("store");
         let Message::LoadReport {
             free_pages,
             stored_pages,
@@ -598,11 +629,8 @@ mod tests {
         };
         assert_eq!(hint, LoadHint::Ok, "empty store");
         for i in 0..4u64 {
-            c.call(&Message::PageOut {
-                id: StoreKey(i),
-                page: Page::zeroed(),
-            })
-            .expect("store");
+            c.call(&page_out(StoreKey(i), Page::zeroed()))
+                .expect("store");
         }
         let Message::LoadReport { hint, .. } = c.call(&Message::LoadQuery).expect("query") else {
             panic!()
@@ -620,6 +648,7 @@ mod tests {
         let Message::PageOutDeltaReply { delta, .. } = c
             .call(&Message::PageOutDelta {
                 id: StoreKey(7),
+                checksum: old.checksum(),
                 page: old.clone(),
             })
             .expect("first delta store")
@@ -630,6 +659,7 @@ mod tests {
         let Message::PageOutDeltaReply { delta, .. } = c
             .call(&Message::PageOutDelta {
                 id: StoreKey(7),
+                checksum: new.checksum(),
                 page: new.clone(),
             })
             .expect("second delta store")
@@ -665,11 +695,8 @@ mod tests {
         let server = small_server();
         let mut c = connect(&server);
         for i in [3u64, 1, 5] {
-            c.call(&Message::PageOut {
-                id: StoreKey(i),
-                page: Page::zeroed(),
-            })
-            .expect("store");
+            c.call(&page_out(StoreKey(i), Page::zeroed()))
+                .expect("store");
         }
         let Message::ListPagesReply { ids, more } = c
             .call(&Message::ListPages {
@@ -691,6 +718,52 @@ mod tests {
         let mut c = connect(&server);
         let res = c.call(&Message::FreeAck { id: StoreKey(0) });
         assert!(res.is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn corrupt_pageout_is_rejected_with_typed_code() {
+        let server = small_server();
+        let mut c = connect(&server);
+        let page = Page::deterministic(3);
+        let bad = Message::PageOut {
+            id: StoreKey(1),
+            checksum: page.checksum() ^ 1, // Claim a checksum the page fails.
+            page,
+        };
+        let err = c.call(&bad).expect_err("rejected");
+        assert!(
+            matches!(
+                err,
+                RmpError::Remote {
+                    code: ErrorCode::Corrupt,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(server.stored_pages(), 0, "corrupt page never stored");
+        server.shutdown();
+    }
+
+    #[test]
+    fn closed_sessions_are_pruned() {
+        let server = small_server();
+        for _ in 0..5 {
+            let mut c = connect(&server);
+            c.call(&Message::LoadQuery).expect("query");
+            drop(c);
+        }
+        // Session threads notice the hangup asynchronously; poll briefly.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while server.active_sessions() > 0 && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(
+            server.active_sessions(),
+            0,
+            "disconnected clients must not accumulate"
+        );
         server.shutdown();
     }
 

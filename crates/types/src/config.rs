@@ -158,6 +158,16 @@ pub struct PagerConfig {
     pub adaptive_threshold_ms: Option<f64>,
     /// Socket deadlines and retry/backoff behaviour of the paging path.
     pub transport: TransportConfig,
+    /// Maximum pages rebuilt per incremental recovery step. Each call to
+    /// `periodic_maintenance` advances any pending crash recovery by at
+    /// most this many pages, keeping maintenance pauses bounded while a
+    /// crashed server's contents are re-protected in the background.
+    pub recovery_page_budget: usize,
+    /// Whether page payloads are checksummed end-to-end: stamped on
+    /// every pageout, carried on the wire, and verified on every pagein
+    /// and after every reconstruction. Disable only for measurement runs
+    /// that want the raw transfer path.
+    pub verify_checksums: bool,
 }
 
 impl PagerConfig {
@@ -177,6 +187,8 @@ impl PagerConfig {
             group_size: servers,
             adaptive_threshold_ms: None,
             transport: TransportConfig::default(),
+            recovery_page_budget: 64,
+            verify_checksums: true,
         }
     }
 
@@ -225,6 +237,18 @@ impl PagerConfig {
         self
     }
 
+    /// Sets the per-step page budget of incremental crash recovery.
+    pub fn with_recovery_page_budget(mut self, pages: usize) -> Self {
+        self.recovery_page_budget = pages;
+        self
+    }
+
+    /// Enables or disables end-to-end page checksums.
+    pub fn with_verify_checksums(mut self, enabled: bool) -> Self {
+        self.verify_checksums = enabled;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -254,6 +278,11 @@ impl PagerConfig {
         {
             return Err(RmpError::Config(
                 "parity group size must be positive".into(),
+            ));
+        }
+        if self.recovery_page_budget == 0 {
+            return Err(RmpError::Config(
+                "recovery page budget must be positive".into(),
             ));
         }
         if let Some(ms) = self.adaptive_threshold_ms {
@@ -337,6 +366,23 @@ mod tests {
             .with_adaptive_threshold_ms(25.0)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn recovery_and_integrity_knobs() {
+        let cfg = PagerConfig::default();
+        assert_eq!(cfg.recovery_page_budget, 64);
+        assert!(cfg.verify_checksums);
+        let cfg = cfg
+            .with_recovery_page_budget(8)
+            .with_verify_checksums(false);
+        assert_eq!(cfg.recovery_page_budget, 8);
+        assert!(!cfg.verify_checksums);
+        assert!(cfg.validate().is_ok());
+        assert!(PagerConfig::default()
+            .with_recovery_page_budget(0)
+            .validate()
+            .is_err());
     }
 
     #[test]

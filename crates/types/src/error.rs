@@ -3,7 +3,7 @@
 use std::fmt;
 use std::io;
 
-use crate::ids::{PageId, ServerId};
+use crate::ids::{PageId, ServerId, StoreKey};
 
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, RmpError>;
@@ -27,6 +27,10 @@ pub enum ErrorCode {
     /// An unexpected server-side failure; not attributable to the
     /// request.
     Internal,
+    /// A page payload failed its end-to-end checksum: the frame arrived
+    /// intact (the framing CRC passed) but the page bytes do not match
+    /// the checksum stamped by the writer.
+    Corrupt,
 }
 
 impl ErrorCode {
@@ -37,6 +41,7 @@ impl ErrorCode {
             ErrorCode::UnknownKey => 2,
             ErrorCode::ShuttingDown => 3,
             ErrorCode::Internal => 4,
+            ErrorCode::Corrupt => 5,
         }
     }
 
@@ -47,6 +52,7 @@ impl ErrorCode {
             1 => ErrorCode::OutOfMemory,
             2 => ErrorCode::UnknownKey,
             3 => ErrorCode::ShuttingDown,
+            5 => ErrorCode::Corrupt,
             _ => ErrorCode::Internal,
         }
     }
@@ -59,6 +65,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::UnknownKey => "unknown-key",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Internal => "internal",
+            ErrorCode::Corrupt => "corrupt",
         };
         f.write_str(name)
     }
@@ -93,6 +100,17 @@ pub enum RmpError {
     ServerCrashed(ServerId),
     /// Page contents failed an integrity check after recovery.
     Corrupt(PageId),
+    /// A specific remote copy of a page failed its end-to-end checksum:
+    /// the bytes fetched from `server` under `key` do not match the
+    /// checksum recorded when the page was written. Unlike
+    /// [`RmpError::Corrupt`], the faulty copy is attributable, so the
+    /// pager can heal from redundancy while avoiding that copy.
+    CorruptPage {
+        /// Server whose copy failed verification.
+        server: ServerId,
+        /// Store key of the corrupt copy.
+        key: StoreKey,
+    },
     /// Recovery was attempted but cannot complete (e.g. two servers of a
     /// mirror pair are down, or a parity group lost two members).
     Unrecoverable(String),
@@ -116,6 +134,9 @@ impl fmt::Display for RmpError {
             RmpError::PageNotFound(p) => write!(f, "page {p} not found"),
             RmpError::ServerCrashed(s) => write!(f, "server {s} crashed"),
             RmpError::Corrupt(p) => write!(f, "page {p} failed integrity check"),
+            RmpError::CorruptPage { server, key } => {
+                write!(f, "copy {key} on server {server} failed its checksum")
+            }
             RmpError::Unrecoverable(m) => write!(f, "unrecoverable: {m}"),
             RmpError::Config(m) => write!(f, "configuration error: {m}"),
             RmpError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
@@ -197,6 +218,14 @@ mod tests {
         assert!(RmpError::ServerCrashed(ServerId(0)).is_server_failure());
         assert!(!RmpError::ClusterFull.is_server_failure());
         assert!(!RmpError::Corrupt(PageId(1)).is_server_failure());
+        let corrupt = RmpError::CorruptPage {
+            server: ServerId(3),
+            key: StoreKey(9),
+        };
+        // A corrupt copy is a data fault, not a transport fault: the
+        // server answered, so it must not be treated as crashed.
+        assert!(!corrupt.is_server_failure());
+        assert!(corrupt.to_string().contains("srv3"));
     }
 
     #[test]
@@ -206,6 +235,7 @@ mod tests {
             ErrorCode::UnknownKey,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
+            ErrorCode::Corrupt,
         ] {
             assert_eq!(ErrorCode::from_u8(code.to_u8()), code);
         }

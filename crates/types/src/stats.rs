@@ -45,6 +45,15 @@ pub struct TransferStats {
     pub gc_passes: u64,
     /// Pages migrated between servers in response to load advisories.
     pub migrations: u64,
+    /// Pageins served by reconstructing the requested page from
+    /// redundancy (mirror copy or parity group) while its holder was
+    /// down, instead of waiting for a full rebuild.
+    pub degraded_reads: u64,
+    /// Bounded recovery steps executed by the incremental recovery
+    /// driver (each step rebuilds at most `recovery_page_budget` pages).
+    pub recovery_steps: u64,
+    /// Page payloads that failed their end-to-end checksum.
+    pub checksum_failures: u64,
 }
 
 impl TransferStats {
@@ -90,6 +99,9 @@ impl AddAssign for TransferStats {
         self.groups_reclaimed += rhs.groups_reclaimed;
         self.gc_passes += rhs.gc_passes;
         self.migrations += rhs.migrations;
+        self.degraded_reads += rhs.degraded_reads;
+        self.recovery_steps += rhs.recovery_steps;
+        self.checksum_failures += rhs.checksum_failures;
     }
 }
 
@@ -139,10 +151,16 @@ mod tests {
             groups_reclaimed: 8,
             gc_passes: 9,
             migrations: 10,
+            degraded_reads: 11,
+            recovery_steps: 12,
+            checksum_failures: 13,
         };
         let sum = a + a;
         assert_eq!(sum.pageins, 2);
         assert_eq!(sum.migrations, 20);
+        assert_eq!(sum.degraded_reads, 22);
+        assert_eq!(sum.recovery_steps, 24);
+        assert_eq!(sum.checksum_failures, 26);
         assert_eq!(sum.total_net_transfers(), 24);
     }
 }

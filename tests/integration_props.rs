@@ -74,9 +74,17 @@ proptest! {
         let messages = vec![
             Message::Alloc { pages },
             Message::AllocReply { granted, hint: rmp::proto::LoadHint::Ok },
-            Message::PageOut { id: StoreKey(key), page: Page::deterministic(seed) },
+            Message::PageOut {
+                id: StoreKey(key),
+                checksum: Page::deterministic(seed).checksum(),
+                page: Page::deterministic(seed),
+            },
             Message::PageIn { id: StoreKey(key) },
-            Message::PageInReply { id: StoreKey(key), page: Page::deterministic(seed) },
+            Message::PageInReply {
+                id: StoreKey(key),
+                checksum: Page::deterministic(seed).checksum(),
+                page: Page::deterministic(seed),
+            },
             Message::Free { id: StoreKey(key) },
             Message::XorInto { id: StoreKey(key), page: Page::deterministic(seed) },
         ];

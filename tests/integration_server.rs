@@ -24,7 +24,11 @@ fn many_concurrent_clients_share_one_server() {
                     let key = StoreKey(t * 1000 + i);
                     let page = Page::deterministic(key.0);
                     match framed
-                        .call(&Message::PageOut { id: key, page })
+                        .call(&Message::PageOut {
+                            id: key,
+                            checksum: page.checksum(),
+                            page,
+                        })
                         .expect("pageout")
                     {
                         Message::PageOutAck { .. } => {}
