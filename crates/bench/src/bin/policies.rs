@@ -1,0 +1,68 @@
+//! Section 2.2 — the reliability cost table, measured.
+//!
+//! Runs the `rmpstat` probes ([`rmp::stat`]) over every policy and writes
+//! the `rmp-policy-probe-v1` JSON document (`BENCH_policies.json`, or the
+//! path in `BENCH_OUT`) so CI can archive it. Latency distributions use
+//! the shared `rmp-metrics-v1` histogram snapshot schema — the same
+//! [`rmp_types::metrics::Histogram`] the pager exports at runtime.
+//!
+//! `PROBE_PAGES` overrides the per-policy workload size for smoke runs.
+
+use rmp::stat::{probe_all, probes_to_json};
+
+fn main() {
+    let pages: usize = std::env::var("PROBE_PAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    println!("Reliability cost table, measured ({pages} pages per policy)\n");
+    let probes = probe_all(pages).expect("probe");
+    println!(
+        "{:<16} {:>14} {:>9} {:>15} {:>9}",
+        "policy", "xfers/pageout", "expected", "degraded xfers", "expected"
+    );
+    for p in &probes {
+        let expected_degraded = match p.expected_degraded_transfers {
+            Some(v) => format!("{v:.2}"),
+            None => "-".into(),
+        };
+        let degraded = if p.degraded_reads > 0 {
+            format!("{:.2}", p.measured_degraded_transfers)
+        } else {
+            "-".into()
+        };
+        println!(
+            "{:<16} {:>14.2} {:>9.2} {:>15} {:>9}",
+            p.policy.label(),
+            p.measured_transfers_per_pageout,
+            p.expected_transfers_per_pageout,
+            degraded,
+            expected_degraded,
+        );
+        assert!(
+            (p.measured_transfers_per_pageout - p.expected_transfers_per_pageout).abs() < 0.05,
+            "{}: measured pageout cost {:.4} drifted from the paper's {:.4}",
+            p.policy.label(),
+            p.measured_transfers_per_pageout,
+            p.expected_transfers_per_pageout
+        );
+        if let Some(expected) = p.expected_degraded_transfers {
+            assert!(
+                p.degraded_reads > 0,
+                "{}: no degraded reads",
+                p.policy.label()
+            );
+            assert!(
+                (p.measured_degraded_transfers - expected).abs() < 0.05,
+                "{}: measured degraded cost {:.4} drifted from the paper's {:.4}",
+                p.policy.label(),
+                p.measured_degraded_transfers,
+                expected
+            );
+        }
+    }
+    let json = probes_to_json(&probes);
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_policies.json".into());
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+}

@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use rmp::LocalCluster;
 use rmp_blockdev::PagingDevice;
+use rmp_types::metrics::Histogram;
 use rmp_types::{Page, PageId, PagerConfig, Policy, ServerId};
 
 fn main() {
@@ -75,7 +76,9 @@ fn main() {
         // from redundancy at per-page cost, before any rebuild runs.
         let mut degraded = 0u64;
         let mut degraded_transfers = 0u64;
-        let mut degraded_ns = 0u128;
+        // Same fixed-bucket histogram the pager exports at runtime, so
+        // this bench and `rmpstat` share one latency schema.
+        let degraded_latency = Histogram::default();
         if policy.survives_single_crash() {
             for i in 0..pages {
                 let before = pager.stats().degraded_reads;
@@ -86,7 +89,7 @@ fn main() {
                 if pager.stats().degraded_reads > before {
                     degraded += 1;
                     degraded_transfers += pager.pool().wire_transfers() - wire;
-                    degraded_ns += t.elapsed().as_nanos();
+                    degraded_latency.record(t.elapsed());
                     if degraded >= 32 {
                         break;
                     }
@@ -98,11 +101,8 @@ fn main() {
         } else {
             0.0
         };
-        let deg_ms_per_read = if degraded > 0 {
-            degraded_ns as f64 / degraded as f64 / 1e6
-        } else {
-            0.0
-        };
+        let degraded_snapshot = degraded_latency.snapshot();
+        let deg_ms_per_read = degraded_snapshot.mean_us() / 1e3;
         if policy == Policy::BasicParity {
             cluster.handles()[victim].restart();
             pager
@@ -137,7 +137,8 @@ fn main() {
                     "    {{\"policy\": \"{}\", \"transfers_per_pageout\": {:.4}, \
                      \"memory_overhead\": {:.4}, \"degraded_reads\": {}, \
                      \"degraded_transfers_per_read\": {:.4}, \
-                     \"degraded_ms_per_read\": {:.4}, \"pages_rebuilt\": {}, \
+                     \"degraded_ms_per_read\": {:.4}, \
+                     \"degraded_latency_us\": {}, \"pages_rebuilt\": {}, \
                      \"recovery_transfers\": {}, \"recovery_ms\": {:.3}, \
                      \"data_loss\": false}}",
                     policy.label(),
@@ -146,6 +147,7 @@ fn main() {
                     degraded,
                     deg_per_read,
                     deg_ms_per_read,
+                    degraded_snapshot.to_json(),
                     report.total_rebuilt(),
                     report.transfers,
                     report.elapsed.as_secs_f64() * 1000.0,

@@ -153,6 +153,7 @@ impl Engine for BasicParity {
             .find(|p| p.page_id == id)
             .ok_or(RmpError::PageNotFound(id))?;
         let (page, _transfers) = self.reconstruct_one(ctx, &plan)?;
+        ctx.count("engine_parity_reconstructions_total");
         Ok(page)
     }
 

@@ -14,7 +14,8 @@ pub mod writethrough;
 
 use rmp_blockdev::PagingDevice;
 use rmp_cluster::Condition;
-use rmp_types::{Page, PageId, Result, RmpError, ServerId, StoreKey, TransferStats};
+use rmp_types::metrics::{EventKind, MetricsRegistry};
+use rmp_types::{Page, PageId, Policy, Result, RmpError, ServerId, StoreKey, TransferStats};
 
 use crate::pool::ServerPool;
 use crate::recovery::{RecoveryReport, RecoveryStep};
@@ -45,9 +46,37 @@ pub struct Ctx<'a> {
     /// When set, route *new* pageouts to the local disk (the adaptive
     /// network-load switch of Section 5).
     pub prefer_disk: bool,
+    /// Shared metrics registry for trace events and cold-path counters;
+    /// `None` records nothing. Hot-path counting stays in
+    /// [`Ctx::stats`] — this hook is for the rare, interesting moments
+    /// (degraded reads, GC passes, group seals, migrations, recovery).
+    pub metrics: Option<&'a MetricsRegistry>,
 }
 
 impl Ctx<'_> {
+    /// Appends a trace event to the shared event ring, if metrics are
+    /// attached. Engines pass their own [`Policy`] so the event says
+    /// which reliability scheme was acting.
+    pub fn trace(
+        &self,
+        kind: EventKind,
+        server: Option<ServerId>,
+        policy: Option<Policy>,
+        outcome: &'static str,
+    ) {
+        if let Some(m) = self.metrics {
+            m.trace(kind, server, policy, outcome);
+        }
+    }
+
+    /// Bumps the cold-path counter `name` by one, if metrics are
+    /// attached. Resolves the handle by name on each call, so reserve it
+    /// for events that are rare by construction (GC, seals, migrations).
+    pub fn count(&self, name: &str) {
+        if let Some(m) = self.metrics {
+            m.counter(name).inc();
+        }
+    }
     /// Writes `page` to the local disk under the logical id.
     ///
     /// # Errors
@@ -60,6 +89,7 @@ impl Ctx<'_> {
             .ok_or(RmpError::Unsupported("no local disk configured"))?;
         disk.page_out(id, page)?;
         self.stats.disk_writes += 1;
+        self.count("engine_disk_writes_total");
         Ok(())
     }
 
@@ -75,6 +105,7 @@ impl Ctx<'_> {
             .ok_or(RmpError::Unsupported("no local disk configured"))?;
         let page = disk.page_in(id)?;
         self.stats.disk_reads += 1;
+        self.count("engine_disk_reads_total");
         Ok(page)
     }
 

@@ -2,7 +2,8 @@
 
 use std::collections::HashMap;
 
-use rmp_types::{Page, PageId, Result, RmpError, ServerId, StoreKey};
+use rmp_types::metrics::EventKind;
+use rmp_types::{Page, PageId, Policy, Result, RmpError, ServerId, StoreKey};
 
 use crate::engine::{Ctx, Engine, Location};
 use crate::recovery::RecoveryStep;
@@ -173,6 +174,15 @@ impl Engine for NoReliability {
             self.map.insert(id, loc);
             ctx.stats.migrations += 1;
             moved += 1;
+        }
+        if moved > 0 {
+            ctx.count("engine_migrations_total");
+            ctx.trace(
+                EventKind::Migration,
+                Some(server),
+                Some(Policy::NoReliability),
+                "restriped",
+            );
         }
         Ok(moved)
     }

@@ -4,7 +4,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use rmp_parity::xor::reconstruct;
 use rmp_parity::{GroupTable, ParityBuffer, SealedGroup};
-use rmp_types::{GroupId, Page, PageId, Result, RmpError, ServerId, StoreKey};
+use rmp_types::metrics::EventKind;
+use rmp_types::{GroupId, Page, PageId, Policy, Result, RmpError, ServerId, StoreKey};
 
 use crate::engine::{Ctx, Engine, Location};
 use crate::recovery::RecoveryStep;
@@ -134,6 +135,7 @@ impl ParityLogging {
         let pkey = ctx.pool.fresh_key();
         ctx.reserve_and_page_out(self.parity_server, pkey, &sealed.parity)?;
         ctx.stats.net_parity_transfers += 1;
+        ctx.count("engine_groups_sealed_total");
         let members: Vec<PageId> = sealed.members.iter().map(|m| m.page_id).collect();
         let (_gid, reclaimed) = self
             .groups
@@ -208,6 +210,8 @@ impl ParityLogging {
                 self.commit_group(ctx, sealed)?;
             }
             ctx.stats.gc_passes += 1;
+            ctx.count("engine_gc_passes_total");
+            ctx.trace(EventKind::Gc, None, Some(Policy::ParityLogging), "relogged");
         }
         Ok(relogged)
     }
@@ -695,6 +699,13 @@ impl Engine for ParityLogging {
         // Seal so the re-logged versions supersede the old ones.
         if moved > 0 {
             self.flush(ctx)?;
+            ctx.count("engine_migrations_total");
+            ctx.trace(
+                EventKind::Migration,
+                Some(server),
+                Some(Policy::ParityLogging),
+                "relogged",
+            );
         }
         Ok(moved)
     }

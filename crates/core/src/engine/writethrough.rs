@@ -2,7 +2,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use rmp_types::{Page, PageId, Result, RmpError, ServerId, StoreKey};
+use rmp_types::metrics::EventKind;
+use rmp_types::{Page, PageId, Policy, Result, RmpError, ServerId, StoreKey};
 
 use crate::engine::{Ctx, Engine, Location};
 use crate::recovery::RecoveryStep;
@@ -225,6 +226,15 @@ impl Engine for WriteThrough {
             if ctx.pool.view().is_alive(server) {
                 ctx.pool.free(server, key)?;
             }
+        }
+        if moved > 0 {
+            ctx.count("engine_migrations_total");
+            ctx.trace(
+                EventKind::Migration,
+                Some(server),
+                Some(Policy::WriteThrough),
+                "recached",
+            );
         }
         Ok(moved)
     }

@@ -1,8 +1,11 @@
 //! The pager: policy dispatch, crash handling, adaptive switching.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
 
 use rmp_blockdev::PagingDevice;
+use rmp_types::metrics::{Counter, EventKind, Gauge, Histogram, MetricsRegistry};
 use rmp_types::{Page, PageId, PagerConfig, Policy, Result, RmpError, ServerId, TransferStats};
 
 use crate::engine::{
@@ -34,6 +37,49 @@ pub struct PagerBuilder {
     config: PagerConfig,
     pool: ServerPool,
     disk: Option<Box<dyn PagingDevice>>,
+}
+
+/// Pre-resolved handles into the pager's [`MetricsRegistry`], so the
+/// pageout/pagein hot paths record without touching the registration
+/// lock. Names are catalogued in `OBSERVABILITY.md`.
+struct PagerMetrics {
+    registry: Arc<MetricsRegistry>,
+    pageouts: Arc<Counter>,
+    pageins: Arc<Counter>,
+    pageout_errors: Arc<Counter>,
+    pagein_errors: Arc<Counter>,
+    degraded_reads: Arc<Counter>,
+    checksum_failures: Arc<Counter>,
+    maintenance_runs: Arc<Counter>,
+    recoveries_completed: Arc<Counter>,
+    pageout_latency: Arc<Histogram>,
+    pagein_latency: Arc<Histogram>,
+    degraded_latency: Arc<Histogram>,
+    maintenance_latency: Arc<Histogram>,
+    recovery_backlog: Arc<Gauge>,
+    prefer_disk: Arc<Gauge>,
+}
+
+impl PagerMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        PagerMetrics {
+            pageouts: registry.counter("pager_pageouts_total"),
+            pageins: registry.counter("pager_pageins_total"),
+            pageout_errors: registry.counter("pager_pageout_errors_total"),
+            pagein_errors: registry.counter("pager_pagein_errors_total"),
+            degraded_reads: registry.counter("pager_degraded_reads_total"),
+            checksum_failures: registry.counter("pager_checksum_failures_total"),
+            maintenance_runs: registry.counter("pager_maintenance_runs_total"),
+            recoveries_completed: registry.counter("pager_recoveries_completed_total"),
+            pageout_latency: registry.histogram("pager_pageout_latency_us"),
+            pagein_latency: registry.histogram("pager_pagein_latency_us"),
+            degraded_latency: registry.histogram("pager_degraded_read_latency_us"),
+            maintenance_latency: registry.histogram("pager_maintenance_latency_us"),
+            recovery_backlog: registry.gauge("pager_recovery_backlog"),
+            prefer_disk: registry.gauge("pager_prefer_disk"),
+            registry,
+        }
+    }
 }
 
 impl PagerBuilder {
@@ -88,6 +134,9 @@ pub struct Pager {
     pending_recovery: VecDeque<ServerId>,
     /// The rebuild currently in flight, if any.
     active_plan: Option<RecoveryPlan>,
+    /// Observability: latency histograms, counters, and the trace-event
+    /// ring — shared with the pool and exposed via [`Pager::metrics`].
+    metrics: PagerMetrics,
 }
 
 impl Pager {
@@ -116,6 +165,11 @@ impl Pager {
         // and retry policy the config carries govern every pool call.
         pool.set_transport_config(config.transport.clone());
         pool.set_verify_checksums(config.verify_checksums);
+        // One registry serves the whole client stack: the pool records its
+        // call latencies and failure transitions into the same ring and
+        // tables the pager uses, so a single snapshot tells the story.
+        let registry = Arc::new(MetricsRegistry::new());
+        pool.set_metrics(Arc::clone(&registry));
         let ids = pool.server_ids();
         let engine: Box<dyn Engine> = match config.policy {
             Policy::NoReliability => {
@@ -173,7 +227,36 @@ impl Pager {
             page_sums: HashMap::new(),
             pending_recovery: VecDeque::new(),
             active_plan: None,
+            metrics: PagerMetrics::new(registry),
         })
+    }
+
+    /// The shared metrics registry (counters, histograms, trace events)
+    /// covering this pager and its server pool.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics.registry
+    }
+
+    /// One-shot JSON snapshot of everything observable client-side: the
+    /// policy in force, the engine-level [`TransferStats`], and the full
+    /// `rmp-metrics-v1` registry dump (histograms with p50/p90/p99/max,
+    /// counters, gauges, trace events). This is what `rmpstat --json`
+    /// prints per policy.
+    pub fn metrics_snapshot_json(&self) -> String {
+        // Gauges reflect "now": sync them at snapshot time so a reader
+        // never sees a stale backlog after the queue drained.
+        self.metrics
+            .recovery_backlog
+            .set(self.recovery_backlog() as u64);
+        self.metrics.prefer_disk.set(u64::from(self.prefer_disk));
+        format!(
+            "{{\"schema\": \"rmp-pager-v1\", \"policy\": \"{}\", \"servers\": {}, \
+             \"transfer_stats\": {}, \"metrics\": {}}}",
+            self.config.policy.label(),
+            self.config.servers,
+            self.stats.to_json(),
+            self.metrics.registry.snapshot_json(),
+        )
     }
 
     /// Runs `f` with the engine and a context over the pager's fields.
@@ -183,6 +266,7 @@ impl Pager {
             disk: self.disk.as_mut(),
             stats: &mut self.stats,
             prefer_disk: self.prefer_disk,
+            metrics: Some(&self.metrics.registry),
         };
         f(self.engine.as_mut(), &mut ctx)
     }
@@ -206,6 +290,7 @@ impl Pager {
         } else if avg > threshold {
             self.prefer_disk = true;
         }
+        self.metrics.prefer_disk.set(u64::from(self.prefer_disk));
     }
 
     /// Returns `true` while the adaptive switch routes pageouts to disk.
@@ -306,7 +391,22 @@ impl Pager {
         match self.drive_plan(&mut plan, page_budget) {
             Ok(true) => {
                 self.stats.recovery_steps += 1;
-                Ok(Some(plan.report()))
+                let report = plan.report();
+                self.metrics.recoveries_completed.inc();
+                self.metrics.registry.trace_with(
+                    EventKind::RecoveryStep,
+                    Some(report.crashed),
+                    Some(self.config.policy),
+                    "done",
+                    Some(format!(
+                        "rebuilt {} pages + {} parity",
+                        report.pages_rebuilt, report.parity_rebuilt
+                    )),
+                );
+                self.metrics
+                    .recovery_backlog
+                    .set(self.recovery_backlog() as u64);
+                Ok(Some(report))
             }
             Ok(false) => {
                 self.stats.recovery_steps += 1;
@@ -388,12 +488,18 @@ impl Pager {
     ///
     /// Propagates storage failures.
     pub fn periodic_maintenance(&mut self) -> Result<(u64, u64)> {
+        let started = Instant::now();
+        self.metrics.maintenance_runs.inc();
         for server in self.pool.refresh_loads() {
             self.note_crash(server);
         }
         self.recovery_tick(self.config.recovery_page_budget)?;
         let migrated = self.service_advisories()?;
         let promoted = self.with_engine(|engine, ctx| engine.rebalance(ctx))?;
+        self.metrics.maintenance_latency.record(started.elapsed());
+        self.metrics
+            .recovery_backlog
+            .set(self.recovery_backlog() as u64);
         Ok((migrated, promoted))
     }
 
@@ -466,11 +572,37 @@ impl Pager {
     /// Serves `id` from the policy's redundancy without touching `dead`,
     /// verifying the reconstruction against the writer's checksum.
     fn degraded_read(&mut self, id: PageId, dead: ServerId) -> Result<Page> {
-        let page = self.with_engine(|engine, ctx| engine.degraded_read(ctx, id, dead))?;
+        let started = Instant::now();
+        let result = self.with_engine(|engine, ctx| engine.degraded_read(ctx, id, dead));
+        let page = match result {
+            Ok(page) => page,
+            Err(e) => {
+                // `Unsupported` is routing, not failure: the caller falls
+                // back to recover-then-retry without a degraded read ever
+                // having been attempted for real.
+                if !matches!(e, RmpError::Unsupported(_)) {
+                    self.metrics.registry.trace(
+                        EventKind::DegradedRead,
+                        Some(dead),
+                        Some(self.config.policy),
+                        "error",
+                    );
+                }
+                return Err(e);
+            }
+        };
         if let Some(e) = self.check_sum(id, &page) {
             return Err(e);
         }
         self.stats.degraded_reads += 1;
+        self.metrics.degraded_reads.inc();
+        self.metrics.degraded_latency.record(started.elapsed());
+        self.metrics.registry.trace(
+            EventKind::DegradedRead,
+            Some(dead),
+            Some(self.config.policy),
+            "ok",
+        );
         Ok(page)
     }
 
@@ -485,15 +617,27 @@ impl Pager {
             return None;
         }
         self.stats.checksum_failures += 1;
-        Some(match self.engine.primary_location(id) {
+        self.metrics.checksum_failures.inc();
+        let err = match self.engine.primary_location(id) {
             Some((server, key)) => RmpError::CorruptPage { server, key },
             None => RmpError::Corrupt(id),
-        })
+        };
+        let server = match &err {
+            RmpError::CorruptPage { server, .. } => Some(*server),
+            _ => None,
+        };
+        self.metrics.registry.trace(
+            EventKind::ChecksumFailure,
+            server,
+            Some(self.config.policy),
+            "store_corruption",
+        );
+        Some(err)
     }
 }
 
-impl PagingDevice for Pager {
-    fn page_out(&mut self, id: PageId, page: &Page) -> Result<()> {
+impl Pager {
+    fn page_out_inner(&mut self, id: PageId, page: &Page) -> Result<()> {
         self.update_adaptive();
         // Writes must not race an in-flight rebuild: a pageout landing in
         // a half-rebuilt stripe would leave its parity wrong, and plans
@@ -520,7 +664,7 @@ impl PagingDevice for Pager {
         }
     }
 
-    fn page_in(&mut self, id: PageId) -> Result<Page> {
+    fn page_in_inner(&mut self, id: PageId) -> Result<Page> {
         let mut retries = self.pool.server_ids().len().max(1);
         loop {
             // `check_sum` counts the failures it detects itself; corruption
@@ -576,6 +720,64 @@ impl PagingDevice for Pager {
                 e => return Err(e),
             }
         }
+    }
+}
+
+impl PagingDevice for Pager {
+    fn page_out(&mut self, id: PageId, page: &Page) -> Result<()> {
+        let started = Instant::now();
+        let result = self.page_out_inner(id, page);
+        let server = self.engine.primary_location(id).map(|(s, _)| s);
+        match &result {
+            Ok(()) => {
+                self.metrics.pageouts.inc();
+                self.metrics.pageout_latency.record(started.elapsed());
+                self.metrics.registry.trace(
+                    EventKind::PageOut,
+                    server,
+                    Some(self.config.policy),
+                    "ok",
+                );
+            }
+            Err(_) => {
+                self.metrics.pageout_errors.inc();
+                self.metrics.registry.trace(
+                    EventKind::PageOut,
+                    server,
+                    Some(self.config.policy),
+                    "error",
+                );
+            }
+        }
+        result
+    }
+
+    fn page_in(&mut self, id: PageId) -> Result<Page> {
+        let started = Instant::now();
+        let result = self.page_in_inner(id);
+        let server = self.engine.primary_location(id).map(|(s, _)| s);
+        match &result {
+            Ok(_) => {
+                self.metrics.pageins.inc();
+                self.metrics.pagein_latency.record(started.elapsed());
+                self.metrics.registry.trace(
+                    EventKind::PageIn,
+                    server,
+                    Some(self.config.policy),
+                    "ok",
+                );
+            }
+            Err(_) => {
+                self.metrics.pagein_errors.inc();
+                self.metrics.registry.trace(
+                    EventKind::PageIn,
+                    server,
+                    Some(self.config.policy),
+                    "error",
+                );
+            }
+        }
+        result
     }
 
     fn free(&mut self, id: PageId) -> Result<()> {

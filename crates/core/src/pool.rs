@@ -1,10 +1,12 @@
 //! The client's pool of server connections.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rmp_cluster::{ClusterView, Condition, Registry};
 use rmp_proto::{LoadHint, Message};
+use rmp_types::metrics::{Counter, EventKind, Histogram, MetricsRegistry};
 use rmp_types::{ErrorCode, Page, Result, RmpError, ServerId, StoreKey, TransportConfig};
 
 use crate::transport::{ServerTransport, TcpTransport};
@@ -15,6 +17,48 @@ const ALLOC_CHUNK: u32 = 64;
 
 /// Consecutive clean calls before a suspect server is trusted again.
 const SUSPECT_CLEAN_STREAK: u32 = 3;
+
+/// Pre-resolved metric handles for the pool's hot call path: registered
+/// once in [`ServerPool::set_metrics`], recorded lock-free thereafter.
+/// Metric names are catalogued in `OBSERVABILITY.md`.
+struct PoolMetrics {
+    registry: Arc<MetricsRegistry>,
+    calls: Arc<Counter>,
+    call_errors: Arc<Counter>,
+    retries: Arc<Counter>,
+    suspect_transitions: Arc<Counter>,
+    deaths: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    wire_transfers: Arc<Counter>,
+    call_latency: Arc<Histogram>,
+    /// Per-server latency histograms (`pool_call_latency_us{srvN}`),
+    /// resolved on first use so only servers that take traffic appear.
+    per_server_latency: HashMap<ServerId, Arc<Histogram>>,
+}
+
+impl PoolMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        PoolMetrics {
+            calls: registry.counter("pool_calls_total"),
+            call_errors: registry.counter("pool_call_errors_total"),
+            retries: registry.counter("pool_retries_total"),
+            suspect_transitions: registry.counter("pool_suspect_transitions_total"),
+            deaths: registry.counter("pool_deaths_total"),
+            reconnects: registry.counter("pool_reconnects_total"),
+            wire_transfers: registry.counter("pool_wire_transfers_total"),
+            call_latency: registry.histogram("pool_call_latency_us"),
+            per_server_latency: HashMap::new(),
+            registry,
+        }
+    }
+
+    fn server_latency(&mut self, id: ServerId) -> &Arc<Histogram> {
+        self.per_server_latency.entry(id).or_insert_with(|| {
+            self.registry
+                .histogram(&format!("pool_call_latency_us{{{id}}}"))
+        })
+    }
+}
 
 fn hint_condition(hint: LoadHint) -> Condition {
     match hint {
@@ -59,6 +103,8 @@ pub struct ServerPool {
     /// [`RmpError::CorruptPage`] without marking the server dead (it
     /// answered — the fault is in the data, not the transport).
     verify_checksums: bool,
+    /// Observability hooks; `None` (the default) records nothing.
+    metrics: Option<PoolMetrics>,
 }
 
 impl ServerPool {
@@ -82,7 +128,21 @@ impl ServerPool {
             clean_streak: HashMap::new(),
             jitter_state: 0x2545_F491_4F6C_DD1D,
             verify_checksums: true,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry: every call records its latency
+    /// (overall and per server), retries/suspect transitions/deaths bump
+    /// counters, and crash/rejoin/retry trace events land in the event
+    /// ring. The pager shares its registry with the pool through here.
+    pub fn set_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.metrics = Some(PoolMetrics::new(registry));
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref().map(|m| &m.registry)
     }
 
     /// Enables or disables end-to-end checksum verification of fetched
@@ -157,6 +217,10 @@ impl ServerPool {
         self.grants.remove(&id);
         self.clean_streak.remove(&id);
         self.view.mark_alive(id);
+        if let Some(m) = &self.metrics {
+            m.reconnects.inc();
+            m.registry.trace(EventKind::Rejoin, Some(id), None, "ok");
+        }
         Ok(())
     }
 
@@ -220,10 +284,15 @@ impl ServerPool {
     /// Failed and timed-out attempts count too: a flaky cluster must look
     /// *slow* to the adaptive policy, not invisible.
     fn record_attempt(&mut self, id: ServerId, start: Instant) {
-        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        let elapsed = start.elapsed();
+        let ms = elapsed.as_secs_f64() * 1000.0;
         self.service_total_ms += ms;
         self.service_count += 1;
         self.view.record_service_time(id, ms);
+        if let Some(m) = &mut self.metrics {
+            m.call_latency.record(elapsed);
+            m.server_latency(id).record(elapsed);
+        }
     }
 
     /// A call completed cleanly; a suspect server earns trust back after
@@ -255,6 +324,9 @@ impl ServerPool {
     /// out-of-memory becomes [`RmpError::NoSpace`], shutting-down becomes
     /// [`RmpError::ServerCrashed`] (with the server marked dead).
     fn call(&mut self, id: ServerId, msg: &Message) -> Result<Message> {
+        if let Some(m) = &self.metrics {
+            m.calls.inc();
+        }
         let max_attempts = self.transport_cfg.retry.max_attempts.max(1);
         let mut saw_timeout = false;
         for attempt in 0..max_attempts {
@@ -286,6 +358,12 @@ impl ServerPool {
                     // Retrying a draining server only delays the failover.
                     self.view.mark_dead(id);
                     self.grants.remove(&id);
+                    if let Some(m) = &self.metrics {
+                        m.deaths.inc();
+                        m.call_errors.inc();
+                        m.registry
+                            .trace(EventKind::Crash, Some(id), None, "shutting_down");
+                    }
                     return Err(RmpError::ServerCrashed(id));
                 }
                 e if e.is_timeout() || e.is_server_failure() => {
@@ -297,6 +375,20 @@ impl ServerPool {
                     // Transient until proven otherwise: deprioritize the
                     // server, give it a moment, and redial.
                     self.view.mark_suspect(id);
+                    if let Some(m) = &self.metrics {
+                        m.suspect_transitions.inc();
+                        m.retries.inc();
+                        m.registry.trace(
+                            EventKind::Retry,
+                            Some(id),
+                            None,
+                            if e.is_timeout() {
+                                "timeout"
+                            } else {
+                                "transport"
+                            },
+                        );
+                    }
                     let backoff = self.transport_cfg.retry.backoff_for(attempt);
                     if !backoff.is_zero() {
                         let jittered = backoff.as_secs_f64() * self.jitter_factor();
@@ -312,17 +404,41 @@ impl ServerPool {
                         let _ = t.reconnect();
                     }
                 }
-                e => return Err(e),
+                e => {
+                    if let Some(m) = &self.metrics {
+                        m.call_errors.inc();
+                    }
+                    return Err(e);
+                }
             }
         }
         // Out of attempts: the failure is no longer transient.
         self.view.mark_dead(id);
         self.grants.remove(&id);
+        if let Some(m) = &self.metrics {
+            m.deaths.inc();
+            m.call_errors.inc();
+            m.registry.trace(
+                EventKind::Crash,
+                Some(id),
+                None,
+                if saw_timeout { "timeout" } else { "dead" },
+            );
+        }
         Err(if saw_timeout {
             RmpError::Timeout(id)
         } else {
             RmpError::ServerCrashed(id)
         })
+    }
+
+    /// Counts one page-sized wire transfer in the running total and, when
+    /// attached, the `pool_wire_transfers_total` metric.
+    fn note_wire_transfer(&mut self) {
+        self.wire_transfers += 1;
+        if let Some(m) = &self.metrics {
+            m.wire_transfers.inc();
+        }
     }
 
     fn apply_hint(&mut self, id: ServerId, hint: LoadHint) {
@@ -406,7 +522,7 @@ impl ServerPool {
         );
         match reply {
             Ok(Message::PageOutAck { hint, .. }) => {
-                self.wire_transfers += 1;
+                self.note_wire_transfer();
                 self.apply_hint(id, hint);
                 Ok(hint)
             }
@@ -430,7 +546,7 @@ impl ServerPool {
     pub fn page_in(&mut self, id: ServerId, key: StoreKey) -> Result<Page> {
         match self.call(id, &Message::PageIn { id: key })? {
             Message::PageInReply { checksum, page, .. } => {
-                self.wire_transfers += 1;
+                self.note_wire_transfer();
                 if self.verify_checksums && page.checksum() != checksum {
                     return Err(RmpError::CorruptPage { server: id, key });
                 }
@@ -480,7 +596,7 @@ impl ServerPool {
         );
         match reply {
             Ok(Message::PageOutDeltaReply { delta, hint, .. }) => {
-                self.wire_transfers += 1;
+                self.note_wire_transfer();
                 self.apply_hint(id, hint);
                 Ok((delta, hint))
             }
@@ -507,7 +623,7 @@ impl ServerPool {
         );
         match reply {
             Ok(Message::XorAck { .. }) => {
-                self.wire_transfers += 1;
+                self.note_wire_transfer();
                 Ok(())
             }
             Ok(other) => Err(RmpError::Protocol(format!(
@@ -607,7 +723,29 @@ impl ServerPool {
             t.send_only(&Message::InjectCrash)?;
         }
         self.view.mark_dead(id);
+        if let Some(m) = &self.metrics {
+            m.deaths.inc();
+            m.registry
+                .trace(EventKind::Crash, Some(id), None, "injected");
+        }
         Ok(())
+    }
+
+    /// Pulls the server's metrics snapshot over the wire (the
+    /// `GetStats`/`StatsReply` exchange used by `rmpstat`).
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::ServerCrashed`] on connection failure, or
+    /// [`RmpError::Protocol`] when the server predates the frame.
+    pub fn get_stats(&mut self, id: ServerId) -> Result<String> {
+        match self.call(id, &Message::GetStats)? {
+            Message::StatsReply { json } => Ok(json),
+            other => Err(RmpError::Protocol(format!(
+                "unexpected reply to GetStats: {:?}",
+                other.opcode()
+            ))),
+        }
     }
 }
 

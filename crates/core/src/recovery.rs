@@ -19,6 +19,7 @@
 
 use std::time::{Duration, Instant};
 
+use rmp_types::metrics::EventKind;
 use rmp_types::{Result, RmpError, ServerId};
 
 use crate::engine::{Ctx, Engine};
@@ -167,8 +168,10 @@ impl RecoveryPlan {
                 "recovery step budget must be positive".into(),
             ));
         }
+        let step_started = Instant::now();
         if self.phase == Phase::Planning {
             let items = engine.plan_recovery(ctx, self.crashed)?;
+            ctx.trace(EventKind::RecoveryStep, Some(self.crashed), None, "planned");
             if items == 0 {
                 self.finish();
                 return Ok(true);
@@ -179,6 +182,23 @@ impl RecoveryPlan {
         self.report.pages_rebuilt += step.pages_rebuilt;
         self.report.parity_rebuilt += step.parity_rebuilt;
         self.report.transfers += step.transfers;
+        if let Some(m) = ctx.metrics {
+            m.histogram("pager_recovery_step_latency_us")
+                .record(step_started.elapsed());
+            m.counter("pager_recovery_pages_rebuilt_total")
+                .add(step.pages_rebuilt + step.parity_rebuilt);
+            m.trace_with(
+                EventKind::RecoveryStep,
+                Some(self.crashed),
+                None,
+                "stepped",
+                Some(format!(
+                    "rebuilt {} pages, {} remaining",
+                    step.pages_rebuilt + step.parity_rebuilt,
+                    step.remaining
+                )),
+            );
+        }
         if step.remaining == 0 {
             self.finish();
         }

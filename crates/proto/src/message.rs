@@ -179,7 +179,21 @@ pub enum Message {
         /// Identifier echoed back.
         id: StoreKey,
     },
+    /// Ask the server for its metrics snapshot (observability pull).
+    GetStats,
+    /// Metrics snapshot reply: a JSON document in the `rmp-metrics-v1`
+    /// schema (see `OBSERVABILITY.md`). The server keeps the snapshot
+    /// under [`MAX_STATS_JSON`] bytes so it fits a single frame.
+    StatsReply {
+        /// The JSON snapshot text.
+        json: String,
+    },
 }
+
+/// Largest JSON payload a [`Message::StatsReply`] can carry and still fit
+/// [`crate::wire::MAX_PAYLOAD`] (the 4 remaining bytes hold the length
+/// prefix). Snapshot producers must stay under this or send a stub.
+pub const MAX_STATS_JSON: usize = crate::wire::MAX_PAYLOAD - 4;
 
 impl Message {
     /// Returns the opcode of this message.
@@ -205,6 +219,8 @@ impl Message {
             Message::PageOutDeltaReply { .. } => Opcode::PageOutDeltaReply,
             Message::XorInto { .. } => Opcode::XorInto,
             Message::XorAck { .. } => Opcode::XorAck,
+            Message::GetStats => Opcode::GetStats,
+            Message::StatsReply { .. } => Opcode::StatsReply,
         }
     }
 
@@ -282,6 +298,12 @@ impl Message {
                 payload.put_slice(delta.as_ref());
             }
             Message::XorAck { id } => payload.put_u64_le(id.0),
+            Message::GetStats => {}
+            Message::StatsReply { json } => {
+                let bytes = json.as_bytes();
+                payload.put_u32_le(bytes.len() as u32);
+                payload.put_slice(bytes);
+            }
         }
         let mut frame = BytesMut::with_capacity(HEADER_LEN + payload.len());
         FrameHeader {
@@ -457,6 +479,16 @@ impl Message {
                     id: StoreKey(buf.get_u64_le()),
                 }
             }
+            Opcode::GetStats => Message::GetStats,
+            Opcode::StatsReply => {
+                need(&buf, 4, "StatsReply")?;
+                let len = buf.get_u32_le() as usize;
+                need(&buf, len, "StatsReply json")?;
+                let bytes = buf.copy_to_bytes(len);
+                let json = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| RmpError::Protocol("stats json not UTF-8".into()))?;
+                Message::StatsReply { json }
+            }
         };
         if buf.has_remaining() {
             return Err(RmpError::Protocol(format!(
@@ -548,6 +580,34 @@ mod tests {
             page: Page::deterministic(15),
         });
         round_trip(Message::XorAck { id: StoreKey(2) });
+        round_trip(Message::GetStats);
+        round_trip(Message::StatsReply {
+            json: "{\"schema\": \"rmp-metrics-v1\", \"counters\": {}}".into(),
+        });
+        round_trip(Message::StatsReply {
+            json: String::new(),
+        });
+    }
+
+    #[test]
+    fn stats_json_must_be_utf8() {
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(2);
+        payload.put_slice(&[0xFF, 0xFE]);
+        assert!(Message::decode(Opcode::StatsReply, payload.freeze()).is_err());
+    }
+
+    #[test]
+    fn max_stats_json_reply_fits_one_frame() {
+        let msg = Message::StatsReply {
+            json: "x".repeat(MAX_STATS_JSON),
+        };
+        let bytes = msg.encode();
+        let mut buf = bytes.clone();
+        // The frame header itself enforces MAX_PAYLOAD; a maximal stats
+        // reply must still pass that check end to end.
+        let hdr = FrameHeader::decode(&mut buf).expect("header");
+        assert_eq!(Message::decode(hdr.opcode, buf).expect("payload"), msg);
     }
 
     #[test]

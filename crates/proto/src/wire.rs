@@ -66,6 +66,10 @@ pub enum Opcode {
     XorInto = 19,
     /// Acknowledgement of [`Opcode::XorInto`].
     XorAck = 20,
+    /// Client asks the server for its metrics snapshot (observability).
+    GetStats = 21,
+    /// Server returns a JSON metrics snapshot (schema `rmp-metrics-v1`).
+    StatsReply = 22,
 }
 
 impl Opcode {
@@ -96,6 +100,8 @@ impl Opcode {
             18 => Opcode::PageOutDeltaReply,
             19 => Opcode::XorInto,
             20 => Opcode::XorAck,
+            21 => Opcode::GetStats,
+            22 => Opcode::StatsReply,
             other => return Err(RmpError::Protocol(format!("unknown opcode {other}"))),
         })
     }
@@ -213,7 +219,7 @@ mod tests {
 
     #[test]
     fn all_opcodes_round_trip() {
-        for code in 1..=20u8 {
+        for code in 1..=22u8 {
             let op = Opcode::from_u8(code).expect("valid opcode");
             assert_eq!(op as u8, code);
         }

@@ -107,7 +107,7 @@ proptest! {
         if let Ok(op) = Opcode::from_u8(byte) {
             prop_assert_eq!(op as u8, byte);
         } else {
-            prop_assert!(byte == 0 || byte > 20);
+            prop_assert!(byte == 0 || byte > 22);
         }
     }
 }

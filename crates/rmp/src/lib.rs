@@ -50,6 +50,7 @@ pub use rmp_vm as vm;
 pub use rmp_workloads as workloads;
 
 pub mod local;
+pub mod stat;
 
 pub use local::LocalCluster;
 

@@ -1,0 +1,236 @@
+//! Probes behind the `rmpstat` inspector.
+//!
+//! Each probe runs a short deterministic workload for one reliability
+//! policy against an in-process loopback cluster and reports the
+//! *measured* transfer costs next to the paper's closed-form cost table
+//! (Section 2.2): transfers per pageout, wire transfers per degraded
+//! read, and the pageout/pagein latency distributions from the pager's
+//! own [`rmp_types::metrics`] histograms.
+//!
+//! ```no_run
+//! use rmp::stat::{probe_policy, probe_to_json};
+//! use rmp::types::Policy;
+//!
+//! let probe = probe_policy(Policy::Mirroring, 32).unwrap();
+//! assert!((probe.measured_transfers_per_pageout - 2.0).abs() < 0.01);
+//! println!("{}", probe_to_json(&probe));
+//! ```
+
+use rmp_blockdev::PagingDevice;
+use rmp_types::metrics::HistogramSnapshot;
+use rmp_types::{Page, PageId, PagerConfig, Policy, Result};
+
+use crate::local::LocalCluster;
+
+/// Data servers per redundancy group in every probe (the paper's `S`).
+pub const PROBE_DATA_SERVERS: usize = 4;
+
+/// Measured behaviour of one policy under the probe workload.
+#[derive(Clone, Debug)]
+pub struct PolicyProbe {
+    /// The probed policy.
+    pub policy: Policy,
+    /// Data servers per redundancy group (`S`).
+    pub servers: usize,
+    /// Pageouts issued (one per distinct page).
+    pub pageouts: u64,
+    /// Outbound transfers per pageout, measured from
+    /// [`rmp_types::TransferStats`].
+    pub measured_transfers_per_pageout: f64,
+    /// The paper's closed-form cost
+    /// ([`Policy::transfers_per_pageout`]).
+    pub expected_transfers_per_pageout: f64,
+    /// Degraded reads served after the probe crashed one server
+    /// (0 when the policy keeps no redundancy).
+    pub degraded_reads: u64,
+    /// Measured wire transfers per degraded read.
+    pub measured_degraded_transfers: f64,
+    /// Expected wire transfers per degraded read: 1 for mirroring, `S`
+    /// for the parity policies, 0 for write-through; `None` when the
+    /// policy cannot serve degraded reads.
+    pub expected_degraded_transfers: Option<f64>,
+    /// Pageout latency distribution (`pager_pageout_latency_us`).
+    pub pageout_latency: HistogramSnapshot,
+    /// Pagein latency distribution (`pager_pagein_latency_us`).
+    pub pagein_latency: HistogramSnapshot,
+}
+
+/// Expected wire transfers per degraded read for `policy` with `s` data
+/// servers, per Section 2.2; `None` when the policy keeps no redundancy.
+pub fn expected_degraded_transfers(policy: Policy, s: usize) -> Option<f64> {
+    match policy {
+        Policy::Mirroring => Some(1.0),
+        Policy::BasicParity | Policy::ParityLogging => Some(s as f64),
+        Policy::WriteThrough => Some(0.0),
+        Policy::NoReliability | Policy::DiskOnly => None,
+    }
+}
+
+/// Runs the probe workload for one policy: page out `pages` distinct
+/// pages, flush, read them all back, then crash one server and read them
+/// again to measure the degraded path (skipped for policies that cannot
+/// survive a crash).
+///
+/// # Errors
+///
+/// Propagates cluster spawn and paging failures.
+pub fn probe_policy(policy: Policy, pages: usize) -> Result<PolicyProbe> {
+    let s = PROBE_DATA_SERVERS;
+    let cluster_n = match policy {
+        // One extra workstation for the dedicated parity server.
+        Policy::BasicParity | Policy::ParityLogging => s + 1,
+        Policy::DiskOnly => 1,
+        _ => s,
+    };
+    let cluster = LocalCluster::spawn(cluster_n, pages * 4)?;
+    let config = match policy {
+        Policy::BasicParity | Policy::ParityLogging => PagerConfig::new(policy).with_servers(s),
+        _ => PagerConfig::new(policy),
+    };
+    let mut pager = cluster.pager(config)?;
+    for i in 0..pages {
+        pager.page_out(PageId(i as u64), &Page::deterministic(i as u64))?;
+    }
+    pager.flush()?;
+    for i in 0..pages {
+        pager.page_in(PageId(i as u64))?;
+    }
+    let healthy = pager.stats();
+
+    // Degraded pass: crash one server and read everything again. Healthy
+    // pageins cost exactly one wire fetch, so the degraded cost falls out
+    // of the wire-transfer delta.
+    let mut degraded_reads = 0;
+    let mut measured_degraded = 0.0;
+    if policy.survives_single_crash() && policy != Policy::DiskOnly {
+        let wire_before = pager.pool().wire_transfers();
+        cluster.handles()[0].crash();
+        for i in 0..pages {
+            pager.page_in(PageId(i as u64))?;
+        }
+        let after = pager.stats();
+        degraded_reads = after.degraded_reads - healthy.degraded_reads;
+        let wire_delta = pager.pool().wire_transfers() - wire_before;
+        let healthy_reads = pages as u64 - degraded_reads;
+        if degraded_reads > 0 {
+            measured_degraded =
+                wire_delta.saturating_sub(healthy_reads) as f64 / degraded_reads as f64;
+        }
+    }
+
+    let metrics = pager.metrics();
+    Ok(PolicyProbe {
+        policy,
+        servers: s,
+        pageouts: healthy.pageouts,
+        measured_transfers_per_pageout: healthy.outbound_transfers_per_pageout(),
+        expected_transfers_per_pageout: policy.transfers_per_pageout(s),
+        degraded_reads,
+        measured_degraded_transfers: measured_degraded,
+        expected_degraded_transfers: expected_degraded_transfers(policy, s),
+        pageout_latency: metrics.histogram("pager_pageout_latency_us").snapshot(),
+        pagein_latency: metrics.histogram("pager_pagein_latency_us").snapshot(),
+    })
+}
+
+/// Probes every policy of the paper with the same workload size.
+///
+/// # Errors
+///
+/// Propagates the first failing probe.
+pub fn probe_all(pages: usize) -> Result<Vec<PolicyProbe>> {
+    [
+        Policy::NoReliability,
+        Policy::Mirroring,
+        Policy::BasicParity,
+        Policy::ParityLogging,
+        Policy::WriteThrough,
+        Policy::DiskOnly,
+    ]
+    .into_iter()
+    .map(|p| probe_policy(p, pages))
+    .collect()
+}
+
+/// Renders one probe as a JSON object (histograms use the shared
+/// `rmp-metrics-v1` snapshot schema).
+pub fn probe_to_json(p: &PolicyProbe) -> String {
+    let expected_degraded = match p.expected_degraded_transfers {
+        Some(v) => format!("{v:.4}"),
+        None => "null".into(),
+    };
+    format!(
+        concat!(
+            "{{\"policy\": \"{}\", \"servers\": {}, \"pageouts\": {}, ",
+            "\"measured_transfers_per_pageout\": {:.4}, ",
+            "\"expected_transfers_per_pageout\": {:.4}, ",
+            "\"degraded_reads\": {}, ",
+            "\"measured_degraded_transfers\": {:.4}, ",
+            "\"expected_degraded_transfers\": {}, ",
+            "\"pageout_latency_us\": {}, \"pagein_latency_us\": {}}}"
+        ),
+        p.policy.label(),
+        p.servers,
+        p.pageouts,
+        p.measured_transfers_per_pageout,
+        p.expected_transfers_per_pageout,
+        p.degraded_reads,
+        p.measured_degraded_transfers,
+        expected_degraded,
+        p.pageout_latency.to_json(),
+        p.pagein_latency.to_json(),
+    )
+}
+
+/// Renders a probe set as the `rmp-policy-probe-v1` JSON document
+/// consumed by `rmpstat --json` and the CI policy bench.
+pub fn probes_to_json(probes: &[PolicyProbe]) -> String {
+    let body: Vec<String> = probes.iter().map(probe_to_json).collect();
+    format!(
+        "{{\"schema\": \"rmp-policy-probe-v1\", \"policies\": [{}]}}",
+        body.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_degraded_matches_cost_table() {
+        assert_eq!(expected_degraded_transfers(Policy::Mirroring, 4), Some(1.0));
+        assert_eq!(
+            expected_degraded_transfers(Policy::BasicParity, 4),
+            Some(4.0)
+        );
+        assert_eq!(
+            expected_degraded_transfers(Policy::ParityLogging, 4),
+            Some(4.0)
+        );
+        assert_eq!(
+            expected_degraded_transfers(Policy::WriteThrough, 4),
+            Some(0.0)
+        );
+        assert_eq!(expected_degraded_transfers(Policy::NoReliability, 4), None);
+        assert_eq!(expected_degraded_transfers(Policy::DiskOnly, 4), None);
+    }
+
+    #[test]
+    fn mirroring_probe_matches_paper() {
+        let probe = probe_policy(Policy::Mirroring, 16).expect("probe");
+        assert!(
+            (probe.measured_transfers_per_pageout - 2.0).abs() < 1e-9,
+            "mirroring writes both copies: {}",
+            probe.measured_transfers_per_pageout
+        );
+        assert!(probe.degraded_reads > 0, "crash produced degraded reads");
+        assert!(
+            (probe.measured_degraded_transfers - 1.0).abs() < 1e-9,
+            "mirror degraded read costs one transfer: {}",
+            probe.measured_degraded_transfers
+        );
+        assert_eq!(probe.pageout_latency.count, 16);
+        let json = probe_to_json(&probe);
+        assert!(json.contains("\"policy\": \"Mirroring\""), "{json}");
+    }
+}

@@ -9,6 +9,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 use rmp_proto::{Framed, LoadHint, Message};
+use rmp_types::metrics::{Counter, Histogram, MetricsRegistry};
 use rmp_types::{ErrorCode, Result, RmpError};
 
 use crate::store::PageStore;
@@ -36,6 +37,34 @@ impl Default for ServerConfig {
     }
 }
 
+/// Pre-resolved handles into the server's metrics registry so the
+/// per-request path records without by-name lookups. The registry keeps
+/// no event ring — trace events are a client-side concern; the server
+/// exports counters, gauges, and the request-latency histogram over the
+/// wire via `GetStats`.
+struct ServerMetrics {
+    requests: Arc<Counter>,
+    error_replies: Arc<Counter>,
+    pageouts: Arc<Counter>,
+    pageins: Arc<Counter>,
+    latency: Arc<Histogram>,
+    registry: MetricsRegistry,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = MetricsRegistry::with_event_capacity(0);
+        ServerMetrics {
+            requests: registry.counter("server_requests_total"),
+            error_replies: registry.counter("server_error_replies_total"),
+            pageouts: registry.counter("server_pageouts_total"),
+            pageins: registry.counter("server_pageins_total"),
+            latency: registry.histogram("server_request_latency_us"),
+            registry,
+        }
+    }
+}
+
 /// State shared between the listener, session threads, and the handle.
 struct Shared {
     store: Mutex<PageStore>,
@@ -50,6 +79,7 @@ struct Shared {
     served_requests: AtomicU64,
     next_session: AtomicU64,
     started: Instant,
+    metrics: ServerMetrics,
 }
 
 /// Each client session gets a private key namespace in the upper bits of
@@ -130,6 +160,7 @@ impl MemoryServer {
             served_requests: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
             started: Instant::now(),
+            metrics: ServerMetrics::new(),
         });
         let accept_shared = Arc::clone(&shared);
         let listener_thread = std::thread::Builder::new()
@@ -181,11 +212,23 @@ fn session_loop(stream: TcpStream, shared: Arc<Shared>, sid: u64) {
             Err(_) => break,
         };
         let start = Instant::now();
+        match &msg {
+            Message::PageOut { .. } | Message::PageOutDelta { .. } => {
+                shared.metrics.pageouts.inc();
+            }
+            Message::PageIn { .. } => shared.metrics.pageins.inc(),
+            _ => {}
+        }
         let reply = handle_message(&shared, scope, msg);
         shared
             .busy_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.served_requests.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.requests.inc();
+        shared.metrics.latency.record(start.elapsed());
+        if matches!(&reply, SessionAction::Reply(Message::Error { .. })) {
+            shared.metrics.error_replies.inc();
+        }
         match reply {
             SessionAction::Reply(reply) => {
                 if framed.send(&reply).is_err() {
@@ -329,6 +372,18 @@ fn handle_message(shared: &Shared, scope: SessionScope, msg: Message) -> Session
                 })
             }
         }
+        Message::GetStats => {
+            let json = stats_json(shared);
+            // The stats reply rides the page-sized wire frame; a registry
+            // that somehow outgrows it degrades to a typed stub rather
+            // than an encode error.
+            let json = if json.len() > rmp_proto::MAX_STATS_JSON {
+                "{\"schema\": \"rmp-server-v1\", \"error\": \"stats exceed frame size\"}".into()
+            } else {
+                json
+            };
+            SessionAction::Reply(Message::StatsReply { json })
+        }
         Message::InjectCrash => SessionAction::Crash,
         Message::Shutdown => SessionAction::Close,
         // Replies arriving as requests are protocol violations.
@@ -337,6 +392,33 @@ fn handle_message(shared: &Shared, scope: SessionScope, msg: Message) -> Session
             message: format!("unexpected request {:?}", other.opcode()),
         }),
     }
+}
+
+/// Renders the server's metrics as the `rmp-server-v1` JSON document,
+/// syncing the occupancy gauges from the store first.
+fn stats_json(shared: &Shared) -> String {
+    let (stored, grantable, capacity) = {
+        let store = shared.store.lock();
+        (
+            store.stored() as u64,
+            store.grantable() as u64,
+            store.hard_capacity() as u64,
+        )
+    };
+    let registry = &shared.metrics.registry;
+    registry.gauge("server_stored_pages").set(stored);
+    registry.gauge("server_grantable_frames").set(grantable);
+    registry.gauge("server_capacity_pages").set(capacity);
+    registry
+        .gauge("server_active_sessions")
+        .set(shared.sessions.lock().len() as u64);
+    registry
+        .gauge("server_cpu_permille")
+        .set(u64::from(busy_permille(shared)));
+    format!(
+        "{{\"schema\": \"rmp-server-v1\", \"metrics\": {}}}",
+        registry.snapshot_json()
+    )
 }
 
 fn busy_permille(shared: &Shared) -> u16 {
@@ -415,6 +497,12 @@ impl ServerHandle {
     /// utilization of Section 4.5 (measured < 15 % in the paper).
     pub fn busy_fraction(&self) -> f64 {
         busy_permille(&self.shared) as f64 / 1000.0
+    }
+
+    /// The server's metrics as the same `rmp-server-v1` JSON document a
+    /// client receives over the wire from a `GetStats` request.
+    pub fn metrics_json(&self) -> String {
+        stats_json(&self.shared)
     }
 
     /// Stops the server and joins the listener thread.
@@ -709,6 +797,37 @@ mod tests {
         };
         assert_eq!(ids, vec![StoreKey(1), StoreKey(3)]);
         assert!(more);
+        server.shutdown();
+    }
+
+    #[test]
+    fn get_stats_reports_requests_and_occupancy() {
+        let server = small_server();
+        let mut c = connect(&server);
+        c.call(&page_out(StoreKey(1), Page::deterministic(5)))
+            .expect("store");
+        c.call(&Message::PageIn { id: StoreKey(1) }).expect("read");
+        let Message::StatsReply { json } = c.call(&Message::GetStats).expect("stats") else {
+            panic!("expected StatsReply");
+        };
+        assert!(json.starts_with("{\"schema\": \"rmp-server-v1\""), "{json}");
+        for name in [
+            "server_requests_total",
+            "server_pageouts_total",
+            "server_pageins_total",
+            "server_request_latency_us",
+            "server_stored_pages",
+            "server_grantable_frames",
+            "server_capacity_pages",
+            "server_active_sessions",
+        ] {
+            assert!(json.contains(name), "missing {name} in {json}");
+        }
+        assert!(
+            json.contains("\"server_stored_pages\": 1"),
+            "occupancy gauge synced: {json}"
+        );
+        assert!(!server.metrics_json().is_empty());
         server.shutdown();
     }
 

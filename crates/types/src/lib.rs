@@ -13,6 +13,7 @@ pub mod config;
 pub mod error;
 pub mod hw;
 pub mod ids;
+pub mod metrics;
 pub mod page;
 pub mod policy;
 pub mod stats;
@@ -21,6 +22,9 @@ pub use config::{PagerConfig, RetryPolicy, TransportConfig};
 pub use error::{ErrorCode, Result, RmpError};
 pub use hw::Hw1996;
 pub use ids::{ClientId, GroupId, PageId, ServerId, StoreKey};
+pub use metrics::{
+    Counter, EventKind, EventRing, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, TraceEvent,
+};
 pub use page::{Page, PAGE_SIZE};
 pub use policy::Policy;
 pub use stats::TransferStats;

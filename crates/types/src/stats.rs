@@ -69,12 +69,66 @@ impl TransferStats {
     }
 
     /// Network transfers per pageout, the policy-overhead metric of
-    /// Section 2.2. Returns 0 when no pageouts occurred.
+    /// Section 2.2. Returns 0 when no pageouts occurred — so the ratio is
+    /// safe on empty stats and on merged stats whose pageout count is
+    /// still zero (e.g. summing runs that only serviced pageins).
     pub fn outbound_transfers_per_pageout(&self) -> f64 {
         if self.pageouts == 0 {
             return 0.0;
         }
         (self.net_data_transfers + self.net_parity_transfers) as f64 / self.pageouts as f64
+    }
+
+    /// Merges `rhs` into `self` with saturating arithmetic.
+    ///
+    /// `Add`/`AddAssign` delegate here, so merging long-run aggregates can
+    /// never wrap a counter back toward zero and silently corrupt the
+    /// per-pageout ratios derived from it.
+    pub fn saturating_merge(&mut self, rhs: &TransferStats) {
+        self.pageins = self.pageins.saturating_add(rhs.pageins);
+        self.pageouts = self.pageouts.saturating_add(rhs.pageouts);
+        self.net_data_transfers = self
+            .net_data_transfers
+            .saturating_add(rhs.net_data_transfers);
+        self.net_parity_transfers = self
+            .net_parity_transfers
+            .saturating_add(rhs.net_parity_transfers);
+        self.net_fetches = self.net_fetches.saturating_add(rhs.net_fetches);
+        self.disk_writes = self.disk_writes.saturating_add(rhs.disk_writes);
+        self.disk_reads = self.disk_reads.saturating_add(rhs.disk_reads);
+        self.groups_reclaimed = self.groups_reclaimed.saturating_add(rhs.groups_reclaimed);
+        self.gc_passes = self.gc_passes.saturating_add(rhs.gc_passes);
+        self.migrations = self.migrations.saturating_add(rhs.migrations);
+        self.degraded_reads = self.degraded_reads.saturating_add(rhs.degraded_reads);
+        self.recovery_steps = self.recovery_steps.saturating_add(rhs.recovery_steps);
+        self.checksum_failures = self.checksum_failures.saturating_add(rhs.checksum_failures);
+    }
+
+    /// Serializes the counters as a JSON object, in the same hand-rolled
+    /// style as [`crate::metrics::MetricsRegistry::snapshot_json`], so the
+    /// pager can embed its engine-level stats next to runtime metrics.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"pageins\": {}, \"pageouts\": {}, \"net_data_transfers\": {}, \
+             \"net_parity_transfers\": {}, \"net_fetches\": {}, \"disk_writes\": {}, \
+             \"disk_reads\": {}, \"groups_reclaimed\": {}, \"gc_passes\": {}, \
+             \"migrations\": {}, \"degraded_reads\": {}, \"recovery_steps\": {}, \
+             \"checksum_failures\": {}, \"outbound_transfers_per_pageout\": {:.4}}}",
+            self.pageins,
+            self.pageouts,
+            self.net_data_transfers,
+            self.net_parity_transfers,
+            self.net_fetches,
+            self.disk_writes,
+            self.disk_reads,
+            self.groups_reclaimed,
+            self.gc_passes,
+            self.migrations,
+            self.degraded_reads,
+            self.recovery_steps,
+            self.checksum_failures,
+            self.outbound_transfers_per_pageout(),
+        )
     }
 }
 
@@ -89,19 +143,7 @@ impl Add for TransferStats {
 
 impl AddAssign for TransferStats {
     fn add_assign(&mut self, rhs: TransferStats) {
-        self.pageins += rhs.pageins;
-        self.pageouts += rhs.pageouts;
-        self.net_data_transfers += rhs.net_data_transfers;
-        self.net_parity_transfers += rhs.net_parity_transfers;
-        self.net_fetches += rhs.net_fetches;
-        self.disk_writes += rhs.disk_writes;
-        self.disk_reads += rhs.disk_reads;
-        self.groups_reclaimed += rhs.groups_reclaimed;
-        self.gc_passes += rhs.gc_passes;
-        self.migrations += rhs.migrations;
-        self.degraded_reads += rhs.degraded_reads;
-        self.recovery_steps += rhs.recovery_steps;
-        self.checksum_failures += rhs.checksum_failures;
+        self.saturating_merge(&rhs);
     }
 }
 
@@ -162,5 +204,59 @@ mod tests {
         assert_eq!(sum.recovery_steps, 24);
         assert_eq!(sum.checksum_failures, 26);
         assert_eq!(sum.total_net_transfers(), 24);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let near_max = TransferStats {
+            net_data_transfers: u64::MAX - 1,
+            pageouts: u64::MAX,
+            ..Default::default()
+        };
+        let more = TransferStats {
+            net_data_transfers: 10,
+            pageouts: 10,
+            ..Default::default()
+        };
+        let sum = near_max + more;
+        assert_eq!(sum.net_data_transfers, u64::MAX);
+        assert_eq!(sum.pageouts, u64::MAX);
+        // The derived ratio stays finite and sane after saturation.
+        assert!(sum.outbound_transfers_per_pageout() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn merged_zero_pageout_ratio_is_zero() {
+        // The audit case from the merge path: summing runs that serviced
+        // only pageins must not divide by the zero pageout count.
+        let a = TransferStats {
+            pageins: 50,
+            net_fetches: 50,
+            ..Default::default()
+        };
+        let b = TransferStats {
+            pageins: 30,
+            net_fetches: 30,
+            ..Default::default()
+        };
+        let merged = a + b;
+        assert_eq!(merged.pageouts, 0);
+        assert_eq!(merged.outbound_transfers_per_pageout(), 0.0);
+    }
+
+    #[test]
+    fn json_includes_every_counter_and_the_ratio() {
+        let s = TransferStats {
+            pageouts: 4,
+            net_data_transfers: 4,
+            net_parity_transfers: 1,
+            degraded_reads: 2,
+            ..Default::default()
+        };
+        let json = s.to_json();
+        assert!(json.contains("\"pageouts\": 4"));
+        assert!(json.contains("\"degraded_reads\": 2"));
+        assert!(json.contains("\"outbound_transfers_per_pageout\": 1.2500"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

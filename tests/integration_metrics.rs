@@ -1,0 +1,212 @@
+//! End-to-end observability: the metrics registry, trace events, the
+//! `GetStats` wire frame, and the paper's Section 2.2 cost table as
+//! measured by the `rmpstat` probes.
+//!
+//! The contract under test: every pageout/pagein/degraded read leaves a
+//! counter, a latency sample, and a trace event behind; the per-policy
+//! transfer costs measured through those metrics match the closed-form
+//! table (mirroring 2/pageout, parity logging 1 + 1/S, degraded reads at
+//! 1, S, and 0 transfers for mirror/parity/write-through); and a server
+//! answers `GetStats` with its own `rmp-server-v1` document.
+
+use rmp::prelude::*;
+use rmp::stat::{probe_policy, probes_to_json};
+use rmp::types::metrics::EventKind;
+
+#[test]
+fn pageouts_and_pageins_leave_counters_latency_and_events() {
+    let cluster = LocalCluster::spawn(3, 16 * 4096).expect("cluster");
+    let mut pager = cluster
+        .pager(PagerConfig::new(Policy::NoReliability))
+        .expect("pager");
+    for i in 0..40u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    for i in 0..40u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("pagein"),
+            Page::deterministic(i)
+        );
+    }
+    let metrics = pager.metrics();
+    assert_eq!(metrics.counter("pager_pageouts_total").get(), 40);
+    assert_eq!(metrics.counter("pager_pageins_total").get(), 40);
+    assert_eq!(metrics.histogram("pager_pageout_latency_us").count(), 40);
+    assert_eq!(metrics.histogram("pager_pagein_latency_us").count(), 40);
+    assert!(
+        metrics.counter("pool_calls_total").get() >= 80,
+        "every transfer is a pool call"
+    );
+    let (events, evicted) = metrics.events();
+    assert_eq!(evicted, 0, "40+40 events fit the default ring");
+    let pageouts = events
+        .iter()
+        .filter(|e| e.kind == EventKind::PageOut)
+        .count();
+    let pageins = events
+        .iter()
+        .filter(|e| e.kind == EventKind::PageIn)
+        .count();
+    assert_eq!(pageouts, 40);
+    assert_eq!(pageins, 40);
+    assert!(
+        events.iter().all(|e| e.outcome == "ok"),
+        "healthy run traces only successes"
+    );
+}
+
+#[test]
+fn snapshot_json_carries_schema_stats_and_metric_names() {
+    let cluster = LocalCluster::spawn(2, 4096).expect("cluster");
+    let mut pager = cluster
+        .pager(PagerConfig::new(Policy::Mirroring))
+        .expect("pager");
+    for i in 0..10u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    let json = pager.metrics_snapshot_json();
+    for needle in [
+        "\"schema\": \"rmp-pager-v1\"",
+        "\"policy\": \"Mirroring\"",
+        "\"transfer_stats\"",
+        "\"outbound_transfers_per_pageout\": 2.0000",
+        "pager_pageouts_total",
+        "pager_pageout_latency_us",
+        "pool_wire_transfers_total",
+        "\"events\"",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+}
+
+#[test]
+fn mirroring_costs_two_transfers_per_pageout() {
+    let probe = probe_policy(Policy::Mirroring, 24).expect("probe");
+    assert!(
+        (probe.measured_transfers_per_pageout - 2.0).abs() < 1e-9,
+        "mirroring ships both copies: {}",
+        probe.measured_transfers_per_pageout
+    );
+    assert!(probe.degraded_reads > 0);
+    assert!(
+        (probe.measured_degraded_transfers - 1.0).abs() < 1e-9,
+        "mirror serves a degraded read from the one surviving copy: {}",
+        probe.measured_degraded_transfers
+    );
+}
+
+#[test]
+fn parity_logging_costs_one_plus_one_over_s() {
+    let probe = probe_policy(Policy::ParityLogging, 32).expect("probe");
+    let expected = 1.0 + 1.0 / probe.servers as f64;
+    assert!(
+        (probe.measured_transfers_per_pageout - expected).abs() < 1e-9,
+        "parity logging pays 1 + 1/S = {expected}: {}",
+        probe.measured_transfers_per_pageout
+    );
+    assert!(probe.degraded_reads > 0);
+    assert!(
+        (probe.measured_degraded_transfers - probe.servers as f64).abs() < 1e-9,
+        "reconstruction reads S group members: {}",
+        probe.measured_degraded_transfers
+    );
+}
+
+#[test]
+fn write_through_serves_degraded_reads_for_free() {
+    let probe = probe_policy(Policy::WriteThrough, 24).expect("probe");
+    assert!(
+        (probe.measured_transfers_per_pageout - 1.0).abs() < 1e-9,
+        "one wire transfer per pageout (the disk copy is local): {}",
+        probe.measured_transfers_per_pageout
+    );
+    assert!(probe.degraded_reads > 0);
+    assert!(
+        probe.measured_degraded_transfers.abs() < 1e-9,
+        "the local disk answers degraded reads with zero wire transfers: {}",
+        probe.measured_degraded_transfers
+    );
+}
+
+#[test]
+fn probe_document_covers_every_policy() {
+    let probes = [
+        probe_policy(Policy::NoReliability, 8).expect("norel"),
+        probe_policy(Policy::DiskOnly, 8).expect("disk"),
+    ];
+    let json = probes_to_json(&probes);
+    assert!(json.contains("\"schema\": \"rmp-policy-probe-v1\""));
+    assert!(json.contains("\"policy\": \"No reliability\""));
+    assert!(json.contains("\"expected_degraded_transfers\": null"));
+    assert!(json.contains("\"p99_us\""));
+}
+
+#[test]
+fn crash_and_degraded_read_leave_trace_events() {
+    let cluster = LocalCluster::spawn(2, 16 * 4096).expect("cluster");
+    let mut pager = cluster
+        .pager(PagerConfig::new(Policy::Mirroring))
+        .expect("pager");
+    for i in 0..30u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    cluster.handles()[0].crash();
+    for i in 0..30u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("survives the crash"),
+            Page::deterministic(i)
+        );
+    }
+    let (events, _) = pager.metrics().events();
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::Crash),
+        "the pool traces the death"
+    );
+    let degraded: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::DegradedRead)
+        .collect();
+    assert!(!degraded.is_empty(), "degraded reads are traced");
+    assert!(
+        degraded
+            .iter()
+            .all(|e| e.outcome == "ok" && e.policy == Some(Policy::Mirroring)),
+        "degraded events carry outcome and policy"
+    );
+    assert!(
+        pager.metrics().counter("pager_degraded_reads_total").get() > 0,
+        "and the counter agrees"
+    );
+}
+
+#[test]
+fn get_stats_round_trips_through_the_pool() {
+    let cluster = LocalCluster::spawn(2, 4096).expect("cluster");
+    let mut pager = cluster
+        .pager(PagerConfig::new(Policy::NoReliability))
+        .expect("pager");
+    for i in 0..12u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    let json = pager.pool_mut().get_stats(ServerId(0)).expect("get stats");
+    for needle in [
+        "\"schema\": \"rmp-server-v1\"",
+        "server_requests_total",
+        "server_request_latency_us",
+        "server_stored_pages",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+    // The two servers split the round-robin placement, so each reports a
+    // non-zero occupancy.
+    let stored: usize = cluster.handles().iter().map(|h| h.stored_pages()).sum();
+    assert_eq!(stored, 12);
+}
