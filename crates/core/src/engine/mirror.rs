@@ -225,11 +225,13 @@ impl Engine for Mirroring {
         page_budget: usize,
     ) -> Result<RecoveryStep> {
         let mut step = RecoveryStep::default();
-        while (step.pages_rebuilt as usize) < page_budget {
+        // Claim up to `page_budget` queued entries that still need work
+        // (entries overwritten or freed since planning need no rebuild).
+        let mut work: Vec<(PageId, bool, Location)> = Vec::new();
+        while work.len() < page_budget {
             let Some(id) = self.rebuild_queue.pop_front() else {
                 break;
             };
-            // Entries overwritten or freed since planning need no rebuild.
             let Some(entry) = self.map.get(&id).copied() else {
                 continue;
             };
@@ -241,37 +243,69 @@ impl Engine for Mirroring {
                 } else {
                     continue;
                 };
-            // Fetch the surviving copy; a failure puts the page back so a
-            // replanned retry does not skip it.
-            let fetched = match survivor {
-                Location::Remote { server: s, key } => {
-                    if !ctx.pool.view().is_alive(s) {
-                        return Err(RmpError::Unrecoverable(format!(
-                            "both copies of {id} lost ({server} and {s})"
-                        )));
-                    }
-                    ctx.pool.page_in(s, key).inspect(|_| {
-                        ctx.stats.net_fetches += 1;
-                        step.transfers += 1;
-                    })
-                }
-                Location::LocalDisk => ctx.disk_read(id),
+            work.push((id, lost_is_primary, survivor));
+        }
+        // Every survivor must be readable before anything is fetched; a
+        // page whose surviving copy died too is unrecoverable, and the
+        // rest goes back for the replan.
+        if let Some(&(id, _, survivor)) = work.iter().find(|&&(_, _, survivor)| {
+            matches!(survivor, Location::Remote { server: s, .. } if !ctx.pool.view().is_alive(s))
+        }) {
+            let Location::Remote { server: s, .. } = survivor else {
+                unreachable!("matched Remote above");
             };
-            let page = match fetched {
-                Ok(p) => p,
-                Err(e) => {
-                    self.rebuild_queue.push_front(id);
-                    return Err(e);
+            for &(other, _, _) in work.iter().rev().filter(|&&(o, _, _)| o != id) {
+                self.rebuild_queue.push_front(other);
+            }
+            return Err(RmpError::Unrecoverable(format!(
+                "both copies of {id} lost ({server} and {s})"
+            )));
+        }
+        // Fetch every remote survivor with batched frames (grouped by
+        // server inside `fetch_batch`); disk survivors read directly. A
+        // failure re-queues the whole claim — nothing was rebuilt yet.
+        let mut reads: Vec<(ServerId, StoreKey)> = Vec::new();
+        let mut read_slots: Vec<usize> = Vec::new();
+        for (slot, &(_, _, survivor)) in work.iter().enumerate() {
+            if let Location::Remote { server: s, key } = survivor {
+                reads.push((s, key));
+                read_slots.push(slot);
+            }
+        }
+        let mut pages: Vec<Option<Page>> = vec![None; work.len()];
+        let fetch_outcome: Result<()> = (|| {
+            let fetched = ctx.fetch_batch(&reads)?;
+            step.transfers += fetched.len() as u64;
+            for (slot, page) in read_slots.into_iter().zip(fetched) {
+                pages[slot] = Some(page);
+            }
+            for (slot, &(id, _, survivor)) in work.iter().enumerate() {
+                if survivor == Location::LocalDisk {
+                    pages[slot] = Some(ctx.disk_read(id)?);
                 }
-            };
-            // Re-mirror onto a live server distinct from the survivor.
+            }
+            Ok(())
+        })();
+        if let Err(e) = fetch_outcome {
+            for &(id, _, _) in work.iter().rev() {
+                self.rebuild_queue.push_front(id);
+            }
+            return Err(e);
+        }
+        // Re-mirror each page onto a live server distinct from its
+        // survivor; a failure puts this page and the unprocessed rest
+        // back so a replanned retry does not skip them.
+        for (slot, &(id, lost_is_primary, survivor)) in work.iter().enumerate() {
+            let page = pages[slot].take().expect("fetched above");
             let mut exclude = vec![server];
             exclude.extend(Self::location_server(survivor));
             let key = ctx.pool.fresh_key();
             let new_copy = match ctx.store_with_fallback(id, key, &page, None, &exclude) {
                 Ok(loc) => loc,
                 Err(e) => {
-                    self.rebuild_queue.push_front(id);
+                    for &(other, _, _) in work[slot..].iter().rev() {
+                        self.rebuild_queue.push_front(other);
+                    }
                     return Err(e);
                 }
             };
@@ -296,32 +330,43 @@ impl Engine for Mirroring {
 
     fn migrate_from(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {
         let mut moved = 0;
-        for id in self.pages_on(server) {
-            let entry = self.map[&id];
-            let (lost, survivor) = if Self::location_server(entry.primary) == Some(server) {
-                (entry.primary, entry.mirror)
-            } else {
-                (entry.mirror, entry.primary)
-            };
-            let Location::Remote { key, .. } = lost else {
-                continue;
-            };
-            let page = ctx.pool.page_in(server, key)?;
-            ctx.stats.net_fetches += 1;
-            let mut exclude = vec![server];
-            exclude.extend(Self::location_server(survivor));
-            let new_key = ctx.pool.fresh_key();
-            let new_copy = ctx.store_with_fallback(id, new_key, &page, None, &exclude)?;
-            ctx.pool.free(server, key)?;
-            self.map.insert(
-                id,
-                MirrorEntry {
-                    primary: survivor,
-                    mirror: new_copy,
-                },
-            );
-            ctx.stats.migrations += 1;
-            moved += 1;
+        // Chunked batch fetches off the loaded server: one pipelined
+        // frame per chunk instead of a round trip per page.
+        let ids = self.pages_on(server);
+        let chunk_size = ctx.pool.batch_max_pages().max(1);
+        for chunk in ids.chunks(chunk_size) {
+            let mut work: Vec<(PageId, Location, StoreKey)> = Vec::new();
+            for &id in chunk {
+                let entry = self.map[&id];
+                let (lost, survivor) = if Self::location_server(entry.primary) == Some(server) {
+                    (entry.primary, entry.mirror)
+                } else {
+                    (entry.mirror, entry.primary)
+                };
+                let Location::Remote { key, .. } = lost else {
+                    continue;
+                };
+                work.push((id, survivor, key));
+            }
+            let reads: Vec<(ServerId, StoreKey)> =
+                work.iter().map(|&(_, _, key)| (server, key)).collect();
+            let fetched = ctx.fetch_batch(&reads)?;
+            for ((id, survivor, key), page) in work.into_iter().zip(fetched) {
+                let mut exclude = vec![server];
+                exclude.extend(Self::location_server(survivor));
+                let new_key = ctx.pool.fresh_key();
+                let new_copy = ctx.store_with_fallback(id, new_key, &page, None, &exclude)?;
+                ctx.pool.free(server, key)?;
+                self.map.insert(
+                    id,
+                    MirrorEntry {
+                        primary: survivor,
+                        mirror: new_copy,
+                    },
+                );
+                ctx.stats.migrations += 1;
+                moved += 1;
+            }
         }
         if moved > 0 {
             ctx.count("engine_migrations_total");

@@ -132,6 +132,40 @@ impl Ctx<'_> {
         self.pool.view().most_promising(exclude)
     }
 
+    /// Fetches many remote pages in as few round trips as possible:
+    /// requests are grouped by holding server and issued as pipelined
+    /// batch frames, so `n` reads off one server cost roughly one round
+    /// trip instead of `n`. Results come back in request order.
+    ///
+    /// Callers read from placement maps they own, so every key is
+    /// expected to exist; a miss is a protocol-level surprise, not a
+    /// normal outcome.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerPool::page_in_batch`]; [`RmpError::Protocol`] when a
+    /// server no longer holds a requested key.
+    pub fn fetch_batch(&mut self, reads: &[(ServerId, StoreKey)]) -> Result<Vec<Page>> {
+        let mut by_server: std::collections::HashMap<ServerId, Vec<(usize, StoreKey)>> =
+            std::collections::HashMap::new();
+        for (i, &(server, key)) in reads.iter().enumerate() {
+            by_server.entry(server).or_default().push((i, key));
+        }
+        let mut out: Vec<Option<Page>> = Vec::new();
+        out.resize_with(reads.len(), || None);
+        for (server, entries) in by_server {
+            let keys: Vec<StoreKey> = entries.iter().map(|&(_, key)| key).collect();
+            let pages = self.pool.page_in_batch(server, &keys)?;
+            for ((i, key), page) in entries.into_iter().zip(pages) {
+                out[i] = Some(page.ok_or_else(|| {
+                    RmpError::Protocol(format!("server {server} no longer holds key {key}"))
+                })?);
+            }
+        }
+        self.stats.net_fetches += reads.len() as u64;
+        Ok(out.into_iter().map(|p| p.expect("filled above")).collect())
+    }
+
     /// Reserves a frame on `server` and ships `page` under `key`,
     /// returning the frame grant to the pool when the pageout fails —
     /// otherwise every failed store after a successful reservation leaks

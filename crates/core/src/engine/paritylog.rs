@@ -189,19 +189,29 @@ impl ParityLogging {
     fn collect_garbage_inner(&mut self, ctx: &mut Ctx<'_>) -> Result<u64> {
         let plan = self.groups.gc_plan(GC_ACTIVE_FRACTION);
         let mut relogged = 0;
-        for member in plan.relog {
-            // Skip members superseded since the plan was taken.
-            let still_current = matches!(
-                self.location.get(&member.page_id),
-                Some(Location::Remote { server, key }) if *server == member.server && *key == member.key
-            );
-            if !still_current {
-                continue;
+        // Skip members superseded since the plan was taken, then fetch
+        // the rest with batched frames, one chunk at a time so client
+        // memory stays bounded. Re-logging one member never invalidates
+        // another's current version, so chunked prefetching is safe.
+        let relog: Vec<_> = plan
+            .relog
+            .into_iter()
+            .filter(|member| {
+                matches!(
+                    self.location.get(&member.page_id),
+                    Some(Location::Remote { server, key }) if *server == member.server && *key == member.key
+                )
+            })
+            .collect();
+        let chunk_size = ctx.pool.batch_max_pages().max(1);
+        for chunk in relog.chunks(chunk_size) {
+            let reads: Vec<(ServerId, StoreKey)> =
+                chunk.iter().map(|m| (m.server, m.key)).collect();
+            let pages = ctx.fetch_batch(&reads)?;
+            for (member, page) in chunk.iter().zip(pages) {
+                self.page_out_inner(ctx, member.page_id, &page, &[])?;
+                relogged += 1;
             }
-            let page = ctx.pool.page_in(member.server, member.key)?;
-            ctx.stats.net_fetches += 1;
-            self.page_out_inner(ctx, member.page_id, &page, &[])?;
-            relogged += 1;
         }
         if relogged > 0 {
             // Seal the partial group so the re-logged pages supersede
@@ -334,22 +344,31 @@ impl ParityLogging {
                 lost.len()
             )));
         }
-        // Fetch the surviving pending contents and reconstruct the lost
-        // one (if any) from the buffer's accumulator.
-        let mut contents: Vec<(rmp_parity::GroupMember, Page)> = Vec::new();
-        let mut rebuilt = self.buffer.accumulated().clone();
-        for m in pending.iter().filter(|m| m.server != crashed) {
+        // Fetch the surviving pending contents — one pipelined batch per
+        // holding server instead of a round trip per member — and
+        // reconstruct the lost one (if any) from the buffer's accumulator.
+        let survivors: Vec<rmp_parity::GroupMember> = pending
+            .iter()
+            .filter(|m| m.server != crashed)
+            .copied()
+            .collect();
+        for m in &survivors {
             if !ctx.pool.view().is_alive(m.server) {
                 return Err(RmpError::Unrecoverable(format!(
                     "unsealed group lost two members ({crashed} and {})",
                     m.server
                 )));
             }
-            let piece = ctx.pool.page_in(m.server, m.key)?;
-            ctx.stats.net_fetches += 1;
-            step.transfers += 1;
+        }
+        let reads: Vec<(ServerId, StoreKey)> =
+            survivors.iter().map(|m| (m.server, m.key)).collect();
+        let pieces = ctx.fetch_batch(&reads)?;
+        step.transfers += pieces.len() as u64;
+        let mut contents: Vec<(rmp_parity::GroupMember, Page)> = Vec::new();
+        let mut rebuilt = self.buffer.accumulated().clone();
+        for (m, piece) in survivors.into_iter().zip(pieces) {
             rebuilt.xor_with(&piece);
-            contents.push((*m, piece));
+            contents.push((m, piece));
         }
         if let Some(&&lost) = lost.first() {
             step.pages_rebuilt += 1;
@@ -396,8 +415,10 @@ impl ParityLogging {
         let Some(lost_slot) = state.members.iter().position(|m| m.server == crashed) else {
             return Ok(());
         };
-        // Fetch the survivors (all slots except the lost one).
-        let mut contents: Vec<Option<Page>> = vec![None; state.members.len()];
+        // Fetch the survivors (all slots except the lost one) plus the
+        // parity page in one batched pass.
+        let mut slots: Vec<usize> = Vec::new();
+        let mut reads: Vec<(ServerId, StoreKey)> = Vec::new();
         for (slot, m) in state.members.iter().enumerate() {
             if slot == lost_slot {
                 continue;
@@ -408,10 +429,8 @@ impl ParityLogging {
                     m.server
                 )));
             }
-            let piece = ctx.pool.page_in(m.server, m.key)?;
-            ctx.stats.net_fetches += 1;
-            step.transfers += 1;
-            contents[slot] = Some(piece);
+            slots.push(slot);
+            reads.push((m.server, m.key));
         }
         if !ctx.pool.view().is_alive(state.parity_server) {
             return Err(RmpError::Unrecoverable(format!(
@@ -419,9 +438,14 @@ impl ParityLogging {
                 state.parity_server
             )));
         }
-        let parity = ctx.pool.page_in(state.parity_server, state.parity_key)?;
-        ctx.stats.net_fetches += 1;
-        step.transfers += 1;
+        reads.push((state.parity_server, state.parity_key));
+        let mut fetched = ctx.fetch_batch(&reads)?;
+        step.transfers += fetched.len() as u64;
+        let parity = fetched.pop().expect("parity pushed last");
+        let mut contents: Vec<Option<Page>> = vec![None; state.members.len()];
+        for (slot, piece) in slots.into_iter().zip(fetched) {
+            contents[slot] = Some(piece);
+        }
         let rebuilt = reconstruct(&parity, contents.iter().flatten());
         contents[lost_slot] = Some(rebuilt);
         step.pages_rebuilt += 1;
@@ -464,7 +488,6 @@ impl ParityLogging {
             return Ok(());
         }
         let replacement = self.parity_server;
-        let mut acc = Page::zeroed();
         for m in &state.members {
             if !ctx.pool.view().is_alive(m.server) {
                 return Err(RmpError::Unrecoverable(format!(
@@ -472,10 +495,15 @@ impl ParityLogging {
                     m.server
                 )));
             }
-            let piece = ctx.pool.page_in(m.server, m.key)?;
-            ctx.stats.net_fetches += 1;
-            step.transfers += 1;
-            acc.xor_with(&piece);
+        }
+        // All members in one batched fetch, then XOR client-side.
+        let reads: Vec<(ServerId, StoreKey)> =
+            state.members.iter().map(|m| (m.server, m.key)).collect();
+        let pieces = ctx.fetch_batch(&reads)?;
+        step.transfers += pieces.len() as u64;
+        let mut acc = Page::zeroed();
+        for piece in &pieces {
+            acc.xor_with(piece);
         }
         let pkey = ctx.pool.fresh_key();
         ctx.reserve_and_page_out(replacement, pkey, &acc)?;
@@ -553,20 +581,27 @@ impl Engine for ParityLogging {
             return Ok(page);
         }
         // Pending (unsealed) pages reconstruct from the client-side
-        // accumulator XOR the other pending members.
+        // accumulator XOR the other pending members, fetched as one
+        // batched pass.
         if self.buffer.members().iter().any(|m| m.page_id == id) {
-            let mut rebuilt = self.buffer.accumulated().clone();
-            for m in self.buffer.members().to_vec() {
-                if m.page_id == id {
-                    continue;
-                }
+            let others: Vec<_> = self
+                .buffer
+                .members()
+                .iter()
+                .filter(|m| m.page_id != id)
+                .copied()
+                .collect();
+            for m in &others {
                 if !ctx.pool.view().is_alive(m.server) {
                     return Err(RmpError::Unrecoverable(format!(
                         "unsealed group of {id} lost two members"
                     )));
                 }
-                let piece = ctx.pool.page_in(m.server, m.key)?;
-                ctx.stats.net_fetches += 1;
+            }
+            let reads: Vec<(ServerId, StoreKey)> =
+                others.iter().map(|m| (m.server, m.key)).collect();
+            let mut rebuilt = self.buffer.accumulated().clone();
+            for piece in ctx.fetch_batch(&reads)? {
                 rebuilt.xor_with(&piece);
             }
             return Ok(rebuilt);
@@ -582,7 +617,7 @@ impl Engine for ParityLogging {
             .group(loc.group)
             .cloned()
             .ok_or(RmpError::PageNotFound(id))?;
-        let mut survivors = Vec::with_capacity(state.members.len().saturating_sub(1));
+        let mut reads: Vec<(ServerId, StoreKey)> = Vec::with_capacity(state.members.len());
         for (slot, m) in state.members.iter().enumerate() {
             if slot == loc.slot {
                 continue;
@@ -593,17 +628,19 @@ impl Engine for ParityLogging {
                     m.server
                 )));
             }
-            survivors.push(ctx.pool.page_in(m.server, m.key)?);
-            ctx.stats.net_fetches += 1;
+            reads.push((m.server, m.key));
         }
         if !ctx.pool.view().is_alive(state.parity_server) {
             return Err(RmpError::Unrecoverable(format!(
                 "group of {id} lost a member and its parity"
             )));
         }
-        let parity = ctx.pool.page_in(state.parity_server, state.parity_key)?;
-        ctx.stats.net_fetches += 1;
-        Ok(reconstruct(&parity, survivors.iter()))
+        reads.push((state.parity_server, state.parity_key));
+        // The whole XOR equation — survivors plus parity — in one
+        // batched fetch: S round trips collapse to roughly one.
+        let mut fetched = ctx.fetch_batch(&reads)?;
+        let parity = fetched.pop().expect("parity pushed last");
+        Ok(reconstruct(&parity, fetched.iter()))
     }
 
     fn primary_location(&self, id: PageId) -> Option<(ServerId, StoreKey)> {
@@ -686,15 +723,25 @@ impl Engine for ParityLogging {
             })
             .collect();
         let mut moved = 0;
-        for id in pages {
-            let Some(Location::Remote { key, .. }) = self.location.get(&id).copied() else {
-                continue;
-            };
-            let page = ctx.pool.page_in(server, key)?;
-            ctx.stats.net_fetches += 1;
-            self.page_out_inner(ctx, id, &page, &[server])?;
-            ctx.stats.migrations += 1;
-            moved += 1;
+        // Chunked batch fetches off the loaded server: one pipelined
+        // frame per chunk instead of a round trip per page.
+        let chunk_size = ctx.pool.batch_max_pages().max(1);
+        for chunk in pages.chunks(chunk_size) {
+            let work: Vec<(PageId, StoreKey)> = chunk
+                .iter()
+                .filter_map(|&id| match self.location.get(&id).copied() {
+                    Some(Location::Remote { server: s, key }) if s == server => Some((id, key)),
+                    _ => None,
+                })
+                .collect();
+            let reads: Vec<(ServerId, StoreKey)> =
+                work.iter().map(|&(_, key)| (server, key)).collect();
+            let fetched = ctx.fetch_batch(&reads)?;
+            for ((id, _), page) in work.into_iter().zip(fetched) {
+                self.page_out_inner(ctx, id, &page, &[server])?;
+                ctx.stats.migrations += 1;
+                moved += 1;
+            }
         }
         // Seal so the re-logged versions supersede the old ones.
         if moved > 0 {

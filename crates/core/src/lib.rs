@@ -27,6 +27,7 @@
 pub mod engine;
 pub mod pager;
 pub mod pool;
+pub mod prefetch;
 pub mod recovery;
 pub mod transport;
 

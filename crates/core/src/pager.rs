@@ -6,13 +6,16 @@ use std::time::Instant;
 
 use rmp_blockdev::PagingDevice;
 use rmp_types::metrics::{Counter, EventKind, Gauge, Histogram, MetricsRegistry};
-use rmp_types::{Page, PageId, PagerConfig, Policy, Result, RmpError, ServerId, TransferStats};
+use rmp_types::{
+    Page, PageId, PagerConfig, Policy, Result, RmpError, ServerId, StoreKey, TransferStats,
+};
 
 use crate::engine::{
     basic::BasicParity, diskonly::DiskOnly, mirror::Mirroring, norel::NoReliability,
     paritylog::ParityLogging, writethrough::WriteThrough, Ctx, Engine,
 };
 use crate::pool::ServerPool;
+use crate::prefetch::{PrefetchCache, StrideDetector};
 use crate::recovery::{RecoveryPlan, RecoveryReport};
 
 /// Builder for [`Pager`].
@@ -52,6 +55,9 @@ struct PagerMetrics {
     checksum_failures: Arc<Counter>,
     maintenance_runs: Arc<Counter>,
     recoveries_completed: Arc<Counter>,
+    prefetch_issued: Arc<Counter>,
+    prefetch_hits: Arc<Counter>,
+    prefetch_useless: Arc<Counter>,
     pageout_latency: Arc<Histogram>,
     pagein_latency: Arc<Histogram>,
     degraded_latency: Arc<Histogram>,
@@ -71,6 +77,9 @@ impl PagerMetrics {
             checksum_failures: registry.counter("pager_checksum_failures_total"),
             maintenance_runs: registry.counter("pager_maintenance_runs_total"),
             recoveries_completed: registry.counter("pager_recoveries_completed_total"),
+            prefetch_issued: registry.counter("pager_prefetch_issued_total"),
+            prefetch_hits: registry.counter("pager_prefetch_hits_total"),
+            prefetch_useless: registry.counter("pager_prefetch_useless_total"),
             pageout_latency: registry.histogram("pager_pageout_latency_us"),
             pagein_latency: registry.histogram("pager_pagein_latency_us"),
             degraded_latency: registry.histogram("pager_degraded_read_latency_us"),
@@ -134,6 +143,13 @@ pub struct Pager {
     pending_recovery: VecDeque<ServerId>,
     /// The rebuild currently in flight, if any.
     active_plan: Option<RecoveryPlan>,
+    /// Majority-vote stride detector fed by every demand pagein.
+    stride: StrideDetector,
+    /// Pages fetched ahead of demand along the detected stride.
+    prefetch: PrefetchCache,
+    /// Useless-prefetch count already forwarded to the metrics counter
+    /// (the cache tracks a running total; counters only add).
+    prefetch_useless_reported: u64,
     /// Observability: latency histograms, counters, and the trace-event
     /// ring — shared with the pool and exposed via [`Pager::metrics`].
     metrics: PagerMetrics,
@@ -165,6 +181,7 @@ impl Pager {
         // and retry policy the config carries govern every pool call.
         pool.set_transport_config(config.transport.clone());
         pool.set_verify_checksums(config.verify_checksums);
+        pool.set_batch_max_pages(config.batch_max_pages);
         // One registry serves the whole client stack: the pool records its
         // call latencies and failure transitions into the same ring and
         // tables the pager uses, so a single snapshot tells the story.
@@ -217,6 +234,10 @@ impl Pager {
                 Box::new(DiskOnly::new())
             }
         };
+        // Twice the issue window: the cache can hold the in-flight
+        // window plus the previous one without evicting entries the
+        // stream is about to consume.
+        let prefetch_capacity = config.prefetch_window.saturating_mul(2);
         Ok(Pager {
             config,
             pool,
@@ -227,6 +248,9 @@ impl Pager {
             page_sums: HashMap::new(),
             pending_recovery: VecDeque::new(),
             active_plan: None,
+            stride: StrideDetector::new(),
+            prefetch: PrefetchCache::new(prefetch_capacity),
+            prefetch_useless_reported: 0,
             metrics: PagerMetrics::new(registry),
         })
     }
@@ -459,6 +483,12 @@ impl Pager {
             None => RecoveryPlan::new(server),
         };
         while !self.drive_plan(&mut plan, usize::MAX)? {}
+        // Placement changed wholesale under the rebuild: drop the fault
+        // trace and any read-ahead rather than predict against the old
+        // layout.
+        self.stride.reset();
+        self.prefetch.clear();
+        self.sync_useless();
         Ok(plan.report())
     }
 
@@ -634,10 +664,87 @@ impl Pager {
         );
         Some(err)
     }
+
+    /// Forwards newly-useless prefetch drops from the cache's running
+    /// total into the monotonic counter.
+    fn sync_useless(&mut self) {
+        let total = self.prefetch.useless();
+        let delta = total - self.prefetch_useless_reported;
+        if delta > 0 {
+            self.metrics.prefetch_useless.add(delta);
+            self.prefetch_useless_reported = total;
+        }
+    }
+
+    /// Issues one best-effort batched prefetch of the next
+    /// `prefetch_window` pages along `stride`: predictions are grouped by
+    /// the server that holds their primary copy and fetched with a single
+    /// pipelined batch per server instead of one round trip per page.
+    /// Failures are swallowed — a wrong guess must never fail the demand
+    /// fault that triggered it.
+    fn maybe_prefetch(&mut self, id: PageId, stride: Option<i64>) {
+        let Some(stride) = stride else { return };
+        let window = self.config.prefetch_window;
+        if window == 0 {
+            return;
+        }
+        // Refill the window only once the runway is gone: while the next
+        // predicted page is still cached, topping up one page per access
+        // would pay a round trip per pagein and erase the batching win.
+        if let Some(next) = (id.0 as i64).checked_add(stride) {
+            if next >= 0 && self.prefetch.contains(PageId(next as u64)) {
+                return;
+            }
+        }
+        let mut by_server: HashMap<ServerId, Vec<(PageId, StoreKey)>> = HashMap::new();
+        for step in 1..=window as i64 {
+            let Some(offset) = stride.checked_mul(step) else {
+                break;
+            };
+            let Some(next) = (id.0 as i64).checked_add(offset) else {
+                break;
+            };
+            if next < 0 {
+                break;
+            }
+            let pid = PageId(next as u64);
+            if self.prefetch.contains(pid) {
+                continue;
+            }
+            // Only pages whose primary copy sits in remote memory are
+            // worth fetching ahead: disk-backed and unknown pages fall
+            // through to the demand path as usual.
+            let Some((server, key)) = self.engine.primary_location(pid) else {
+                continue;
+            };
+            by_server.entry(server).or_default().push((pid, key));
+        }
+        for (server, entries) in by_server {
+            let keys: Vec<StoreKey> = entries.iter().map(|&(_, key)| key).collect();
+            self.metrics.prefetch_issued.add(keys.len() as u64);
+            let Ok(pages) = self.pool.page_in_batch(server, &keys) else {
+                continue;
+            };
+            for ((pid, _), page) in entries.into_iter().zip(pages) {
+                if let Some(page) = page {
+                    // Each page that came back is a real wire fetch; the
+                    // stats stay honest about transfer counts even when
+                    // the fetch ran ahead of demand.
+                    self.stats.net_fetches += 1;
+                    self.prefetch.insert(pid, page);
+                }
+            }
+        }
+        self.sync_useless();
+    }
 }
 
 impl Pager {
     fn page_out_inner(&mut self, id: PageId, page: &Page) -> Result<()> {
+        // A fresher copy is being written: any prefetched copy is stale
+        // the moment the write lands, so drop it up front.
+        self.prefetch.invalidate(id);
+        self.sync_useless();
         self.update_adaptive();
         // Writes must not race an in-flight rebuild: a pageout landing in
         // a half-rebuilt stripe would leave its parity wrong, and plans
@@ -665,6 +772,31 @@ impl Pager {
     }
 
     fn page_in_inner(&mut self, id: PageId) -> Result<Page> {
+        if self.config.prefetch_window == 0 {
+            return self.demand_page_in(id);
+        }
+        let stride = self.stride.observe(id);
+        if let Some(page) = self.prefetch.take(id) {
+            // A prefetched copy is held to the same store-corruption
+            // check as a wire read; a corrupt one is dropped here and
+            // the demand path below refetches (degrading if need be).
+            if self.check_sum(id, &page).is_none() {
+                // A hit is still a logical pagein; it just cost no round
+                // trip (the wire fetch was counted when it was issued).
+                self.stats.pageins += 1;
+                self.metrics.prefetch_hits.inc();
+                self.maybe_prefetch(id, stride);
+                return Ok(page);
+            }
+        }
+        let result = self.demand_page_in(id);
+        if result.is_ok() {
+            self.maybe_prefetch(id, stride);
+        }
+        result
+    }
+
+    fn demand_page_in(&mut self, id: PageId) -> Result<Page> {
         let mut retries = self.pool.server_ids().len().max(1);
         loop {
             // `check_sum` counts the failures it detects itself; corruption
@@ -726,10 +858,16 @@ impl Pager {
 impl PagingDevice for Pager {
     fn page_out(&mut self, id: PageId, page: &Page) -> Result<()> {
         let started = Instant::now();
+        // Resolve attribution before the attempt: after a failure the id
+        // may map to a different (or no) placement, and the trace should
+        // blame the server the operation actually ran against.
+        let before = self.engine.primary_location(id).map(|(s, _)| s);
         let result = self.page_out_inner(id, page);
-        let server = self.engine.primary_location(id).map(|(s, _)| s);
         match &result {
             Ok(()) => {
+                // A successful pageout may have *created* the placement;
+                // the post-call location is the one that took the page.
+                let server = self.engine.primary_location(id).map(|(s, _)| s);
                 self.metrics.pageouts.inc();
                 self.metrics.pageout_latency.record(started.elapsed());
                 self.metrics.registry.trace(
@@ -741,9 +879,13 @@ impl PagingDevice for Pager {
             }
             Err(_) => {
                 self.metrics.pageout_errors.inc();
+                // Failed attempts cost wall-clock too; a histogram that
+                // only sees successes understates tail latency exactly
+                // when the system degrades.
+                self.metrics.pageout_latency.record(started.elapsed());
                 self.metrics.registry.trace(
                     EventKind::PageOut,
-                    server,
+                    before,
                     Some(self.config.policy),
                     "error",
                 );
@@ -754,8 +896,10 @@ impl PagingDevice for Pager {
 
     fn page_in(&mut self, id: PageId) -> Result<Page> {
         let started = Instant::now();
-        let result = self.page_in_inner(id);
+        // As in `page_out`: attribute to the placement the read was
+        // issued against, not whatever recovery re-homed the id to.
         let server = self.engine.primary_location(id).map(|(s, _)| s);
+        let result = self.page_in_inner(id);
         match &result {
             Ok(_) => {
                 self.metrics.pageins.inc();
@@ -769,6 +913,7 @@ impl PagingDevice for Pager {
             }
             Err(_) => {
                 self.metrics.pagein_errors.inc();
+                self.metrics.pagein_latency.record(started.elapsed());
                 self.metrics.registry.trace(
                     EventKind::PageIn,
                     server,
@@ -782,8 +927,14 @@ impl PagingDevice for Pager {
 
     fn free(&mut self, id: PageId) -> Result<()> {
         self.drain_recovery_queue()?;
+        self.prefetch.invalidate(id);
+        self.sync_useless();
+        // Drop the writer-side checksum only once the engine actually
+        // released the page: a failed free leaves the page (and its
+        // verification) in force, so later reads stay checked.
+        self.with_engine(|engine, ctx| engine.free(ctx, id))?;
         self.page_sums.remove(&id);
-        self.with_engine(|engine, ctx| engine.free(ctx, id))
+        Ok(())
     }
 
     fn contains(&self, id: PageId) -> bool {

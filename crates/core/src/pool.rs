@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rmp_cluster::{ClusterView, Condition, Registry};
-use rmp_proto::{LoadHint, Message};
+use rmp_proto::{BatchItem, BatchPage, LoadHint, Message, MAX_BATCH_PAGES};
 use rmp_types::metrics::{Counter, EventKind, Histogram, MetricsRegistry};
 use rmp_types::{ErrorCode, Page, Result, RmpError, ServerId, StoreKey, TransportConfig};
 
@@ -103,6 +103,12 @@ pub struct ServerPool {
     /// [`RmpError::CorruptPage`] without marking the server dead (it
     /// answered — the fault is in the data, not the transport).
     verify_checksums: bool,
+    /// Most pages per batch frame on the pipelined paths; requests larger
+    /// than this are split into multiple frames kept outstanding at once.
+    batch_max_pages: usize,
+    /// Tag for the next batch frame, echoed by its reply so replies can
+    /// be matched even if a transport delivers them out of order.
+    next_batch_seq: u32,
     /// Observability hooks; `None` (the default) records nothing.
     metrics: Option<PoolMetrics>,
 }
@@ -128,6 +134,8 @@ impl ServerPool {
             clean_streak: HashMap::new(),
             jitter_state: 0x2545_F491_4F6C_DD1D,
             verify_checksums: true,
+            batch_max_pages: 16,
+            next_batch_seq: 1,
             metrics: None,
         }
     }
@@ -150,6 +158,18 @@ impl ServerPool {
     /// [`rmp_types::PagerConfig::verify_checksums`]).
     pub fn set_verify_checksums(&mut self, enabled: bool) {
         self.verify_checksums = enabled;
+    }
+
+    /// Sets the per-frame page cap of the batch paths, clamped to the
+    /// wire protocol's [`MAX_BATCH_PAGES`] (the pager wires this to
+    /// [`rmp_types::PagerConfig::batch_max_pages`]).
+    pub fn set_batch_max_pages(&mut self, pages: usize) {
+        self.batch_max_pages = pages.clamp(1, MAX_BATCH_PAGES);
+    }
+
+    /// The per-frame page cap currently in force on the batch paths.
+    pub fn batch_max_pages(&self) -> usize {
+        self.batch_max_pages
     }
 
     /// Connects to every server in the registry over TCP with default
@@ -324,6 +344,20 @@ impl ServerPool {
     /// out-of-memory becomes [`RmpError::NoSpace`], shutting-down becomes
     /// [`RmpError::ServerCrashed`] (with the server marked dead).
     fn call(&mut self, id: ServerId, msg: &Message) -> Result<Message> {
+        self.call_many(id, std::slice::from_ref(msg))
+            .map(|mut replies| replies.remove(0))
+    }
+
+    /// [`ServerPool::call`] generalized to a pipelined burst: every frame
+    /// in `msgs` is written before the first reply is read, so the whole
+    /// burst costs one round trip. The retry/Suspect/backoff machinery is
+    /// identical — a transient failure retries the *entire* burst against
+    /// a fresh connection (batch frames are idempotent: stores overwrite,
+    /// reads have no side effects).
+    fn call_many(&mut self, id: ServerId, msgs: &[Message]) -> Result<Vec<Message>> {
+        if msgs.is_empty() {
+            return Ok(Vec::new());
+        }
         if let Some(m) = &self.metrics {
             m.calls.inc();
         }
@@ -335,12 +369,16 @@ impl ServerPool {
                 .get_mut(&id)
                 .ok_or_else(|| RmpError::Config(format!("unknown server {id}")))?;
             let start = Instant::now();
-            let outcome = transport.call(msg);
+            let outcome = if msgs.len() == 1 {
+                transport.call(&msgs[0]).map(|reply| vec![reply])
+            } else {
+                transport.call_pipelined(msgs)
+            };
             self.record_attempt(id, start);
             let err = match outcome {
-                Ok(reply) => {
+                Ok(replies) => {
                     self.note_clean_call(id);
-                    return Ok(reply);
+                    return Ok(replies);
                 }
                 Err(e) => e,
             };
@@ -558,6 +596,167 @@ impl ServerPool {
                 other.opcode()
             ))),
         }
+    }
+
+    /// Hands out the tag for the next batch frame.
+    fn batch_seq(&mut self) -> u32 {
+        let seq = self.next_batch_seq;
+        self.next_batch_seq = self.next_batch_seq.wrapping_add(1);
+        seq
+    }
+
+    /// Issues a pipelined burst of batch frames and hands back each
+    /// frame's items, matched to its request by the echoed `seq` (so a
+    /// transport delivering replies out of order still works). The last
+    /// frame's load hint is applied to the view.
+    ///
+    /// `expected` maps each frame's seq to its item count.
+    fn exchange_batches(
+        &mut self,
+        id: ServerId,
+        frames: &[Message],
+        expected: &[(u32, usize)],
+    ) -> Result<(Vec<Vec<BatchItem>>, LoadHint)> {
+        let replies = self.call_many(id, frames)?;
+        let mut by_seq: HashMap<u32, Vec<BatchItem>> = HashMap::new();
+        let mut last_hint = LoadHint::Ok;
+        for reply in replies {
+            match reply {
+                Message::BatchReply { seq, hint, items } => {
+                    last_hint = hint;
+                    by_seq.insert(seq, items);
+                }
+                other => {
+                    return Err(RmpError::Protocol(format!(
+                        "unexpected reply to batch frame: {:?}",
+                        other.opcode()
+                    )))
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(expected.len());
+        for &(seq, count) in expected {
+            let items = by_seq
+                .remove(&seq)
+                .ok_or_else(|| RmpError::Protocol(format!("no reply for batch seq {seq}")))?;
+            if items.len() != count {
+                return Err(RmpError::Protocol(format!(
+                    "batch seq {seq}: {} items for {count} requests",
+                    items.len()
+                )));
+            }
+            out.push(items);
+        }
+        self.apply_hint(id, last_hint);
+        Ok((out, last_hint))
+    }
+
+    /// Maps an item-level error code from a batch reply to the same typed
+    /// errors [`ServerPool::call`] produces for whole-call refusals.
+    fn map_item_error(id: ServerId, key: StoreKey, code: ErrorCode) -> RmpError {
+        match code {
+            ErrorCode::OutOfMemory => RmpError::NoSpace(id),
+            ErrorCode::Corrupt => RmpError::CorruptPage { server: id, key },
+            code => RmpError::Remote {
+                code,
+                message: format!("batch item {key} refused"),
+            },
+        }
+    }
+
+    /// Ships many pages to `id` in pipelined batch frames: up to
+    /// [`ServerPool::batch_max_pages`] checksummed pages per frame, every
+    /// frame written before the first reply is read, so `n` pages cost
+    /// roughly one round trip instead of `n`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`ServerPool::page_out`]; the first item
+    /// refused inside a reply surfaces typed (out-of-memory becomes
+    /// [`RmpError::NoSpace`]). Pages acknowledged before the failing item
+    /// are stored on the server either way — batch writes are idempotent
+    /// overwrites, so callers simply retry or fall back per page.
+    pub fn page_out_batch(&mut self, id: ServerId, pages: &[(StoreKey, Page)]) -> Result<LoadHint> {
+        let mut frames = Vec::new();
+        let mut expected = Vec::new();
+        for chunk in pages.chunks(self.batch_max_pages) {
+            let seq = self.batch_seq();
+            expected.push((seq, chunk.len()));
+            frames.push(Message::PageOutBatch {
+                seq,
+                pages: chunk
+                    .iter()
+                    .map(|(key, page)| BatchPage {
+                        id: *key,
+                        checksum: page.checksum(),
+                        page: page.clone(),
+                    })
+                    .collect(),
+            });
+        }
+        let (batches, hint) = self.exchange_batches(id, &frames, &expected)?;
+        for (items, chunk) in batches.iter().zip(pages.chunks(self.batch_max_pages)) {
+            for (item, (key, _)) in items.iter().zip(chunk) {
+                match item {
+                    BatchItem::Ack => self.note_wire_transfer(),
+                    BatchItem::Err(code) => return Err(Self::map_item_error(id, *key, *code)),
+                    other => {
+                        return Err(RmpError::Protocol(format!(
+                            "unexpected batch write outcome {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(hint)
+    }
+
+    /// Fetches many pages from `id` in pipelined batch frames, verifying
+    /// each returned page against the server's checksum. Missing pages
+    /// come back as `None`, in request order.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`ServerPool::page_in`];
+    /// [`RmpError::CorruptPage`] on the first checksum mismatch, and the
+    /// first item-level refusal surfaces typed.
+    pub fn page_in_batch(&mut self, id: ServerId, keys: &[StoreKey]) -> Result<Vec<Option<Page>>> {
+        let mut frames = Vec::new();
+        let mut expected = Vec::new();
+        for chunk in keys.chunks(self.batch_max_pages) {
+            let seq = self.batch_seq();
+            expected.push((seq, chunk.len()));
+            frames.push(Message::PageInBatch {
+                seq,
+                ids: chunk.to_vec(),
+            });
+        }
+        let (batches, _hint) = self.exchange_batches(id, &frames, &expected)?;
+        let mut out = Vec::with_capacity(keys.len());
+        for (items, chunk) in batches.into_iter().zip(keys.chunks(self.batch_max_pages)) {
+            for (item, key) in items.into_iter().zip(chunk) {
+                match item {
+                    BatchItem::Page { checksum, page } => {
+                        self.note_wire_transfer();
+                        if self.verify_checksums && page.checksum() != checksum {
+                            return Err(RmpError::CorruptPage {
+                                server: id,
+                                key: *key,
+                            });
+                        }
+                        out.push(Some(page));
+                    }
+                    BatchItem::Miss => out.push(None),
+                    BatchItem::Err(code) => return Err(Self::map_item_error(id, *key, code)),
+                    BatchItem::Ack => {
+                        return Err(RmpError::Protocol(
+                            "unexpected batch read outcome Ack".into(),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Releases the page stored under `key` on `id`.

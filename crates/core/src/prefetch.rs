@@ -1,0 +1,313 @@
+//! Leap-style stride prefetching over the pagein trace.
+//!
+//! Remote memory hides disk seeks but still pays a full network round
+//! trip per fault. Leap (Al Maruf & Chowdhury, ATC '20) showed that a
+//! *majority-vote* stride detector over the recent fault history finds
+//! the dominant access stride even when interleaved with noise, and that
+//! prefetching along that stride hides most of the remaining latency.
+//! [`StrideDetector`] is that detector; [`PrefetchCache`] is the small
+//! bounded cache the pager serves prefetched pages from.
+//!
+//! The pager wires both into `page_in_inner`: every demand fault feeds
+//! the detector, a detected stride triggers one *batched* fetch of the
+//! next `prefetch_window` predicted pages (one pipelined frame per
+//! server instead of `window` round trips), and subsequent faults that
+//! land on a predicted page are served locally without touching the
+//! wire.
+
+use std::collections::VecDeque;
+
+use rmp_types::{Page, PageId};
+
+/// Fault-history window the majority vote runs over. Leap uses a small
+/// constant window; 8 deltas means a stride must win ≥ 5 votes, so up to
+/// 3 interleaved noise faults cannot break a sequential run.
+const HISTORY_WINDOW: usize = 8;
+
+/// Majority-vote stride detector over the demand-pagein address trace.
+///
+/// Keeps the last `HISTORY_WINDOW` (8) inter-fault deltas; a delta held by
+/// a strict majority of the window is the detected stride. This is
+/// deliberately more robust than last-two-faults stride detection: one
+/// out-of-stride fault (an interleaved random lookup, a maintenance
+/// read) does not reset a long sequential run.
+#[derive(Debug, Default)]
+pub struct StrideDetector {
+    /// Most recent faulting page, the base new deltas are measured from.
+    last: Option<PageId>,
+    /// Recent inter-fault deltas, oldest first.
+    deltas: VecDeque<i64>,
+}
+
+impl StrideDetector {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        StrideDetector::default()
+    }
+
+    /// Feeds one demand fault and returns the majority stride, if the
+    /// window currently has one. A stride of zero (repeated faults on
+    /// the same page) never triggers prefetching.
+    pub fn observe(&mut self, id: PageId) -> Option<i64> {
+        if let Some(last) = self.last {
+            let delta = id.0 as i64 - last.0 as i64;
+            if self.deltas.len() == HISTORY_WINDOW {
+                self.deltas.pop_front();
+            }
+            self.deltas.push_back(delta);
+        }
+        self.last = Some(id);
+        self.majority()
+    }
+
+    /// The stride held by a strict majority of the current window.
+    fn majority(&self) -> Option<i64> {
+        if self.deltas.len() < 2 {
+            return None;
+        }
+        // Boyer–Moore majority vote, then a verification pass — O(window)
+        // with no allocation, and the window is 8 entries.
+        let mut candidate = 0i64;
+        let mut count = 0usize;
+        for &d in &self.deltas {
+            if count == 0 {
+                candidate = d;
+                count = 1;
+            } else if d == candidate {
+                count += 1;
+            } else {
+                count -= 1;
+            }
+        }
+        let votes = self.deltas.iter().filter(|&&d| d == candidate).count();
+        (candidate != 0 && votes * 2 > self.deltas.len()).then_some(candidate)
+    }
+
+    /// Forgets all history (the pager calls this when the address space
+    /// mutates underneath the trace, e.g. after a crash recovery).
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.deltas.clear();
+    }
+}
+
+/// A bounded FIFO cache of prefetched pages.
+///
+/// Entries are inserted by the prefetcher and consumed (removed) by the
+/// first demand fault that hits them — a prefetched page is served at
+/// most once, so staleness cannot outlive one use. Writes and frees
+/// invalidate their entry immediately. When full, inserting evicts the
+/// oldest entry; evicted-unused and invalidated-unused entries count as
+/// *useless* prefetches so the hit-rate metrics expose a misbehaving
+/// predictor instead of hiding it.
+#[derive(Debug)]
+pub struct PrefetchCache {
+    /// Insertion order, oldest first.
+    order: VecDeque<PageId>,
+    /// The cached pages keyed by id; small enough that linear scans of
+    /// `order` stay cheap.
+    pages: std::collections::HashMap<PageId, Page>,
+    capacity: usize,
+    /// Prefetched entries dropped without ever serving a hit.
+    useless: u64,
+}
+
+impl PrefetchCache {
+    /// Creates a cache holding at most `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        PrefetchCache {
+            order: VecDeque::new(),
+            pages: std::collections::HashMap::new(),
+            capacity,
+            useless: 0,
+        }
+    }
+
+    /// Pages currently cached.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Whether `id` is currently cached (without consuming it).
+    pub fn contains(&self, id: PageId) -> bool {
+        self.pages.contains_key(&id)
+    }
+
+    /// Inserts a prefetched page, evicting the oldest entry when full.
+    /// Re-inserting an id refreshes its contents in place.
+    pub fn insert(&mut self, id: PageId, page: Page) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.pages.insert(id, page).is_some() {
+            return; // Already queued; contents refreshed.
+        }
+        self.order.push_back(id);
+        while self.pages.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                if self.pages.remove(&old).is_some() {
+                    self.useless += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes the cached page for `id`, if present. Each prefetched
+    /// page serves at most one hit.
+    pub fn take(&mut self, id: PageId) -> Option<Page> {
+        let page = self.pages.remove(&id)?;
+        self.order.retain(|&k| k != id);
+        Some(page)
+    }
+
+    /// Drops the entry for `id`, counting it useless if present — called
+    /// on every `page_out` and `free`, where the cached copy would
+    /// otherwise go stale.
+    pub fn invalidate(&mut self, id: PageId) {
+        if self.pages.remove(&id).is_some() {
+            self.order.retain(|&k| k != id);
+            self.useless += 1;
+        }
+    }
+
+    /// Drops everything, counting remaining entries useless.
+    pub fn clear(&mut self) {
+        self.useless += self.pages.len() as u64;
+        self.pages.clear();
+        self.order.clear();
+    }
+
+    /// Prefetched pages dropped (evicted, invalidated, or cleared)
+    /// without serving a hit.
+    pub fn useless(&self) -> u64 {
+        self.useless
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(det: &mut StrideDetector, ids: &[u64]) -> Option<i64> {
+        let mut out = None;
+        for &i in ids {
+            out = det.observe(PageId(i));
+        }
+        out
+    }
+
+    #[test]
+    fn sequential_run_detects_stride_one() {
+        let mut det = StrideDetector::new();
+        assert_eq!(feed(&mut det, &[10, 11, 12, 13]), Some(1));
+    }
+
+    #[test]
+    fn strided_run_detects_its_stride() {
+        let mut det = StrideDetector::new();
+        assert_eq!(feed(&mut det, &[0, 4, 8, 12, 16]), Some(4));
+    }
+
+    #[test]
+    fn backward_stride_is_detected() {
+        let mut det = StrideDetector::new();
+        assert_eq!(feed(&mut det, &[100, 98, 96, 94]), Some(-2));
+    }
+
+    #[test]
+    fn majority_survives_interleaved_noise() {
+        let mut det = StrideDetector::new();
+        // A sequential run with one random fault in the middle: the
+        // majority vote keeps the stride where last-two detection would
+        // have reset.
+        assert_eq!(feed(&mut det, &[10, 11, 12, 500, 13, 14, 15]), Some(1));
+    }
+
+    #[test]
+    fn random_trace_detects_nothing() {
+        let mut det = StrideDetector::new();
+        assert_eq!(feed(&mut det, &[7, 92, 3, 41, 88, 15]), None);
+    }
+
+    #[test]
+    fn repeated_faults_on_one_page_never_prefetch() {
+        let mut det = StrideDetector::new();
+        assert_eq!(feed(&mut det, &[5, 5, 5, 5, 5]), None, "zero stride");
+    }
+
+    #[test]
+    fn window_slides_to_the_new_pattern() {
+        let mut det = StrideDetector::new();
+        feed(&mut det, &[0, 1, 2, 3, 4, 5]);
+        // Enough faults at the new stride outvote the old window.
+        assert_eq!(
+            feed(&mut det, &[100, 108, 116, 124, 132, 140, 148]),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut det = StrideDetector::new();
+        feed(&mut det, &[0, 1, 2, 3]);
+        det.reset();
+        assert_eq!(det.observe(PageId(4)), None);
+        assert_eq!(det.observe(PageId(5)), None, "one delta is no majority");
+    }
+
+    #[test]
+    fn cache_serves_each_entry_once() {
+        let mut cache = PrefetchCache::new(4);
+        cache.insert(PageId(1), Page::deterministic(1));
+        assert!(cache.contains(PageId(1)));
+        assert_eq!(cache.take(PageId(1)), Some(Page::deterministic(1)));
+        assert_eq!(cache.take(PageId(1)), None, "consumed on first hit");
+        assert_eq!(cache.useless(), 0);
+    }
+
+    #[test]
+    fn cache_evicts_oldest_and_counts_useless() {
+        let mut cache = PrefetchCache::new(2);
+        cache.insert(PageId(1), Page::deterministic(1));
+        cache.insert(PageId(2), Page::deterministic(2));
+        cache.insert(PageId(3), Page::deterministic(3));
+        assert!(!cache.contains(PageId(1)), "oldest evicted");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.useless(), 1, "evicted-unused counts useless");
+    }
+
+    #[test]
+    fn invalidation_counts_useless() {
+        let mut cache = PrefetchCache::new(4);
+        cache.insert(PageId(1), Page::deterministic(1));
+        cache.invalidate(PageId(1));
+        assert!(!cache.contains(PageId(1)));
+        assert_eq!(cache.useless(), 1);
+        // Invalidating an absent id is a no-op.
+        cache.invalidate(PageId(99));
+        assert_eq!(cache.useless(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_cache_stays_empty() {
+        let mut cache = PrefetchCache::new(0);
+        cache.insert(PageId(1), Page::deterministic(1));
+        assert!(cache.is_empty());
+        assert_eq!(cache.take(PageId(1)), None);
+    }
+
+    #[test]
+    fn clear_counts_remaining_entries_useless() {
+        let mut cache = PrefetchCache::new(4);
+        cache.insert(PageId(1), Page::deterministic(1));
+        cache.insert(PageId(2), Page::deterministic(2));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.useless(), 2);
+    }
+}

@@ -27,6 +27,24 @@ pub trait ServerTransport: Send {
     /// Propagates send failures.
     fn send_only(&mut self, msg: &Message) -> Result<()>;
 
+    /// Sends every message in `msgs` before reading any reply, keeping
+    /// all frames outstanding on the connection at once, then returns the
+    /// replies in request order. This is the pipelined path batch I/O
+    /// rides on: `n` frames cost one round trip plus `n - 1` serialized
+    /// sends instead of `n` full round trips.
+    ///
+    /// The default degrades to a serial request/response loop so fakes
+    /// and single-frame transports stay correct without changes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first transport failure; a protocol `Error` reply to
+    /// any frame surfaces as [`rmp_types::RmpError::Remote`] (replies to
+    /// earlier frames are discarded — the pool retries whole batches).
+    fn call_pipelined(&mut self, msgs: &[Message]) -> Result<Vec<Message>> {
+        msgs.iter().map(|m| self.call(m)).collect()
+    }
+
     /// Drops and re-establishes the underlying connection, used by the
     /// pool's retry loop after a transient failure. Transports without a
     /// reconnect story (in-process fakes that never lose a connection)
@@ -111,6 +129,23 @@ fn dial(addr: &str, config: &TransportConfig) -> Result<TcpStream> {
 impl ServerTransport for TcpTransport {
     fn call(&mut self, msg: &Message) -> Result<Message> {
         self.framed.call(msg)
+    }
+
+    fn call_pipelined(&mut self, msgs: &[Message]) -> Result<Vec<Message>> {
+        // Write every frame before reading the first reply: the server
+        // answers in order, so the socket carries all requests while the
+        // earliest response is still being produced.
+        for msg in msgs {
+            self.framed.send(msg)?;
+        }
+        let mut replies = Vec::with_capacity(msgs.len());
+        for _ in msgs {
+            match self.framed.recv()? {
+                Message::Error { code, message } => return Err(RmpError::Remote { code, message }),
+                reply => replies.push(reply),
+            }
+        }
+        Ok(replies)
     }
 
     fn send_only(&mut self, msg: &Message) -> Result<()> {

@@ -13,7 +13,7 @@ use std::rc::Rc;
 use rmp_blockdev::{PagingDevice, RamDisk};
 use rmp_core::transport::ServerTransport;
 use rmp_core::{Pager, ServerPool};
-use rmp_proto::{LoadHint, Message};
+use rmp_proto::{BatchItem, LoadHint, Message};
 use rmp_types::{
     ErrorCode, Page, PageId, PagerConfig, Policy, Result, RmpError, ServerId, StoreKey,
 };
@@ -184,6 +184,54 @@ impl ServerTransport for FakeTransport {
                     }
                 }
                 Message::XorAck { id }
+            }
+            Message::PageOutBatch { seq, pages } => {
+                let items = pages
+                    .into_iter()
+                    .map(|entry| {
+                        st.pages.insert(entry.id, entry.page);
+                        BatchItem::Ack
+                    })
+                    .collect();
+                Message::BatchReply {
+                    seq,
+                    hint: LoadHint::Ok,
+                    items,
+                }
+            }
+            Message::PageInBatch { seq, ids } => {
+                let items = ids
+                    .iter()
+                    .map(|id| {
+                        if st.fault == Fault::Amnesia {
+                            return BatchItem::Miss;
+                        }
+                        match st.pages.get(id) {
+                            Some(p) => {
+                                let mut page = p.clone();
+                                let checksum = match st.fault {
+                                    Fault::BitFlipStore => {
+                                        page.as_mut()[0] ^= 0x01;
+                                        page.checksum()
+                                    }
+                                    Fault::BitFlipWire => {
+                                        let original = page.checksum();
+                                        page.as_mut()[0] ^= 0x01;
+                                        original
+                                    }
+                                    _ => page.checksum(),
+                                };
+                                BatchItem::Page { checksum, page }
+                            }
+                            None => BatchItem::Miss,
+                        }
+                    })
+                    .collect();
+                Message::BatchReply {
+                    seq,
+                    hint: LoadHint::Ok,
+                    items,
+                }
             }
             other => Message::Error {
                 code: ErrorCode::Internal,

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use rmp_blockdev::{PagingDevice, RamDisk};
 use rmp_core::transport::{ServerTransport, TcpTransport};
 use rmp_core::{Pager, ServerPool};
-use rmp_proto::{LoadHint, Message};
+use rmp_proto::{BatchItem, LoadHint, Message};
 use rmp_types::{
     ErrorCode, Page, PageId, PagerConfig, Policy, Result, RetryPolicy, RmpError, ServerId,
     StoreKey, TransportConfig,
@@ -186,6 +186,37 @@ impl ServerTransport for FlakyTransport {
                     }
                 }
                 Message::XorAck { id }
+            }
+            Message::PageOutBatch { seq, pages } => {
+                let items = pages
+                    .into_iter()
+                    .map(|entry| {
+                        st.pages.insert(entry.id, entry.page);
+                        BatchItem::Ack
+                    })
+                    .collect();
+                Message::BatchReply {
+                    seq,
+                    hint: LoadHint::Ok,
+                    items,
+                }
+            }
+            Message::PageInBatch { seq, ids } => {
+                let items = ids
+                    .iter()
+                    .map(|id| match st.pages.get(id) {
+                        Some(p) => BatchItem::Page {
+                            checksum: p.checksum(),
+                            page: p.clone(),
+                        },
+                        None => BatchItem::Miss,
+                    })
+                    .collect();
+                Message::BatchReply {
+                    seq,
+                    hint: LoadHint::Ok,
+                    items,
+                }
             }
             other => Message::Error {
                 code: ErrorCode::Internal,
@@ -610,6 +641,56 @@ fn degraded_pool_flips_prefers_disk() {
             Page::deterministic(i)
         );
     }
+}
+
+// --- failed operations still record their latency ---------------------------
+
+#[test]
+fn failed_operations_record_latency_in_histograms() {
+    // No reliability, no disk: once the only server is dead, pageouts and
+    // pageins fail outright — and those failures burn real wall-clock in
+    // the retry loop. The latency histograms must see the failed attempts
+    // too, or a degrading cluster reports *better* latencies as more of
+    // its traffic shifts to the (unrecorded) error path.
+    let (flaky, pool) = flaky_pool(1);
+    let mut pager = Pager::builder(
+        PagerConfig::new(Policy::NoReliability)
+            .with_servers(1)
+            .with_transport(test_transport_config()),
+    )
+    .pool(pool)
+    .build()
+    .expect("pager");
+    pager
+        .page_out(PageId(1), &Page::deterministic(1))
+        .expect("healthy pageout");
+    let out_latency = pager.metrics().histogram("pager_pageout_latency_us");
+    let in_latency = pager.metrics().histogram("pager_pagein_latency_us");
+    assert_eq!(out_latency.count(), 1);
+
+    flaky[0].kill();
+    pager
+        .page_out(PageId(2), &Page::deterministic(2))
+        .expect_err("dead server, no fallback");
+    pager.page_in(PageId(1)).expect_err("dead server");
+    assert_eq!(
+        out_latency.count(),
+        2,
+        "the failed pageout recorded its elapsed time"
+    );
+    assert_eq!(
+        in_latency.count(),
+        1,
+        "the failed pagein recorded its elapsed time"
+    );
+    // The failed pagein spent the full 3-attempt retry budget with 5 ms +
+    // 10 ms of backoff between attempts; the histogram must reflect that
+    // spent wall-clock, not just count the sample.
+    assert!(
+        in_latency.snapshot().max_us >= 10_000,
+        "error-path sample carries the retry wall-clock, max {} us",
+        in_latency.snapshot().max_us
+    );
 }
 
 // --- no call path may block without a deadline ------------------------------

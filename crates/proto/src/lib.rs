@@ -18,6 +18,6 @@ pub mod message;
 pub mod transport;
 pub mod wire;
 
-pub use message::{LoadHint, Message, MAX_STATS_JSON};
+pub use message::{BatchItem, BatchPage, LoadHint, Message, MAX_STATS_JSON};
 pub use transport::Framed;
-pub use wire::{FrameHeader, Opcode, MAGIC, MAX_PAYLOAD, VERSION};
+pub use wire::{FrameHeader, Opcode, MAGIC, MAX_BATCH_PAGES, MAX_PAYLOAD, VERSION};

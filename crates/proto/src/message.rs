@@ -3,7 +3,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rmp_types::{ErrorCode, Page, Result, RmpError, StoreKey, PAGE_SIZE};
 
-use crate::wire::{FrameHeader, Opcode, HEADER_LEN};
+use crate::wire::{FrameHeader, Opcode, HEADER_LEN, MAX_BATCH_PAGES};
 
 /// Server load condition piggy-backed on acknowledgements.
 ///
@@ -38,6 +38,51 @@ impl LoadHint {
             2 => LoadHint::StopSending,
             other => return Err(RmpError::Protocol(format!("bad load hint {other}"))),
         })
+    }
+}
+
+/// One checksummed page travelling in a [`Message::PageOutBatch`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct BatchPage {
+    /// Page identifier within this client's swap space.
+    pub id: StoreKey,
+    /// FNV checksum of `page`, stamped by the writer.
+    pub checksum: u64,
+    /// Page contents.
+    pub page: Page,
+}
+
+/// Per-item outcome inside a [`Message::BatchReply`].
+///
+/// A batch frame succeeds or fails as a unit at the transport layer, but
+/// each page inside it has its own result: a store can run out of room
+/// half-way through a batch, and a batched read can hit pages the server
+/// never held. Item-level errors ride here instead of aborting the frame.
+#[derive(Clone, PartialEq, Debug)]
+pub enum BatchItem {
+    /// The write for this slot was applied.
+    Ack,
+    /// The read for this slot found the page.
+    Page {
+        /// FNV checksum of `page` over the stored bytes.
+        checksum: u64,
+        /// Page contents.
+        page: Page,
+    },
+    /// The read for this slot found nothing.
+    Miss,
+    /// The operation for this slot failed with a typed reason.
+    Err(ErrorCode),
+}
+
+impl BatchItem {
+    fn tag(&self) -> u8 {
+        match self {
+            BatchItem::Ack => 0,
+            BatchItem::Page { .. } => 1,
+            BatchItem::Miss => 2,
+            BatchItem::Err(_) => 3,
+        }
     }
 }
 
@@ -188,6 +233,34 @@ pub enum Message {
         /// The JSON snapshot text.
         json: String,
     },
+    /// Store up to [`MAX_BATCH_PAGES`] checksummed pages in one frame.
+    ///
+    /// The server applies the whole batch under a single occupancy check
+    /// and answers with one [`Message::BatchReply`] echoing `seq`.
+    PageOutBatch {
+        /// Client-chosen tag echoed by the reply, so a client keeping
+        /// several batch frames outstanding on one connection can match
+        /// replies arriving out of order.
+        seq: u32,
+        /// The pages to store.
+        pages: Vec<BatchPage>,
+    },
+    /// Fetch up to [`MAX_BATCH_PAGES`] pages in one frame.
+    PageInBatch {
+        /// Client-chosen tag echoed by the reply.
+        seq: u32,
+        /// Page identifiers to fetch.
+        ids: Vec<StoreKey>,
+    },
+    /// Per-item results for a batch request, in request order.
+    BatchReply {
+        /// Tag echoed from the request.
+        seq: u32,
+        /// Current load condition (the advisory channel).
+        hint: LoadHint,
+        /// One outcome per requested item, in order.
+        items: Vec<BatchItem>,
+    },
 }
 
 /// Largest JSON payload a [`Message::StatsReply`] can carry and still fit
@@ -221,6 +294,9 @@ impl Message {
             Message::XorAck { .. } => Opcode::XorAck,
             Message::GetStats => Opcode::GetStats,
             Message::StatsReply { .. } => Opcode::StatsReply,
+            Message::PageOutBatch { .. } => Opcode::PageOutBatch,
+            Message::PageInBatch { .. } => Opcode::PageInBatch,
+            Message::BatchReply { .. } => Opcode::BatchReply,
         }
     }
 
@@ -304,6 +380,40 @@ impl Message {
                 payload.put_u32_le(bytes.len() as u32);
                 payload.put_slice(bytes);
             }
+            Message::PageOutBatch { seq, pages } => {
+                payload.reserve(6 + pages.len() * (16 + PAGE_SIZE));
+                payload.put_u32_le(*seq);
+                payload.put_u16_le(pages.len() as u16);
+                for entry in pages {
+                    payload.put_u64_le(entry.id.0);
+                    payload.put_u64_le(entry.checksum);
+                    payload.put_slice(entry.page.as_ref());
+                }
+            }
+            Message::PageInBatch { seq, ids } => {
+                payload.put_u32_le(*seq);
+                payload.put_u16_le(ids.len() as u16);
+                for id in ids {
+                    payload.put_u64_le(id.0);
+                }
+            }
+            Message::BatchReply { seq, hint, items } => {
+                payload.reserve(7 + items.len() * (9 + PAGE_SIZE));
+                payload.put_u32_le(*seq);
+                payload.put_u8(hint.to_u8());
+                payload.put_u16_le(items.len() as u16);
+                for item in items {
+                    payload.put_u8(item.tag());
+                    match item {
+                        BatchItem::Ack | BatchItem::Miss => {}
+                        BatchItem::Page { checksum, page } => {
+                            payload.put_u64_le(*checksum);
+                            payload.put_slice(page.as_ref());
+                        }
+                        BatchItem::Err(code) => payload.put_u8(code.to_u8()),
+                    }
+                }
+            }
         }
         let mut frame = BytesMut::with_capacity(HEADER_LEN + payload.len());
         FrameHeader {
@@ -339,6 +449,15 @@ impl Message {
             }
             let bytes = buf.copy_to_bytes(PAGE_SIZE);
             Page::from_slice(&bytes).ok_or_else(|| RmpError::Protocol("bad page size".into()))
+        }
+        fn batch_count(raw: u16) -> Result<usize> {
+            let count = raw as usize;
+            if count > MAX_BATCH_PAGES {
+                return Err(RmpError::Protocol(format!(
+                    "batch of {count} pages exceeds maximum {MAX_BATCH_PAGES}"
+                )));
+            }
+            Ok(count)
         }
         let msg = match opcode {
             Opcode::Alloc => {
@@ -489,6 +608,64 @@ impl Message {
                     .map_err(|_| RmpError::Protocol("stats json not UTF-8".into()))?;
                 Message::StatsReply { json }
             }
+            Opcode::PageOutBatch => {
+                need(&buf, 6, "PageOutBatch")?;
+                let seq = buf.get_u32_le();
+                let count = batch_count(buf.get_u16_le())?;
+                let mut pages = Vec::with_capacity(count);
+                for _ in 0..count {
+                    need(&buf, 16, "PageOutBatch entry")?;
+                    let id = StoreKey(buf.get_u64_le());
+                    let checksum = buf.get_u64_le();
+                    pages.push(BatchPage {
+                        id,
+                        checksum,
+                        page: get_page(&mut buf)?,
+                    });
+                }
+                Message::PageOutBatch { seq, pages }
+            }
+            Opcode::PageInBatch => {
+                need(&buf, 6, "PageInBatch")?;
+                let seq = buf.get_u32_le();
+                let count = batch_count(buf.get_u16_le())?;
+                need(&buf, count * 8, "PageInBatch ids")?;
+                let mut ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ids.push(StoreKey(buf.get_u64_le()));
+                }
+                Message::PageInBatch { seq, ids }
+            }
+            Opcode::BatchReply => {
+                need(&buf, 7, "BatchReply")?;
+                let seq = buf.get_u32_le();
+                let hint = LoadHint::from_u8(buf.get_u8())?;
+                let count = batch_count(buf.get_u16_le())?;
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    need(&buf, 1, "BatchReply item")?;
+                    items.push(match buf.get_u8() {
+                        0 => BatchItem::Ack,
+                        1 => {
+                            need(&buf, 8, "BatchReply page item")?;
+                            let checksum = buf.get_u64_le();
+                            BatchItem::Page {
+                                checksum,
+                                page: get_page(&mut buf)?,
+                            }
+                        }
+                        2 => BatchItem::Miss,
+                        3 => {
+                            need(&buf, 1, "BatchReply error item")?;
+                            BatchItem::Err(ErrorCode::from_u8(buf.get_u8()))
+                        }
+                        other => {
+                            return Err(RmpError::Protocol(format!("bad batch item tag {other}")))
+                        }
+                    });
+                }
+                Message::BatchReply { seq, hint, items }
+            }
         };
         if buf.has_remaining() {
             return Err(RmpError::Protocol(format!(
@@ -587,6 +764,114 @@ mod tests {
         round_trip(Message::StatsReply {
             json: String::new(),
         });
+        round_trip(Message::PageOutBatch {
+            seq: 7,
+            pages: vec![
+                BatchPage {
+                    id: StoreKey(1),
+                    checksum: Page::deterministic(1).checksum(),
+                    page: Page::deterministic(1),
+                },
+                BatchPage {
+                    id: StoreKey(2),
+                    checksum: Page::deterministic(2).checksum(),
+                    page: Page::deterministic(2),
+                },
+            ],
+        });
+        round_trip(Message::PageOutBatch {
+            seq: 0,
+            pages: Vec::new(),
+        });
+        round_trip(Message::PageInBatch {
+            seq: 99,
+            ids: vec![StoreKey(4), StoreKey(5), StoreKey(6)],
+        });
+        round_trip(Message::BatchReply {
+            seq: 7,
+            hint: LoadHint::Pressure,
+            items: vec![
+                BatchItem::Ack,
+                BatchItem::Page {
+                    checksum: Page::deterministic(3).checksum(),
+                    page: Page::deterministic(3),
+                },
+                BatchItem::Miss,
+                BatchItem::Err(ErrorCode::OutOfMemory),
+            ],
+        });
+        round_trip(Message::BatchReply {
+            seq: u32::MAX,
+            hint: LoadHint::Ok,
+            items: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn full_batch_fits_one_frame() {
+        use crate::wire::{MAX_BATCH_PAGES, MAX_PAYLOAD};
+        let msg = Message::PageOutBatch {
+            seq: 1,
+            pages: (0..MAX_BATCH_PAGES as u64)
+                .map(|i| BatchPage {
+                    id: StoreKey(i),
+                    checksum: Page::deterministic(i).checksum(),
+                    page: Page::deterministic(i),
+                })
+                .collect(),
+        };
+        let bytes = msg.encode();
+        assert!(bytes.len() - HEADER_LEN <= MAX_PAYLOAD);
+        let mut buf = bytes.clone();
+        let hdr = FrameHeader::decode(&mut buf).expect("header");
+        assert_eq!(Message::decode(hdr.opcode, buf).expect("payload"), msg);
+        let reply = Message::BatchReply {
+            seq: 1,
+            hint: LoadHint::Ok,
+            items: (0..MAX_BATCH_PAGES as u64)
+                .map(|i| BatchItem::Page {
+                    checksum: Page::deterministic(i).checksum(),
+                    page: Page::deterministic(i),
+                })
+                .collect(),
+        };
+        assert!(reply.encode().len() - HEADER_LEN <= MAX_PAYLOAD);
+    }
+
+    #[test]
+    fn oversized_batch_count_rejected() {
+        use crate::wire::MAX_BATCH_PAGES;
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(1);
+        payload.put_u16_le(MAX_BATCH_PAGES as u16 + 1);
+        assert!(Message::decode(Opcode::PageInBatch, payload.freeze()).is_err());
+    }
+
+    #[test]
+    fn bad_batch_item_tag_rejected() {
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(1);
+        payload.put_u8(0); // hint
+        payload.put_u16_le(1);
+        payload.put_u8(9); // invalid item tag
+        assert!(Message::decode(Opcode::BatchReply, payload.freeze()).is_err());
+    }
+
+    #[test]
+    fn truncated_batch_entry_rejected() {
+        let msg = Message::PageOutBatch {
+            seq: 3,
+            pages: vec![BatchPage {
+                id: StoreKey(1),
+                checksum: Page::zeroed().checksum(),
+                page: Page::zeroed(),
+            }],
+        };
+        let bytes = msg.encode();
+        let mut buf = bytes.clone();
+        let hdr = FrameHeader::decode(&mut buf).expect("header");
+        let truncated = buf.slice(..buf.len() - 1);
+        assert!(Message::decode(hdr.opcode, truncated).is_err());
     }
 
     #[test]

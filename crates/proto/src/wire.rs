@@ -13,11 +13,19 @@ pub const VERSION: u8 = 2;
 /// Size of the encoded frame header in bytes.
 pub const HEADER_LEN: usize = 8;
 
-/// Upper bound on a frame payload: a page plus bookkeeping fields.
+/// Most pages one batch frame may carry.
+///
+/// Bounds [`MAX_PAYLOAD`] so a corrupt length field still cannot trigger
+/// an unbounded allocation, and bounds the per-frame decode work a
+/// malicious peer can demand.
+pub const MAX_BATCH_PAGES: usize = 64;
+
+/// Upper bound on a frame payload: a full batch of pages plus per-entry
+/// bookkeeping (key + checksum + item tag) and frame-level fields.
 ///
 /// Anything larger is rejected at decode time so a corrupt length field
 /// cannot trigger an unbounded allocation.
-pub const MAX_PAYLOAD: usize = PAGE_SIZE + 64;
+pub const MAX_PAYLOAD: usize = MAX_BATCH_PAGES * (PAGE_SIZE + 24) + 64;
 
 /// Operation codes of the RMP protocol.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -70,6 +78,13 @@ pub enum Opcode {
     GetStats = 21,
     /// Server returns a JSON metrics snapshot (schema `rmp-metrics-v1`).
     StatsReply = 22,
+    /// Client ships up to [`MAX_BATCH_PAGES`] checksummed pages in one
+    /// frame (the pipelined batch write path).
+    PageOutBatch = 23,
+    /// Client requests up to [`MAX_BATCH_PAGES`] pages in one frame.
+    PageInBatch = 24,
+    /// Server answers a batch request with per-item results.
+    BatchReply = 25,
 }
 
 impl Opcode {
@@ -102,6 +117,9 @@ impl Opcode {
             20 => Opcode::XorAck,
             21 => Opcode::GetStats,
             22 => Opcode::StatsReply,
+            23 => Opcode::PageOutBatch,
+            24 => Opcode::PageInBatch,
+            25 => Opcode::BatchReply,
             other => return Err(RmpError::Protocol(format!("unknown opcode {other}"))),
         })
     }
@@ -219,7 +237,7 @@ mod tests {
 
     #[test]
     fn all_opcodes_round_trip() {
-        for code in 1..=22u8 {
+        for code in 1..=25u8 {
             let op = Opcode::from_u8(code).expect("valid opcode");
             assert_eq!(op as u8, code);
         }

@@ -75,7 +75,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn render_table(probes: &[PolicyProbe]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<16} {:>2} {:>8} {:>14} {:>9} {:>15} {:>9} {:>21} {:>21}\n",
+        "{:<16} {:>2} {:>8} {:>14} {:>9} {:>15} {:>9} {:>8} {:>21} {:>21}\n",
         "policy",
         "S",
         "pageouts",
@@ -83,6 +83,7 @@ fn render_table(probes: &[PolicyProbe]) -> String {
         "expected",
         "degraded xfers",
         "expected",
+        "pf hit%",
         "pageout p50/p99 us",
         "pagein p50/p99 us",
     ));
@@ -97,7 +98,7 @@ fn render_table(probes: &[PolicyProbe]) -> String {
             "-".into()
         };
         out.push_str(&format!(
-            "{:<16} {:>2} {:>8} {:>14.2} {:>9.2} {:>15} {:>9} {:>10.0}/{:>10.0} {:>10.0}/{:>10.0}\n",
+            "{:<16} {:>2} {:>8} {:>14.2} {:>9.2} {:>15} {:>9} {:>7.1}% {:>10.0}/{:>10.0} {:>10.0}/{:>10.0}\n",
             p.policy.label(),
             p.servers,
             p.pageouts,
@@ -105,6 +106,7 @@ fn render_table(probes: &[PolicyProbe]) -> String {
             p.expected_transfers_per_pageout,
             degraded,
             expected_degraded,
+            p.prefetch_hit_rate * 100.0,
             p.pageout_latency.p50_us(),
             p.pageout_latency.p99_us(),
             p.pagein_latency.p50_us(),

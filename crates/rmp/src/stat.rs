@@ -53,6 +53,17 @@ pub struct PolicyProbe {
     pub pageout_latency: HistogramSnapshot,
     /// Pagein latency distribution (`pager_pagein_latency_us`).
     pub pagein_latency: HistogramSnapshot,
+    /// Pages the stride prefetcher requested ahead of demand
+    /// (`pager_prefetch_issued_total`).
+    pub prefetch_issued: u64,
+    /// Pageins served from the prefetch cache
+    /// (`pager_prefetch_hits_total`).
+    pub prefetch_hits: u64,
+    /// Prefetched pages evicted or invalidated unread
+    /// (`pager_prefetch_useless_total`).
+    pub prefetch_useless: u64,
+    /// Fraction of all pageins served from the prefetch cache.
+    pub prefetch_hit_rate: f64,
 }
 
 /// Expected wire transfers per degraded read for `policy` with `s` data
@@ -119,6 +130,15 @@ pub fn probe_policy(policy: Policy, pages: usize) -> Result<PolicyProbe> {
     }
 
     let metrics = pager.metrics();
+    let total_pageins = pager.stats().pageins;
+    let prefetch_issued = metrics.counter("pager_prefetch_issued_total").get();
+    let prefetch_hits = metrics.counter("pager_prefetch_hits_total").get();
+    let prefetch_useless = metrics.counter("pager_prefetch_useless_total").get();
+    let prefetch_hit_rate = if total_pageins > 0 {
+        prefetch_hits as f64 / total_pageins as f64
+    } else {
+        0.0
+    };
     Ok(PolicyProbe {
         policy,
         servers: s,
@@ -130,6 +150,10 @@ pub fn probe_policy(policy: Policy, pages: usize) -> Result<PolicyProbe> {
         expected_degraded_transfers: expected_degraded_transfers(policy, s),
         pageout_latency: metrics.histogram("pager_pageout_latency_us").snapshot(),
         pagein_latency: metrics.histogram("pager_pagein_latency_us").snapshot(),
+        prefetch_issued,
+        prefetch_hits,
+        prefetch_useless,
+        prefetch_hit_rate,
     })
 }
 
@@ -167,6 +191,8 @@ pub fn probe_to_json(p: &PolicyProbe) -> String {
             "\"degraded_reads\": {}, ",
             "\"measured_degraded_transfers\": {:.4}, ",
             "\"expected_degraded_transfers\": {}, ",
+            "\"prefetch\": {{\"issued\": {}, \"hits\": {}, \"useless\": {}, ",
+            "\"hit_rate\": {:.4}}}, ",
             "\"pageout_latency_us\": {}, \"pagein_latency_us\": {}}}"
         ),
         p.policy.label(),
@@ -177,6 +203,10 @@ pub fn probe_to_json(p: &PolicyProbe) -> String {
         p.degraded_reads,
         p.measured_degraded_transfers,
         expected_degraded,
+        p.prefetch_issued,
+        p.prefetch_hits,
+        p.prefetch_useless,
+        p.prefetch_hit_rate,
         p.pageout_latency.to_json(),
         p.pagein_latency.to_json(),
     )
@@ -213,6 +243,23 @@ mod tests {
         );
         assert_eq!(expected_degraded_transfers(Policy::NoReliability, 4), None);
         assert_eq!(expected_degraded_transfers(Policy::DiskOnly, 4), None);
+    }
+
+    #[test]
+    fn sequential_probe_reports_prefetch_hits() {
+        let probe = probe_policy(Policy::NoReliability, 32).expect("probe");
+        assert!(
+            probe.prefetch_hits > 0,
+            "sequential probe workload must hit the prefetch cache: {probe:?}"
+        );
+        assert!(
+            probe.prefetch_hit_rate > 0.0 && probe.prefetch_hit_rate <= 1.0,
+            "hit rate is a fraction of pageins: {}",
+            probe.prefetch_hit_rate
+        );
+        assert!(probe.prefetch_issued >= probe.prefetch_hits);
+        let json = probe_to_json(&probe);
+        assert!(json.contains("\"prefetch\": {\"issued\": "), "{json}");
     }
 
     #[test]

@@ -217,6 +217,12 @@ fn session_loop(stream: TcpStream, shared: Arc<Shared>, sid: u64) {
                 shared.metrics.pageouts.inc();
             }
             Message::PageIn { .. } => shared.metrics.pageins.inc(),
+            Message::PageOutBatch { pages, .. } => {
+                shared.metrics.pageouts.add(pages.len() as u64);
+            }
+            Message::PageInBatch { ids, .. } => {
+                shared.metrics.pageins.add(ids.len() as u64);
+            }
             _ => {}
         }
         let reply = handle_message(&shared, scope, msg);
@@ -383,6 +389,52 @@ fn handle_message(shared: &Shared, scope: SessionScope, msg: Message) -> Session
                 json
             };
             SessionAction::Reply(Message::StatsReply { json })
+        }
+        Message::PageOutBatch { seq, pages } => {
+            // One lock acquisition and one occupancy check serve the whole
+            // batch; per-page outcomes (corrupt payload, the store filling
+            // up mid-batch) ride back as typed items instead of aborting
+            // the frame. Bind the items first — holding the store lock
+            // across the `hint()` call below would self-deadlock.
+            let items: Vec<rmp_proto::BatchItem> = {
+                let mut store = shared.store.lock();
+                pages
+                    .into_iter()
+                    .map(|entry| {
+                        if entry.page.checksum() != entry.checksum {
+                            rmp_proto::BatchItem::Err(ErrorCode::Corrupt)
+                        } else if store.insert(scope.scope(entry.id), entry.page) {
+                            rmp_proto::BatchItem::Ack
+                        } else {
+                            rmp_proto::BatchItem::Err(ErrorCode::OutOfMemory)
+                        }
+                    })
+                    .collect()
+            };
+            SessionAction::Reply(Message::BatchReply {
+                seq,
+                hint: shared.hint(),
+                items,
+            })
+        }
+        Message::PageInBatch { seq, ids } => {
+            let items: Vec<rmp_proto::BatchItem> = {
+                let store = shared.store.lock();
+                ids.into_iter()
+                    .map(|id| match store.get(scope.scope(id)) {
+                        Some(page) => rmp_proto::BatchItem::Page {
+                            checksum: page.checksum(),
+                            page,
+                        },
+                        None => rmp_proto::BatchItem::Miss,
+                    })
+                    .collect()
+            };
+            SessionAction::Reply(Message::BatchReply {
+                seq,
+                hint: shared.hint(),
+                items,
+            })
         }
         Message::InjectCrash => SessionAction::Crash,
         Message::Shutdown => SessionAction::Close,
@@ -828,6 +880,124 @@ mod tests {
             "occupancy gauge synced: {json}"
         );
         assert!(!server.metrics_json().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_pageout_and_pagein_round_trip() {
+        use rmp_proto::{BatchItem, BatchPage};
+        let server = small_server();
+        let mut c = connect(&server);
+        let batch = Message::PageOutBatch {
+            seq: 41,
+            pages: (0..3u64)
+                .map(|i| BatchPage {
+                    id: StoreKey(i),
+                    checksum: Page::deterministic(i).checksum(),
+                    page: Page::deterministic(i),
+                })
+                .collect(),
+        };
+        let Message::BatchReply { seq, items, .. } = c.call(&batch).expect("batch out") else {
+            panic!("expected BatchReply");
+        };
+        assert_eq!(seq, 41);
+        assert_eq!(items, vec![BatchItem::Ack; 3]);
+        assert_eq!(server.stored_pages(), 3);
+        let Message::BatchReply { seq, items, .. } = c
+            .call(&Message::PageInBatch {
+                seq: 42,
+                ids: vec![StoreKey(1), StoreKey(99), StoreKey(2)],
+            })
+            .expect("batch in")
+        else {
+            panic!("expected BatchReply");
+        };
+        assert_eq!(seq, 42);
+        match &items[0] {
+            BatchItem::Page { checksum, page } => {
+                assert_eq!(*page, Page::deterministic(1));
+                assert_eq!(*checksum, page.checksum());
+            }
+            other => panic!("expected page, got {other:?}"),
+        }
+        assert_eq!(items[1], BatchItem::Miss, "absent key is a per-item miss");
+        assert!(matches!(items[2], BatchItem::Page { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_failures_are_per_item_not_per_frame() {
+        use rmp_proto::{BatchItem, BatchPage};
+        let server = small_server(); // 8-page capacity
+        let mut c = connect(&server);
+        let mut pages: Vec<BatchPage> = (0..10u64)
+            .map(|i| BatchPage {
+                id: StoreKey(i),
+                checksum: Page::deterministic(i).checksum(),
+                page: Page::deterministic(i),
+            })
+            .collect();
+        pages[1].checksum ^= 1; // One page arrives corrupted.
+        let Message::BatchReply { items, .. } = c
+            .call(&Message::PageOutBatch { seq: 1, pages })
+            .expect("the frame itself succeeds")
+        else {
+            panic!("expected BatchReply");
+        };
+        assert_eq!(items[0], BatchItem::Ack);
+        assert_eq!(
+            items[1],
+            BatchItem::Err(ErrorCode::Corrupt),
+            "corrupt page rejected without aborting the batch"
+        );
+        // 9 valid pages against 8 frames: the last one is refused.
+        assert_eq!(items[2..9], vec![BatchItem::Ack; 7]);
+        assert_eq!(
+            items[9],
+            BatchItem::Err(ErrorCode::OutOfMemory),
+            "store filled up mid-batch"
+        );
+        assert_eq!(server.stored_pages(), 8);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_batches_answer_in_order() {
+        use rmp_proto::BatchPage;
+        let server = MemoryServer::spawn(ServerConfig {
+            capacity_pages: 64,
+            overflow_fraction: 0.0,
+            simulated_cpu_permille: 0,
+        })
+        .expect("spawn");
+        let mut c = connect(&server);
+        // Write several frames before reading any reply — the pipelined
+        // pattern TcpTransport::call_pipelined uses.
+        for frame in 0..4u32 {
+            c.send(&Message::PageOutBatch {
+                seq: frame,
+                pages: (0..4u64)
+                    .map(|i| {
+                        let key = u64::from(frame) * 4 + i;
+                        BatchPage {
+                            id: StoreKey(key),
+                            checksum: Page::deterministic(key).checksum(),
+                            page: Page::deterministic(key),
+                        }
+                    })
+                    .collect(),
+            })
+            .expect("send");
+        }
+        for frame in 0..4u32 {
+            let Message::BatchReply { seq, items, .. } = c.recv().expect("recv") else {
+                panic!("expected BatchReply");
+            };
+            assert_eq!(seq, frame, "replies echo their request's seq in order");
+            assert_eq!(items.len(), 4);
+        }
+        assert_eq!(server.stored_pages(), 16);
         server.shutdown();
     }
 

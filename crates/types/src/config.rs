@@ -168,6 +168,16 @@ pub struct PagerConfig {
     /// and after every reconstruction. Disable only for measurement runs
     /// that want the raw transfer path.
     pub verify_checksums: bool,
+    /// Most pages one batch frame carries on the pipelined batch paths
+    /// (group seals, recovery steps, prefetch fetches). Larger requests
+    /// are split into multiple frames kept outstanding on the same
+    /// connection. Clamped to the wire-protocol batch cap; `1` degrades
+    /// every batch to single-page frames.
+    pub batch_max_pages: usize,
+    /// Stride-prefetch lookahead: on a detected majority stride the pager
+    /// fetches up to this many predicted pages ahead of the faulting one.
+    /// `0` disables prefetching entirely.
+    pub prefetch_window: usize,
 }
 
 impl PagerConfig {
@@ -189,6 +199,8 @@ impl PagerConfig {
             transport: TransportConfig::default(),
             recovery_page_budget: 64,
             verify_checksums: true,
+            batch_max_pages: 16,
+            prefetch_window: 8,
         }
     }
 
@@ -249,6 +261,18 @@ impl PagerConfig {
         self
     }
 
+    /// Sets the per-frame page cap of the pipelined batch paths.
+    pub fn with_batch_max_pages(mut self, pages: usize) -> Self {
+        self.batch_max_pages = pages;
+        self
+    }
+
+    /// Sets the stride-prefetch lookahead (`0` disables prefetching).
+    pub fn with_prefetch_window(mut self, pages: usize) -> Self {
+        self.prefetch_window = pages;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -283,6 +307,11 @@ impl PagerConfig {
         if self.recovery_page_budget == 0 {
             return Err(RmpError::Config(
                 "recovery page budget must be positive".into(),
+            ));
+        }
+        if self.batch_max_pages == 0 {
+            return Err(RmpError::Config(
+                "batch size must be at least one page".into(),
             ));
         }
         if let Some(ms) = self.adaptive_threshold_ms {
@@ -381,6 +410,21 @@ mod tests {
         assert!(cfg.validate().is_ok());
         assert!(PagerConfig::default()
             .with_recovery_page_budget(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn batching_and_prefetch_knobs() {
+        let cfg = PagerConfig::default();
+        assert_eq!(cfg.batch_max_pages, 16);
+        assert_eq!(cfg.prefetch_window, 8);
+        let cfg = cfg.with_batch_max_pages(4).with_prefetch_window(0);
+        assert_eq!(cfg.batch_max_pages, 4);
+        assert_eq!(cfg.prefetch_window, 0, "zero window disables prefetch");
+        assert!(cfg.validate().is_ok());
+        assert!(PagerConfig::default()
+            .with_batch_max_pages(0)
             .validate()
             .is_err());
     }
