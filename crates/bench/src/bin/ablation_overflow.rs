@@ -33,7 +33,7 @@ fn main() {
         let cluster = LocalCluster::spawn_with(5, |_| ServerConfig {
             capacity_pages: per_server,
             overflow_fraction: overflow,
-            simulated_cpu_permille: 0,
+            ..ServerConfig::default()
         })
         .expect("cluster");
         let mut pager = cluster

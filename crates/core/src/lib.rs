@@ -29,9 +29,11 @@ pub mod pager;
 pub mod pool;
 pub mod prefetch;
 pub mod recovery;
+pub mod sharded;
 pub mod transport;
 
 pub use pager::{Pager, PagerBuilder};
 pub use pool::ServerPool;
 pub use recovery::RecoveryReport;
+pub use sharded::{ShardedPager, ShardedPagerBuilder};
 pub use transport::{ServerTransport, TcpTransport};

@@ -404,8 +404,13 @@ impl ServerPool {
                     }
                     return Err(RmpError::ServerCrashed(id));
                 }
-                e if e.is_timeout() || e.is_server_failure() => {
-                    saw_timeout |= e.is_timeout();
+                e if e.is_timeout() || e.is_server_failure() || e.is_overload() => {
+                    // Overload is a typed refusal from a live server: the
+                    // worker pool is saturated. Back off and redial like a
+                    // timeout — if the storm outlasts the attempt budget
+                    // the call fails as Timeout, steering the pager to
+                    // other servers without declaring this one crashed.
+                    saw_timeout |= e.is_timeout() || e.is_overload();
                     self.clean_streak.remove(&id);
                     if attempt + 1 >= max_attempts {
                         break;
@@ -422,6 +427,8 @@ impl ServerPool {
                             None,
                             if e.is_timeout() {
                                 "timeout"
+                            } else if e.is_overload() {
+                                "overloaded"
                             } else {
                                 "transport"
                             },
@@ -624,7 +631,15 @@ impl ServerPool {
             match reply {
                 Message::BatchReply { seq, hint, items } => {
                     last_hint = hint;
-                    by_seq.insert(seq, items);
+                    if by_seq.insert(seq, items).is_some() {
+                        // A second reply bearing the same seq means the
+                        // server (or a buggy transport) duplicated a
+                        // frame; silently letting the later copy win
+                        // would hide the divergence, so fail the call.
+                        return Err(RmpError::Protocol(format!(
+                            "duplicate reply for batch seq {seq}"
+                        )));
+                    }
                 }
                 other => {
                     return Err(RmpError::Protocol(format!(

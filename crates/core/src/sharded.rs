@@ -1,0 +1,405 @@
+//! Concurrent front-end: the page space sharded over independent pagers.
+//!
+//! The paper's pager serves one faulting process; [`ShardedPager`] serves
+//! many application threads at once by splitting the [`PageId`] space over
+//! a fixed power-of-two number of *shards*. Each shard is a complete
+//! single-threaded [`Pager`] — its own page table, checksum map, engine
+//! bookkeeping, prefetcher, and its own [`ServerPool`] with private TCP
+//! connections to every server — behind one `parking_lot` mutex. Threads
+//! faulting on different shards proceed in parallel end to end: they
+//! neither share a lock nor serialize on a socket. (Server-side, each
+//! shard's connection gets a private key namespace, so shards cannot
+//! collide on store keys.)
+//!
+//! # Shard map
+//!
+//! A page lives on shard `id & (shard_count - 1)`: consecutive pages
+//! round-robin across shards, so a sequential scan spreads over every
+//! shard, and each shard observes a constant stride of `shard_count` —
+//! which its stride prefetcher detects just like stride 1.
+//!
+//! # Lock order and quiesce protocol
+//!
+//! Fast-path operations (`page_out`, `page_in`, `free`, `contains`) lock
+//! exactly one shard, so they cannot deadlock. Maintenance operations
+//! that must observe every shard (`flush`, `recover_from_crash`,
+//! `periodic_maintenance`) *quiesce*: they acquire every shard lock in
+//! ascending index order — the one global lock order — holding all of
+//! them while they work, so no application thread can interleave a write
+//! with a half-done recovery pass. Anything locking more than one shard
+//! must take them in ascending order.
+
+use parking_lot::Mutex;
+use rmp_blockdev::PagingDevice;
+use rmp_cluster::Registry;
+use rmp_types::{Page, PageId, PagerConfig, Result, RmpError, ServerId, TransferStats};
+
+use crate::pager::Pager;
+use crate::pool::ServerPool;
+use crate::recovery::RecoveryReport;
+
+/// Builder for [`ShardedPager`]; supply one pre-dialed [`ServerPool`] per
+/// shard (tests and benches with fake transports), or use
+/// [`ShardedPager::connect`] to dial everything over TCP.
+pub struct ShardedPagerBuilder {
+    config: PagerConfig,
+    pools: Vec<ServerPool>,
+    disks: Vec<Box<dyn PagingDevice>>,
+}
+
+impl ShardedPagerBuilder {
+    /// Sets the per-shard server pools; `pools.len()` must equal
+    /// `config.shard_count`.
+    pub fn pools(mut self, pools: Vec<ServerPool>) -> Self {
+        self.pools = pools;
+        self
+    }
+
+    /// Sets per-shard local-disk backends (for disk fallback or
+    /// write-through); empty for none, else one per shard.
+    pub fn disks(mut self, disks: Vec<Box<dyn PagingDevice>>) -> Self {
+        self.disks = disks;
+        self
+    }
+
+    /// Builds the sharded pager.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::Config`] when the configuration is invalid, the pool
+    /// count does not match the shard count, or the disk count is
+    /// neither zero nor the shard count.
+    pub fn build(self) -> Result<ShardedPager> {
+        let ShardedPagerBuilder {
+            config,
+            pools,
+            disks,
+        } = self;
+        config.validate()?;
+        let shards = config.shard_count;
+        if pools.len() != shards {
+            return Err(RmpError::Config(format!(
+                "{} pools for {shards} shards (need exactly one per shard)",
+                pools.len()
+            )));
+        }
+        if !disks.is_empty() && disks.len() != shards {
+            return Err(RmpError::Config(format!(
+                "{} disks for {shards} shards (need none or one per shard)",
+                disks.len()
+            )));
+        }
+        let mut disks: Vec<Option<Box<dyn PagingDevice>>> = if disks.is_empty() {
+            (0..shards).map(|_| None).collect()
+        } else {
+            disks.into_iter().map(Some).collect()
+        };
+        let mut built = Vec::with_capacity(shards);
+        for pool in pools {
+            let disk = disks.remove(0);
+            built.push(Mutex::new(Pager::new(config.clone(), pool, disk)?));
+        }
+        Ok(ShardedPager {
+            shards: built,
+            mask: (shards - 1) as u64,
+        })
+    }
+}
+
+/// A `&self` pager many threads can fault through concurrently.
+///
+/// See the [module docs](self) for the shard map and locking rules.
+/// Implements [`PagingDevice`], so it drops into any consumer of the
+/// single-threaded [`Pager`]; wrap it in an `Arc` and clone the handle
+/// into each application thread.
+///
+/// # Examples
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use rmp_cluster::Registry;
+/// use rmp_core::ShardedPager;
+/// use rmp_types::{Page, PageId, PagerConfig, Policy};
+///
+/// let registry = Registry::parse("0 127.0.0.1:7070 1.0\n").unwrap();
+/// let config = PagerConfig::new(Policy::NoReliability)
+///     .with_servers(1)
+///     .with_shard_count(8);
+/// let pager = Arc::new(ShardedPager::connect(config, &registry).unwrap());
+/// let threads: Vec<_> = (0..8u64)
+///     .map(|t| {
+///         let pager = Arc::clone(&pager);
+///         std::thread::spawn(move || {
+///             pager.page_out(PageId(t), &Page::deterministic(t)).unwrap();
+///             assert_eq!(pager.page_in(PageId(t)).unwrap(), Page::deterministic(t));
+///         })
+///     })
+///     .collect();
+/// for t in threads {
+///     t.join().unwrap();
+/// }
+/// ```
+pub struct ShardedPager {
+    shards: Vec<Mutex<Pager>>,
+    /// `shard_count - 1`; the shard of `id` is `id & mask`.
+    mask: u64,
+}
+
+impl std::fmt::Debug for ShardedPager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPager")
+            .field("shard_count", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedPager {
+    /// Starts building a sharded pager for `config`.
+    pub fn builder(config: PagerConfig) -> ShardedPagerBuilder {
+        ShardedPagerBuilder {
+            config,
+            pools: Vec::new(),
+            disks: Vec::new(),
+        }
+    }
+
+    /// Dials every server in `registry` once *per shard* — the
+    /// connection pool that keeps shards from serializing on one socket
+    /// — and builds `config.shard_count` shards.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::Config`] for invalid configurations; connection
+    /// errors when any server is unreachable.
+    pub fn connect(config: PagerConfig, registry: &Registry) -> Result<Self> {
+        config.validate()?;
+        let mut pools = Vec::with_capacity(config.shard_count);
+        for _ in 0..config.shard_count {
+            pools.push(ServerPool::connect_with(
+                registry,
+                config.transport.clone(),
+            )?);
+        }
+        ShardedPager::builder(config).pools(pools).build()
+    }
+
+    /// Number of shards (and the maximum useful thread parallelism).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `id`.
+    fn shard(&self, id: PageId) -> &Mutex<Pager> {
+        &self.shards[(id.0 & self.mask) as usize]
+    }
+
+    /// Runs `f` on shard `index`'s pager — an escape hatch for tests and
+    /// tools that inspect per-shard state (metrics, pool views).
+    pub fn with_shard<R>(&self, index: usize, f: impl FnOnce(&mut Pager) -> R) -> R {
+        f(&mut self.shards[index].lock())
+    }
+
+    /// Stores `page` under `id`, locking only `id`'s shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pager::page_out`](PagingDevice::page_out).
+    pub fn page_out(&self, id: PageId, page: &Page) -> Result<()> {
+        self.shard(id).lock().page_out(id, page)
+    }
+
+    /// Fetches the page stored under `id`, locking only `id`'s shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pager::page_in`](PagingDevice::page_in).
+    pub fn page_in(&self, id: PageId) -> Result<Page> {
+        self.shard(id).lock().page_in(id)
+    }
+
+    /// Releases the page stored under `id`, locking only `id`'s shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pager::free`](PagingDevice::free).
+    pub fn free(&self, id: PageId) -> Result<()> {
+        self.shard(id).lock().free(id)
+    }
+
+    /// Returns `true` when a page is stored under `id`.
+    pub fn contains(&self, id: PageId) -> bool {
+        self.shard(id).lock().contains(id)
+    }
+
+    /// Quiesces all shards and flushes each (seals partial parity
+    /// groups).
+    ///
+    /// # Errors
+    ///
+    /// The first shard failure; earlier shards stay flushed.
+    pub fn flush(&self) -> Result<()> {
+        let mut guards = self.quiesce();
+        for pager in guards.iter_mut() {
+            pager.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Cumulative transfer statistics summed over every shard.
+    pub fn stats(&self) -> TransferStats {
+        let mut total = TransferStats::default();
+        for shard in &self.shards {
+            total += shard.lock().stats();
+        }
+        total
+    }
+
+    /// Records on every shard that `server` crashed; each shard defers
+    /// its rebuild and serves degraded reads in the meantime, exactly as
+    /// [`Pager::note_crash`] does.
+    pub fn note_crash(&self, server: ServerId) {
+        for shard in &self.shards {
+            shard.lock().note_crash(server);
+        }
+    }
+
+    /// Crashed servers still awaiting rebuild, summed over shards.
+    pub fn recovery_backlog(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().recovery_backlog())
+            .sum()
+    }
+
+    /// Quiesces all shards and rebuilds `server`'s pages on each — the
+    /// coarse writer path: no application thread pages while the
+    /// cluster-wide recovery pass runs.
+    ///
+    /// # Errors
+    ///
+    /// The first shard failure aborts the pass; completed shards keep
+    /// their rebuilt state.
+    pub fn recover_from_crash(&self, server: ServerId) -> Result<Vec<RecoveryReport>> {
+        let mut guards = self.quiesce();
+        let mut reports = Vec::with_capacity(guards.len());
+        for pager in guards.iter_mut() {
+            reports.push(pager.recover_from_crash(server)?);
+        }
+        Ok(reports)
+    }
+
+    /// Quiesces all shards and runs one maintenance pass on each
+    /// (advisory service plus a budgeted recovery step). Returns the
+    /// summed `(pages_migrated, pages_rebuilt)`.
+    ///
+    /// # Errors
+    ///
+    /// The first shard failure aborts the pass.
+    pub fn periodic_maintenance(&self) -> Result<(u64, u64)> {
+        let mut guards = self.quiesce();
+        let (mut migrated, mut rebuilt) = (0, 0);
+        for pager in guards.iter_mut() {
+            let (m, r) = pager.periodic_maintenance()?;
+            migrated += m;
+            rebuilt += r;
+        }
+        Ok((migrated, rebuilt))
+    }
+
+    /// Redials `server` on every shard's pool (after a
+    /// [`restart`](../rmp_server/struct.ServerHandle.html#method.restart)).
+    ///
+    /// # Errors
+    ///
+    /// The first shard whose redial fails; earlier shards stay
+    /// reconnected.
+    pub fn reconnect(&self, server: ServerId) -> Result<()> {
+        let mut guards = self.quiesce();
+        for pager in guards.iter_mut() {
+            pager.pool_mut().reconnect(server)?;
+        }
+        Ok(())
+    }
+
+    /// Per-shard metrics snapshots wrapped in one JSON document.
+    pub fn metrics_snapshot_json(&self) -> String {
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().metrics_snapshot_json())
+            .collect();
+        format!(
+            "{{\"schema\": \"rmp-sharded-pager-v1\", \"shard_count\": {}, \"shards\": [{}]}}",
+            self.shards.len(),
+            shards.join(", ")
+        )
+    }
+
+    /// Acquires every shard lock in ascending index order — the global
+    /// lock order that makes multi-shard operations deadlock-free.
+    fn quiesce(&self) -> Vec<parking_lot::MutexGuard<'_, Pager>> {
+        self.shards.iter().map(|s| s.lock()).collect()
+    }
+}
+
+/// The sharded pager is itself a [`PagingDevice`], so a single-threaded
+/// consumer (e.g. a paged-memory region) can page through it unchanged.
+impl PagingDevice for ShardedPager {
+    fn page_out(&mut self, id: PageId, page: &Page) -> Result<()> {
+        ShardedPager::page_out(self, id, page)
+    }
+
+    fn page_in(&mut self, id: PageId) -> Result<Page> {
+        ShardedPager::page_in(self, id)
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        ShardedPager::free(self, id)
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        ShardedPager::contains(self, id)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        ShardedPager::flush(self)
+    }
+
+    fn stats(&self) -> TransferStats {
+        ShardedPager::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmp_types::Policy;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn sharded_pager_is_send_and_sync() {
+        // The whole point: one instance shared by reference across
+        // threads. A compile-time property, asserted explicitly so a
+        // future non-Send field fails here instead of in user code.
+        assert_send_sync::<ShardedPager>();
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_pool_count() {
+        let config = PagerConfig::new(Policy::NoReliability).with_shard_count(4);
+        // Zero pools for four shards.
+        let err = ShardedPager::builder(config).pools(Vec::new()).build();
+        assert!(matches!(err, Err(RmpError::Config(_))), "got {err:?}");
+    }
+
+    #[test]
+    fn builder_rejects_invalid_shard_count() {
+        let config = PagerConfig::new(Policy::NoReliability).with_shard_count(3);
+        let err = ShardedPager::builder(config).pools(Vec::new()).build();
+        assert!(
+            matches!(&err, Err(RmpError::Config(m)) if m.contains("power of two")),
+            "got {err:?}"
+        );
+    }
+}

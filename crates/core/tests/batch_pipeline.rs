@@ -30,6 +30,9 @@ struct BatchState {
     pipelined: u64,
     /// Answer pipelined bursts in reverse frame order.
     reverse_replies: bool,
+    /// Misbehave: replace the burst's last reply with a copy of the
+    /// first, so two replies carry the same seq (and one seq is missing).
+    duplicate_seq: bool,
 }
 
 #[derive(Clone)]
@@ -44,6 +47,7 @@ impl BatchServer {
             frames: 0,
             pipelined: 0,
             reverse_replies: false,
+            duplicate_seq: false,
         })))
     }
 
@@ -156,6 +160,11 @@ impl ServerTransport for BatchTransport {
         if self.0.borrow().reverse_replies {
             replies.reverse();
         }
+        if self.0.borrow().duplicate_seq && replies.len() >= 2 {
+            let first = replies[0].clone();
+            let last = replies.len() - 1;
+            replies[last] = first;
+        }
         Ok(replies)
     }
 
@@ -220,6 +229,39 @@ fn out_of_order_batch_replies_are_rematched_by_seq() {
     assert!(
         fakes[0].pipelined() >= 2,
         "multi-frame batches went down the pipelined path"
+    );
+}
+
+#[test]
+fn duplicate_batch_seq_is_a_protocol_error() {
+    // A server echoing the same seq twice is lying about which request
+    // it answered; the earlier reply must not be silently overwritten.
+    let (fakes, mut pool) = batch_pool(1);
+    pool.set_batch_max_pages(4);
+    fakes[0].0.borrow_mut().duplicate_seq = true;
+    let err = pool
+        .page_out_batch(ServerId(0), &pages(10))
+        .expect_err("duplicated reply seq must fail the call");
+    match err {
+        RmpError::Protocol(m) => {
+            assert!(m.contains("duplicate"), "got protocol error: {m}")
+        }
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+
+    // Same misbehavior on the read path.
+    let (fakes, mut pool) = batch_pool(1);
+    pool.set_batch_max_pages(4);
+    pool.page_out_batch(ServerId(0), &pages(10))
+        .expect("batch out");
+    fakes[0].0.borrow_mut().duplicate_seq = true;
+    let keys: Vec<StoreKey> = (0..10).map(StoreKey).collect();
+    let err = pool
+        .page_in_batch(ServerId(0), &keys)
+        .expect_err("duplicated reply seq must fail the read");
+    assert!(
+        matches!(&err, RmpError::Protocol(m) if m.contains("duplicate")),
+        "got {err:?}"
     );
 }
 

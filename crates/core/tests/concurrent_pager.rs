@@ -1,0 +1,200 @@
+//! Concurrency integration: many threads faulting through one shared
+//! [`ShardedPager`] against real TCP memory servers, including a server
+//! crash injected while the traffic is in flight.
+
+use rmp_cluster::{Registry, ServerInfo};
+use rmp_core::ShardedPager;
+use rmp_server::{MemoryServer, ServerConfig, ServerHandle};
+use rmp_types::{Page, PageId, PagerConfig, Policy, RetryPolicy, ServerId};
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const THREADS: u64 = 8;
+
+/// Spawns `servers` memory servers and connects a sharded pager to them.
+fn sharded_cluster(
+    servers: usize,
+    capacity: usize,
+    config: PagerConfig,
+) -> (Vec<ServerHandle>, Arc<ShardedPager>) {
+    let mut handles = Vec::new();
+    let mut registry = Registry::new();
+    for i in 0..servers {
+        let handle = MemoryServer::spawn(ServerConfig {
+            capacity_pages: capacity,
+            overflow_fraction: 0.10,
+            ..ServerConfig::default()
+        })
+        .expect("spawn server");
+        registry
+            .add(ServerInfo {
+                id: ServerId(i as u32),
+                addr: handle.addr().to_string(),
+                link_cost: 1.0,
+            })
+            .expect("register");
+        handles.push(handle);
+    }
+    let pager = ShardedPager::connect(config, &registry).expect("connect sharded pager");
+    (handles, Arc::new(pager))
+}
+
+/// Fast-failing retry policy so dead-server detection doesn't stretch the
+/// test wall clock: two attempts, millisecond backoff.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(20),
+        jitter: 0.2,
+    }
+}
+
+/// Thread `t`'s `i`-th page id. The low bits come from `i`, so each
+/// thread's id range sweeps across *all* shards and every shard sees
+/// traffic from every thread — the contended case, not a partition.
+fn pid(t: u64, i: u64) -> PageId {
+    PageId(t * 1000 + i)
+}
+
+#[test]
+fn eight_threads_share_one_pager() {
+    let config = PagerConfig::new(Policy::Mirroring)
+        .with_servers(3)
+        .with_shard_count(8)
+        .with_retry(fast_retry());
+    let (_handles, pager) = sharded_cluster(3, 4096, config);
+
+    const PAGES: u64 = 120;
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pager = Arc::clone(&pager);
+            std::thread::spawn(move || {
+                // Mixed workload: write everything, read back half,
+                // free and rewrite a quarter, then verify the lot.
+                for i in 0..PAGES {
+                    pager
+                        .page_out(pid(t, i), &Page::deterministic(t * 1000 + i))
+                        .unwrap_or_else(|e| panic!("thread {t} pageout {i}: {e}"));
+                }
+                for i in (0..PAGES).step_by(2) {
+                    let page = pager
+                        .page_in(pid(t, i))
+                        .unwrap_or_else(|e| panic!("thread {t} pagein {i}: {e}"));
+                    assert_eq!(page, Page::deterministic(t * 1000 + i));
+                }
+                for i in (0..PAGES).step_by(4) {
+                    pager
+                        .free(pid(t, i))
+                        .unwrap_or_else(|e| panic!("thread {t} free {i}: {e}"));
+                    assert!(!pager.contains(pid(t, i)));
+                    pager
+                        .page_out(pid(t, i), &Page::deterministic(t * 1000 + i))
+                        .unwrap_or_else(|e| panic!("thread {t} rewrite {i}: {e}"));
+                }
+                for i in 0..PAGES {
+                    assert!(pager.contains(pid(t, i)), "thread {t} lost page {i}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("worker thread");
+    }
+
+    // Cross-thread visibility: the main thread reads every page written
+    // by every worker through the same shared handle.
+    for t in 0..THREADS {
+        for i in 0..PAGES {
+            assert_eq!(
+                pager.page_in(pid(t, i)).expect("main-thread read"),
+                Page::deterministic(t * 1000 + i),
+                "thread {t} page {i} after join"
+            );
+        }
+    }
+    let stats = pager.stats();
+    assert!(
+        stats.pageouts >= THREADS * PAGES,
+        "summed shard stats cover all writes: {}",
+        stats.pageouts
+    );
+    assert_eq!(stats.checksum_failures, 0);
+}
+
+#[test]
+fn crash_during_concurrent_traffic_keeps_pages_readable() {
+    let config = PagerConfig::new(Policy::Mirroring)
+        .with_servers(3)
+        .with_shard_count(8)
+        .with_retry(fast_retry());
+    let (handles, pager) = sharded_cluster(3, 4096, config);
+
+    const PAGES: u64 = 80;
+    // Both barriers include the main thread: the first gates the crash
+    // until every worker finished its pre-crash writes; the second holds
+    // workers until the crash has landed.
+    let wrote = Arc::new(Barrier::new(THREADS as usize + 1));
+    let crashed = Arc::new(Barrier::new(THREADS as usize + 1));
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pager = Arc::clone(&pager);
+            let wrote = Arc::clone(&wrote);
+            let crashed = Arc::clone(&crashed);
+            std::thread::spawn(move || {
+                for i in 0..PAGES {
+                    pager
+                        .page_out(pid(t, i), &Page::deterministic(t * 1000 + i))
+                        .unwrap_or_else(|e| panic!("thread {t} pageout {i}: {e}"));
+                }
+                wrote.wait();
+                crashed.wait();
+                // One server is now dead. Reads of mirrored pages must
+                // still succeed (degraded from the surviving copy), and
+                // new writes must land on the live servers.
+                for i in 0..PAGES {
+                    let page = pager
+                        .page_in(pid(t, i))
+                        .unwrap_or_else(|e| panic!("thread {t} post-crash read {i}: {e}"));
+                    assert_eq!(page, Page::deterministic(t * 1000 + i));
+                }
+                for i in PAGES..PAGES + 40 {
+                    pager
+                        .page_out(pid(t, i), &Page::deterministic(t * 1000 + i))
+                        .unwrap_or_else(|e| panic!("thread {t} post-crash write {i}: {e}"));
+                }
+            })
+        })
+        .collect();
+
+    wrote.wait();
+    handles[2].crash();
+    crashed.wait();
+    for t in threads {
+        t.join().expect("worker thread");
+    }
+
+    // Drain the rebuild: re-mirror everything the dead server held onto
+    // the survivors, then verify the whole data set once more.
+    let reports = pager.recover_from_crash(ServerId(2)).expect("recovery");
+    assert_eq!(reports.len(), pager.shard_count());
+    assert_eq!(pager.recovery_backlog(), 0, "no shard left degraded");
+    for t in 0..THREADS {
+        for i in 0..PAGES + 40 {
+            assert_eq!(
+                pager.page_in(pid(t, i)).expect("post-recovery read"),
+                Page::deterministic(t * 1000 + i),
+                "thread {t} page {i} after recovery"
+            );
+        }
+    }
+    let stats = pager.stats();
+    let rebuilt: u64 = reports.iter().map(|r| r.pages_rebuilt).sum();
+    assert!(
+        stats.degraded_reads > 0 || rebuilt > 0,
+        "the crash was observed: degraded reads {} / rebuilt {rebuilt}",
+        stats.degraded_reads
+    );
+    assert_eq!(stats.checksum_failures, 0);
+}

@@ -15,7 +15,7 @@ fn cluster(n: usize, capacity: usize) -> (Vec<ServerHandle>, ServerPool) {
         let handle = MemoryServer::spawn(ServerConfig {
             capacity_pages: capacity,
             overflow_fraction: 0.10,
-            simulated_cpu_permille: 0,
+            ..ServerConfig::default()
         })
         .expect("spawn server");
         registry

@@ -26,7 +26,7 @@ impl LocalCluster {
         Self::spawn_with(n, |_| ServerConfig {
             capacity_pages,
             overflow_fraction: 0.10,
-            simulated_cpu_permille: 0,
+            ..ServerConfig::default()
         })
     }
 

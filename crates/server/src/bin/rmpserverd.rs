@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! rmpserverd [--port P] [--capacity-mb MB] [--overflow FRACTION]
+//!            [--worker-min N] [--worker-max N]
 //! ```
 //!
 //! It prints its registry line (`<id> <host:port> <link-cost>`) on
@@ -23,14 +24,19 @@ struct Args {
     capacity_mb: f64,
     overflow: f64,
     id: u32,
+    worker_min: usize,
+    worker_max: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let defaults = ServerConfig::default();
     let mut args = Args {
         port: 0,
         capacity_mb: 32.0,
         overflow: 0.10,
         id: 0,
+        worker_min: defaults.worker_min,
+        worker_max: defaults.worker_max,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -52,8 +58,21 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--overflow: {e}"))?
             }
             "--id" => args.id = value("--id")?.parse().map_err(|e| format!("--id: {e}"))?,
+            "--worker-min" => {
+                args.worker_min = value("--worker-min")?
+                    .parse()
+                    .map_err(|e| format!("--worker-min: {e}"))?
+            }
+            "--worker-max" => {
+                args.worker_max = value("--worker-max")?
+                    .parse()
+                    .map_err(|e| format!("--worker-max: {e}"))?
+            }
             "--help" | "-h" => {
-                println!("usage: rmpserverd [--id N] [--port P] [--capacity-mb MB] [--overflow F]");
+                println!(
+                    "usage: rmpserverd [--id N] [--port P] [--capacity-mb MB] [--overflow F] \
+                     [--worker-min N] [--worker-max N]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
@@ -87,6 +106,8 @@ fn main() {
         capacity_pages,
         overflow_fraction: args.overflow,
         simulated_cpu_permille: 0,
+        worker_min: args.worker_min,
+        worker_max: args.worker_max,
     }) {
         Ok(h) => h,
         Err(e) => {

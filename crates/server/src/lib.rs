@@ -9,8 +9,10 @@
 //! its host. A parity server is by no means different than a memory
 //! server."
 //!
-//! Our [`MemoryServer`] is exactly that: a TCP listener that spawns one
-//! session thread per client, stores opaque pages under [`rmp_types::StoreKey`]s,
+//! Our [`MemoryServer`] is exactly that: a TCP listener that serves each
+//! client session on a bounded, auto-scaling worker pool (the paper's
+//! "new instance of the server" per client, without unbounded OS
+//! threads), stores opaque pages under [`rmp_types::StoreKey`]s,
 //! grants and denies swap-space allocations, reports host load, and
 //! piggy-backs load advisories on every acknowledgement. It also supports
 //! the experiments' fault injection: a server can be *crashed* (all state
@@ -20,6 +22,7 @@
 
 pub mod server;
 pub mod store;
+mod workers;
 
 pub use server::{MemoryServer, ServerConfig, ServerHandle};
 pub use store::PageStore;

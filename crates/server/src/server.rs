@@ -13,6 +13,7 @@ use rmp_types::metrics::{Counter, Histogram, MetricsRegistry};
 use rmp_types::{ErrorCode, Result, RmpError};
 
 use crate::store::PageStore;
+use crate::workers::WorkerPool;
 
 /// Configuration of one remote memory server.
 #[derive(Clone, Copy, Debug)]
@@ -25,6 +26,14 @@ pub struct ServerConfig {
     /// busy-workstation experiments (Section 4.5) to model a server that
     /// is editing files or running a `while(1)` loop.
     pub simulated_cpu_permille: u16,
+    /// Session worker threads kept alive even when idle (clamped to ≥ 1).
+    pub worker_min: usize,
+    /// Ceiling on session worker threads — and, because a worker owns
+    /// its session for the session's lifetime, on concurrently served
+    /// connections. The accept backlog holds up to `2 × worker_max`
+    /// further connections; beyond that the server refuses with a typed
+    /// `Overloaded` error instead of spawning unbounded threads.
+    pub worker_max: usize,
 }
 
 impl Default for ServerConfig {
@@ -33,6 +42,8 @@ impl Default for ServerConfig {
             capacity_pages: 4096,
             overflow_fraction: 0.10,
             simulated_cpu_permille: 0,
+            worker_min: 2,
+            worker_max: 64,
         }
     }
 }
@@ -47,6 +58,7 @@ struct ServerMetrics {
     error_replies: Arc<Counter>,
     pageouts: Arc<Counter>,
     pageins: Arc<Counter>,
+    refused_connections: Arc<Counter>,
     latency: Arc<Histogram>,
     registry: MetricsRegistry,
 }
@@ -59,6 +71,7 @@ impl ServerMetrics {
             error_replies: registry.counter("server_error_replies_total"),
             pageouts: registry.counter("server_pageouts_total"),
             pageins: registry.counter("server_pageins_total"),
+            refused_connections: registry.counter("server_refused_connections_total"),
             latency: registry.histogram("server_request_latency_us"),
             registry,
         }
@@ -75,6 +88,8 @@ struct Shared {
     /// pruned when its session thread exits (an append-only list would
     /// leak one fd per client that ever connected).
     sessions: Mutex<HashMap<u64, TcpStream>>,
+    /// Bounded session workers; see [`crate::workers`].
+    workers: WorkerPool,
     busy_nanos: AtomicU64,
     served_requests: AtomicU64,
     next_session: AtomicU64,
@@ -156,6 +171,7 @@ impl MemoryServer {
             crashed: AtomicBool::new(false),
             shutting_down: AtomicBool::new(false),
             sessions: Mutex::new(HashMap::new()),
+            workers: WorkerPool::new(config.worker_min, config.worker_max),
             busy_nanos: AtomicU64::new(0),
             served_requests: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
@@ -189,14 +205,53 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             continue;
         }
         let sid = shared.next_session.fetch_add(1, Ordering::SeqCst) & (u64::MAX >> SESSION_SHIFT);
-        if let Ok(clone) = stream.try_clone() {
-            shared.sessions.lock().insert(sid, clone);
-        }
+        // Track the session *before* it can serve anything: a session
+        // `crash_now` cannot sever would let a client keep talking to a
+        // "crashed" server. If the tracking clone cannot be made, refuse
+        // the connection rather than serve it untracked.
+        let clone = match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => {
+                refuse(
+                    stream,
+                    ErrorCode::Internal,
+                    "cannot track session for fault injection",
+                );
+                continue;
+            }
+        };
+        shared.sessions.lock().insert(sid, clone);
         let session_shared = Arc::clone(&shared);
-        let _ = std::thread::Builder::new()
-            .name("rmp-session".into())
-            .spawn(move || session_loop(stream, session_shared, sid));
+        let job = Box::new(move || session_loop(stream, session_shared, sid));
+        if shared.workers.submit(job).is_err() {
+            // Workers and backlog are saturated: degrade with a typed
+            // refusal so the client backs off instead of hanging on an
+            // unanswered socket. Dropping the job closed its stream; the
+            // tracked clone is the same socket, still open for the
+            // refusal frame.
+            shared.metrics.refused_connections.inc();
+            if let Some(stream) = shared.sessions.lock().remove(&sid) {
+                refuse(
+                    stream,
+                    ErrorCode::Overloaded,
+                    "session workers and backlog are full",
+                );
+            }
+        }
     }
+}
+
+/// Pushes a typed error frame at the client and drops the connection.
+/// The error is sent unprompted — the client's pending (or next) read
+/// picks it up — so a silent client can never stall the accept loop,
+/// and a short write deadline bounds the worst case.
+fn refuse(stream: TcpStream, code: ErrorCode, message: &str) {
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(250)));
+    let mut framed = Framed::new(stream);
+    let _ = framed.send(&Message::Error {
+        code,
+        message: message.into(),
+    });
 }
 
 fn session_loop(stream: TcpStream, shared: Arc<Shared>, sid: u64) {
@@ -226,12 +281,16 @@ fn session_loop(stream: TcpStream, shared: Arc<Shared>, sid: u64) {
             _ => {}
         }
         let reply = handle_message(&shared, scope, msg);
+        // One sample serves both sinks: sampling `elapsed()` twice made
+        // busy-fraction accounting and the latency histogram disagree
+        // about the same request.
+        let elapsed = start.elapsed();
         shared
             .busy_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         shared.served_requests.fetch_add(1, Ordering::Relaxed);
         shared.metrics.requests.inc();
-        shared.metrics.latency.record(start.elapsed());
+        shared.metrics.latency.record(elapsed);
         if matches!(&reply, SessionAction::Reply(Message::Error { .. })) {
             shared.metrics.error_replies.inc();
         }
@@ -465,6 +524,12 @@ fn stats_json(shared: &Shared) -> String {
         .gauge("server_active_sessions")
         .set(shared.sessions.lock().len() as u64);
     registry
+        .gauge("server_worker_threads")
+        .set(shared.workers.threads() as u64);
+    registry
+        .gauge("server_queue_depth")
+        .set(shared.workers.queue_depth() as u64);
+    registry
         .gauge("server_cpu_permille")
         .set(u64::from(busy_permille(shared)));
     format!(
@@ -545,6 +610,23 @@ impl ServerHandle {
         self.shared.sessions.lock().len()
     }
 
+    /// Session worker threads currently alive; between the configured
+    /// `worker_min` and `worker_max`, scaling with queue pressure.
+    pub fn worker_threads(&self) -> usize {
+        self.shared.workers.threads()
+    }
+
+    /// Accepted connections waiting in the backlog for a free worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.workers.queue_depth()
+    }
+
+    /// Connections refused with a typed `Overloaded` error because the
+    /// worker pool and backlog were saturated.
+    pub fn refused_connections(&self) -> u64 {
+        self.shared.metrics.refused_connections.get()
+    }
+
     /// Fraction of wall time spent servicing requests — the server CPU
     /// utilization of Section 4.5 (measured < 15 % in the paper).
     pub fn busy_fraction(&self) -> f64 {
@@ -564,6 +646,9 @@ impl ServerHandle {
 
     fn shutdown_in_place(&mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Queued-but-unserved connections are dropped here; live ones
+        // are severed below, after which their workers wind down.
+        self.shared.workers.shutdown();
         for (_, s) in self.shared.sessions.lock().drain() {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
@@ -604,7 +689,7 @@ mod tests {
         MemoryServer::spawn(ServerConfig {
             capacity_pages: 8,
             overflow_fraction: 0.0,
-            simulated_cpu_permille: 0,
+            ..ServerConfig::default()
         })
         .expect("spawn")
     }
@@ -734,6 +819,7 @@ mod tests {
             capacity_pages: 10,
             overflow_fraction: 0.0,
             simulated_cpu_permille: 300,
+            ..ServerConfig::default()
         })
         .expect("spawn");
         let mut c = connect(&server);
@@ -759,7 +845,7 @@ mod tests {
         let server = MemoryServer::spawn(ServerConfig {
             capacity_pages: 4,
             overflow_fraction: 0.0,
-            simulated_cpu_permille: 0,
+            ..ServerConfig::default()
         })
         .expect("spawn");
         let mut c = connect(&server);
@@ -968,7 +1054,7 @@ mod tests {
         let server = MemoryServer::spawn(ServerConfig {
             capacity_pages: 64,
             overflow_fraction: 0.0,
-            simulated_cpu_permille: 0,
+            ..ServerConfig::default()
         })
         .expect("spawn");
         let mut c = connect(&server);
@@ -1053,6 +1139,138 @@ mod tests {
             0,
             "disconnected clients must not accumulate"
         );
+        server.shutdown();
+    }
+
+    fn poll_until(secs: u64, mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + std::time::Duration::from_secs(secs);
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    #[test]
+    fn crash_severs_every_tracked_session() {
+        // Regression for the untracked-session bug: a session served
+        // without a `sessions` entry survived `crash_now`, so a client
+        // saw a live server after a simulated crash. Every concurrently
+        // served connection must now be tracked — and severed.
+        let server = MemoryServer::spawn(ServerConfig {
+            capacity_pages: 64,
+            overflow_fraction: 0.0,
+            ..ServerConfig::default()
+        })
+        .expect("spawn");
+        let mut clients: Vec<_> = (0..6).map(|_| connect(&server)).collect();
+        for c in &mut clients {
+            c.call(&Message::LoadQuery).expect("served before crash");
+        }
+        assert!(
+            poll_until(5, || server.active_sessions() == 6),
+            "all served sessions are tracked, got {}",
+            server.active_sessions()
+        );
+        server.crash();
+        for (i, c) in clients.iter_mut().enumerate() {
+            assert!(
+                c.call(&Message::LoadQuery).is_err(),
+                "client {i} still talking to a crashed server"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_storm_degrades_with_typed_refusals() {
+        // One worker, backlog of two: the fourth concurrent connection
+        // must be refused with a typed Overloaded error, not left
+        // hanging or given an unbounded thread.
+        let server = MemoryServer::spawn(ServerConfig {
+            capacity_pages: 64,
+            overflow_fraction: 0.0,
+            worker_min: 1,
+            worker_max: 1,
+            ..ServerConfig::default()
+        })
+        .expect("spawn");
+        let mut busy = connect(&server);
+        busy.call(&Message::LoadQuery)
+            .expect("first session served");
+        // The lone worker now owns `busy` for its lifetime; these two
+        // fill the backlog (they connect but nobody answers yet).
+        let _queued: Vec<_> = (0..2).map(|_| connect(&server)).collect();
+        assert!(
+            poll_until(5, || server.queue_depth() == 2),
+            "backlog filled, depth {}",
+            server.queue_depth()
+        );
+        let mut refused = connect(&server);
+        let err = refused
+            .call(&Message::LoadQuery)
+            .expect_err("saturated server must refuse");
+        assert!(
+            matches!(
+                &err,
+                RmpError::Remote {
+                    code: ErrorCode::Overloaded,
+                    ..
+                }
+            ),
+            "expected a typed Overloaded refusal, got {err:?}"
+        );
+        assert!(server.refused_connections() >= 1);
+        assert_eq!(server.worker_threads(), 1, "the ceiling held");
+        server.shutdown();
+    }
+
+    #[test]
+    fn worker_pool_scales_with_concurrent_sessions() {
+        let server = MemoryServer::spawn(ServerConfig {
+            capacity_pages: 64,
+            overflow_fraction: 0.0,
+            worker_min: 1,
+            worker_max: 4,
+            ..ServerConfig::default()
+        })
+        .expect("spawn");
+        assert_eq!(server.worker_threads(), 1, "starts at the floor");
+        // Four live sessions need four workers: each call only completes
+        // once a worker owns that session.
+        let mut clients: Vec<_> = (0..4).map(|_| connect(&server)).collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.call(&Message::LoadQuery)
+                .unwrap_or_else(|e| panic!("session {i} served: {e}"));
+        }
+        assert_eq!(server.worker_threads(), 4, "queue pressure grew the pool");
+        // Hanging up lets workers above the floor linger out and exit.
+        drop(clients);
+        assert!(
+            poll_until(5, || server.worker_threads() == 1),
+            "idle workers shrink back to the floor, still {}",
+            server.worker_threads()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_report_worker_gauges() {
+        let server = small_server();
+        let mut c = connect(&server);
+        c.call(&Message::LoadQuery).expect("query");
+        let Message::StatsReply { json } = c.call(&Message::GetStats).expect("stats") else {
+            panic!("expected StatsReply");
+        };
+        for name in [
+            "server_worker_threads",
+            "server_queue_depth",
+            "server_refused_connections_total",
+        ] {
+            assert!(json.contains(name), "missing {name} in {json}");
+        }
         server.shutdown();
     }
 

@@ -1,0 +1,344 @@
+//! Bounded session worker pool with queue-depth-driven auto-scaling.
+//!
+//! The accept loop used to spawn one OS thread per connection, so a
+//! connection storm could exhaust kernel threads before the server ran
+//! out of anything else. Sessions now run on a pool bounded by
+//! [`ServerConfig::worker_max`](crate::ServerConfig::worker_max):
+//! accepted connections enter a backlog, workers pick them up, and the
+//! pool grows (up to the ceiling) whenever the backlog outruns the idle
+//! workers and shrinks back toward
+//! [`ServerConfig::worker_min`](crate::ServerConfig::worker_min) after
+//! an idle linger. When both workers and backlog are saturated,
+//! [`WorkerPool::submit`] hands the job back so the caller can refuse
+//! the connection with a typed error instead of silently dropping it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// How long an idle worker above the minimum waits for work before
+/// exiting (scale-down).
+const IDLE_LINGER: Duration = Duration::from_millis(200);
+
+/// A unit of work: for the memory server, one client session run to
+/// completion (a worker owns its session for the session's lifetime, so
+/// `worker_max` also bounds concurrently served connections).
+pub(crate) type Job = Box<dyn FnOnce() + Send>;
+
+struct Backlog {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    backlog: Mutex<Backlog>,
+    available: Condvar,
+    /// Worker threads alive (running a job, waiting, or winding down).
+    total: AtomicUsize,
+    /// Worker threads not currently running a job.
+    idle: AtomicUsize,
+    min: usize,
+    max: usize,
+    /// Most jobs the backlog holds before `submit` refuses.
+    limit: usize,
+}
+
+/// Shareable handle to the pool; cloning shares the same workers.
+#[derive(Clone)]
+pub(crate) struct WorkerPool {
+    inner: Arc<PoolInner>,
+}
+
+impl WorkerPool {
+    /// Builds a pool that keeps at least `min` workers (clamped to ≥ 1),
+    /// never exceeds `max` (clamped to ≥ `min`), and queues at most
+    /// `2 × max` jobs beyond the running ones.
+    pub(crate) fn new(min: usize, max: usize) -> Self {
+        let min = min.max(1);
+        let max = max.max(min);
+        let pool = WorkerPool {
+            inner: Arc::new(PoolInner {
+                backlog: Mutex::new(Backlog {
+                    jobs: VecDeque::new(),
+                    shutdown: false,
+                }),
+                available: Condvar::new(),
+                total: AtomicUsize::new(0),
+                idle: AtomicUsize::new(0),
+                min,
+                max,
+                limit: max.saturating_mul(2),
+            }),
+        };
+        for _ in 0..min {
+            pool.spawn_worker();
+        }
+        pool
+    }
+
+    /// Queues `job`, growing the pool when the backlog outruns the idle
+    /// workers. Returns the job back when the backlog is full (or the
+    /// pool is shut down) so the caller can refuse it explicitly.
+    pub(crate) fn submit(&self, job: Job) -> Result<(), Job> {
+        let depth = {
+            let mut backlog = self.inner.backlog.lock();
+            if backlog.shutdown || backlog.jobs.len() >= self.inner.limit {
+                return Err(job);
+            }
+            backlog.jobs.push_back(job);
+            backlog.jobs.len()
+        };
+        self.inner.available.notify_one();
+        // Scale up: more queued work than workers free to take it.
+        if depth > self.inner.idle.load(Ordering::Acquire) {
+            self.spawn_worker();
+        }
+        Ok(())
+    }
+
+    /// Worker threads alive right now.
+    pub(crate) fn threads(&self) -> usize {
+        self.inner.total.load(Ordering::Acquire)
+    }
+
+    /// Jobs waiting in the backlog (not yet picked up by a worker).
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.inner.backlog.lock().jobs.len()
+    }
+
+    /// Drops every queued job (closing their connections) and tells
+    /// workers to exit once their current job finishes. Does not join:
+    /// sessions end when their sockets are severed by the caller.
+    pub(crate) fn shutdown(&self) {
+        let mut backlog = self.inner.backlog.lock();
+        backlog.shutdown = true;
+        backlog.jobs.clear();
+        drop(backlog);
+        self.inner.available.notify_all();
+    }
+
+    /// Starts one worker if the ceiling allows it.
+    fn spawn_worker(&self) {
+        // Reserve a slot first so concurrent submitters cannot
+        // collectively overshoot `max`.
+        loop {
+            let current = self.inner.total.load(Ordering::Acquire);
+            if current >= self.inner.max {
+                return;
+            }
+            if self
+                .inner
+                .total
+                .compare_exchange(current, current + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        self.inner.idle.fetch_add(1, Ordering::AcqRel);
+        let inner = Arc::clone(&self.inner);
+        let spawned = std::thread::Builder::new()
+            .name("rmp-worker".into())
+            .spawn(move || worker_loop(inner));
+        if spawned.is_err() {
+            // Could not start the thread: release the reserved slot.
+            self.inner.idle.fetch_sub(1, Ordering::AcqRel);
+            self.inner.total.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<PoolInner>) {
+    loop {
+        let job = {
+            let mut backlog = inner.backlog.lock();
+            loop {
+                if backlog.shutdown {
+                    inner.idle.fetch_sub(1, Ordering::AcqRel);
+                    inner.total.fetch_sub(1, Ordering::AcqRel);
+                    return;
+                }
+                if let Some(job) = backlog.jobs.pop_front() {
+                    break job;
+                }
+                // The shim's guard is the std guard, so the std Condvar
+                // works with it; poisoning cannot happen (the shim strips
+                // it) but the API still reports it.
+                let (guard, timeout) = match inner.available.wait_timeout(backlog, IDLE_LINGER) {
+                    Ok(pair) => pair,
+                    Err(poisoned) => {
+                        let (guard, timeout) = poisoned.into_inner();
+                        (guard, timeout)
+                    }
+                };
+                backlog = guard;
+                if timeout.timed_out() && backlog.jobs.is_empty() && !backlog.shutdown {
+                    // Scale down, but never below the floor. The CAS
+                    // guards against two idle workers both deciding to
+                    // exit past the minimum at once.
+                    let current = inner.total.load(Ordering::Acquire);
+                    if current > inner.min
+                        && inner
+                            .total
+                            .compare_exchange(
+                                current,
+                                current - 1,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                    {
+                        inner.idle.fetch_sub(1, Ordering::AcqRel);
+                        return;
+                    }
+                }
+            }
+        };
+        inner.idle.fetch_sub(1, Ordering::AcqRel);
+        job();
+        inner.idle.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+    use std::time::Instant;
+
+    fn poll_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let end = Instant::now() + deadline;
+        while Instant::now() < end {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::new(2, 8);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }))
+            .ok()
+            .expect("within backlog");
+        }
+        assert!(
+            poll_until(Duration::from_secs(5), || counter.load(Ordering::SeqCst)
+                == 10),
+            "all jobs ran"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn grows_under_load_and_shrinks_when_idle() {
+        let pool = WorkerPool::new(1, 4);
+        assert_eq!(pool.threads(), 1);
+        // Four jobs that block until released force the pool to its max.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let running = Arc::new(AtomicU64::new(0));
+        for _ in 0..4 {
+            let rx = Arc::clone(&release_rx);
+            let running = Arc::clone(&running);
+            pool.submit(Box::new(move || {
+                running.fetch_add(1, Ordering::SeqCst);
+                let _ = rx.lock().recv();
+            }))
+            .ok()
+            .expect("within backlog");
+        }
+        assert!(
+            poll_until(Duration::from_secs(5), || {
+                running.load(Ordering::SeqCst) == 4
+            }),
+            "queue pressure grew the pool to run all four jobs"
+        );
+        assert_eq!(pool.threads(), 4, "at the ceiling");
+        for _ in 0..4 {
+            release_tx.send(()).expect("release");
+        }
+        assert!(
+            poll_until(Duration::from_secs(5), || pool.threads() == 1),
+            "idle workers above the floor exit after the linger; still {}",
+            pool.threads()
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn full_backlog_hands_the_job_back() {
+        let pool = WorkerPool::new(1, 1); // backlog limit 2
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let blocker = {
+            let rx = Arc::clone(&release_rx);
+            Box::new(move || {
+                let _ = rx.lock().recv();
+            })
+        };
+        pool.submit(blocker).ok().expect("first job accepted");
+        // Wait until the lone worker holds the blocking job so the
+        // backlog accounting below is deterministic.
+        assert!(poll_until(Duration::from_secs(5), || pool.queue_depth() == 0));
+        for i in 0..2 {
+            pool.submit(Box::new(|| {}))
+                .ok()
+                .unwrap_or_else(|| panic!("queued job {i} accepted"));
+        }
+        assert!(
+            pool.submit(Box::new(|| {})).is_err(),
+            "third queued job refused: backlog full"
+        );
+        drop(release_tx);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drops_queued_jobs() {
+        let pool = WorkerPool::new(1, 1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let ran = Arc::new(AtomicU64::new(0));
+        {
+            let rx = Arc::clone(&release_rx);
+            pool.submit(Box::new(move || {
+                let _ = rx.lock().recv();
+            }))
+            .ok()
+            .expect("accepted");
+        }
+        assert!(poll_until(Duration::from_secs(5), || pool.queue_depth() == 0));
+        {
+            let ran = Arc::clone(&ran);
+            pool.submit(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }))
+            .ok()
+            .expect("queued");
+        }
+        pool.shutdown();
+        assert_eq!(pool.queue_depth(), 0, "queued jobs dropped");
+        drop(release_tx);
+        assert!(
+            poll_until(Duration::from_secs(5), || pool.threads() == 0),
+            "workers exit after shutdown"
+        );
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "dropped job never ran");
+        assert!(
+            pool.submit(Box::new(|| {})).is_err(),
+            "pool refuses after shutdown"
+        );
+    }
+}

@@ -178,6 +178,14 @@ pub struct PagerConfig {
     /// fetches up to this many predicted pages ahead of the faulting one.
     /// `0` disables prefetching entirely.
     pub prefetch_window: usize,
+    /// Number of independent shards the concurrent front-end
+    /// (`ShardedPager`) splits the page space into. Each shard owns its
+    /// page table, checksum map, engine bookkeeping, and server
+    /// connections, guarded by one lock, so up to `shard_count`
+    /// application threads can page in parallel. Must be a power of two
+    /// (shard selection masks the low bits of the `PageId`). Ignored by
+    /// the single-threaded `Pager`.
+    pub shard_count: usize,
 }
 
 impl PagerConfig {
@@ -201,6 +209,7 @@ impl PagerConfig {
             verify_checksums: true,
             batch_max_pages: 16,
             prefetch_window: 8,
+            shard_count: 8,
         }
     }
 
@@ -273,6 +282,13 @@ impl PagerConfig {
         self
     }
 
+    /// Sets the shard count of the concurrent front-end (power of two;
+    /// `1` degrades to a single-lock pager).
+    pub fn with_shard_count(mut self, shards: usize) -> Self {
+        self.shard_count = shards;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -313,6 +329,12 @@ impl PagerConfig {
             return Err(RmpError::Config(
                 "batch size must be at least one page".into(),
             ));
+        }
+        if self.shard_count == 0 || !self.shard_count.is_power_of_two() {
+            return Err(RmpError::Config(format!(
+                "shard count {} must be a power of two",
+                self.shard_count
+            )));
         }
         if let Some(ms) = self.adaptive_threshold_ms {
             if !ms.is_finite() || ms <= 0.0 {
@@ -427,6 +449,30 @@ mod tests {
             .with_batch_max_pages(0)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn shard_count_knob() {
+        let cfg = PagerConfig::default();
+        assert_eq!(cfg.shard_count, 8);
+        for good in [1, 2, 4, 16, 64] {
+            assert!(
+                PagerConfig::default()
+                    .with_shard_count(good)
+                    .validate()
+                    .is_ok(),
+                "{good} shards must validate"
+            );
+        }
+        for bad in [0, 3, 6, 12, 100] {
+            assert!(
+                PagerConfig::default()
+                    .with_shard_count(bad)
+                    .validate()
+                    .is_err(),
+                "{bad} shards must be rejected (not a power of two)"
+            );
+        }
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub enum ErrorCode {
     /// intact (the framing CRC passed) but the page bytes do not match
     /// the checksum stamped by the writer.
     Corrupt,
+    /// The server's session worker pool and backlog are saturated; the
+    /// connection was refused. Transient by construction — the client
+    /// should back off and retry rather than declare the server dead.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -42,6 +46,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => 3,
             ErrorCode::Internal => 4,
             ErrorCode::Corrupt => 5,
+            ErrorCode::Overloaded => 6,
         }
     }
 
@@ -53,6 +58,7 @@ impl ErrorCode {
             2 => ErrorCode::UnknownKey,
             3 => ErrorCode::ShuttingDown,
             5 => ErrorCode::Corrupt,
+            6 => ErrorCode::Overloaded,
             _ => ErrorCode::Internal,
         }
     }
@@ -66,6 +72,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Internal => "internal",
             ErrorCode::Corrupt => "corrupt",
+            ErrorCode::Overloaded => "overloaded",
         };
         f.write_str(name)
     }
@@ -179,6 +186,19 @@ impl RmpError {
         }
     }
 
+    /// Returns `true` when a server refused the connection because its
+    /// worker pool and backlog are full. The server is alive; back off
+    /// and retry instead of starting crash recovery.
+    pub fn is_overload(&self) -> bool {
+        matches!(
+            self,
+            RmpError::Remote {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
+
     /// Returns `true` when the error is a deadline expiry: the server
     /// may still be alive but slow, which retry/backoff handles
     /// differently from a hard crash.
@@ -236,6 +256,7 @@ mod tests {
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
             ErrorCode::Corrupt,
+            ErrorCode::Overloaded,
         ] {
             assert_eq!(ErrorCode::from_u8(code.to_u8()), code);
         }
@@ -270,6 +291,16 @@ mod tests {
         };
         assert!(down.is_server_failure());
         assert!(oom.to_string().contains("out-of-memory"));
+        let busy = RmpError::Remote {
+            code: ErrorCode::Overloaded,
+            message: "backlog full".into(),
+        };
+        // Overload is transient: retryable, but neither a crash nor a
+        // deadline expiry.
+        assert!(busy.is_overload());
+        assert!(!busy.is_server_failure());
+        assert!(!busy.is_timeout());
+        assert!(!down.is_overload());
     }
 
     #[test]

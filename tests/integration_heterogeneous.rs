@@ -19,7 +19,7 @@ fn weighted_cluster(costs: &[f64]) -> (Vec<ServerHandle>, ServerPool) {
         let handle = MemoryServer::spawn(ServerConfig {
             capacity_pages: 8192,
             overflow_fraction: 0.10,
-            simulated_cpu_permille: 0,
+            ..ServerConfig::default()
         })
         .expect("spawn");
         registry
@@ -87,7 +87,7 @@ fn far_server_still_used_when_near_is_full() {
         let handle = MemoryServer::spawn(ServerConfig {
             capacity_pages: *capacity,
             overflow_fraction: 0.0,
-            simulated_cpu_permille: 0,
+            ..ServerConfig::default()
         })
         .expect("spawn");
         registry

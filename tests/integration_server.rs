@@ -12,7 +12,7 @@ fn many_concurrent_clients_share_one_server() {
     let server = MemoryServer::spawn(ServerConfig {
         capacity_pages: 4096,
         overflow_fraction: 0.0,
-        simulated_cpu_permille: 0,
+        ..ServerConfig::default()
     })
     .expect("spawn");
     let addr = server.addr();
