@@ -1,0 +1,1211 @@
+//! Deterministic chaos engine: scriptable fault injection at the
+//! transport seam.
+//!
+//! [`ChaosTransport`] wraps an in-process page server and executes a
+//! [`FaultPlan`] — an ordered list of [`FaultRule`]s scoped by server,
+//! opcode class, call-count window, probability, and budget. Every
+//! stochastic choice flows through one seeded generator, so a schedule
+//! that exposes a bug replays from its seed alone: the plan's decision
+//! sequence depends only on the order of calls reaching it, never on
+//! wall-clock time.
+//!
+//! The injectable faults cover the failure model of `DESIGN.md` §12:
+//!
+//! * [`FaultAction::Delay`] — gray server: the reply arrives, late.
+//! * [`FaultAction::Drop`] — the request never reaches the server.
+//! * [`FaultAction::BlackholeReply`] — one-way partition: the server
+//!   *executes* the request but the reply is lost, the shape that breaks
+//!   non-idempotent protocols (retried XOR deltas).
+//! * [`FaultAction::Overload`] — admission-control refusal storm.
+//! * [`FaultAction::CorruptReply`] — one bit of a page payload flips in
+//!   flight; frame checksums are left alone so end-to-end verification
+//!   must catch it.
+//! * [`FaultAction::DuplicateReply`] / [`FaultAction::ReorderBurst`] —
+//!   pipelined-burst pathologies exercising the client's seq matching.
+//! * [`FaultAction::Crash`] / [`FaultAction::Restart`] — fail-stop: the
+//!   server's memory is wiped and connections refuse until restart.
+//!
+//! [`ChaosCluster`] builds per-shard [`ServerPool`]s over a shared set of
+//! chaos servers, and [`run_schedule`] is the endurance driver used by
+//! both the `chaos_endurance` test and `bench --bin chaos`: it runs a
+//! randomized seeded schedule against a [`ShardedPager`] and checks the
+//! durability invariants (no acked page lost or corrupted, recovery
+//! converges, only typed errors surface).
+
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmp_blockdev::RamDisk;
+use rmp_proto::{BatchItem, LoadHint, Message, Opcode};
+use rmp_types::{
+    ErrorCode, Page, PageId, PagerConfig, Policy, Result, RetryPolicy, RmpError, ServerId,
+    StoreKey, TransportConfig,
+};
+
+use crate::sharded::ShardedPager;
+use crate::transport::ServerTransport;
+use crate::ServerPool;
+
+// --- fault vocabulary ------------------------------------------------------
+
+/// One injectable fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Serve the request after sleeping — a gray (slow) server.
+    Delay(Duration),
+    /// The request is lost before the server sees it; the caller
+    /// observes a deadline expiry.
+    Drop,
+    /// One-way partition: the server executes the request, then the
+    /// reply vanishes. The caller sees a timeout while server state has
+    /// already changed — the shape that breaks non-idempotent calls.
+    BlackholeReply,
+    /// Typed `Overloaded` refusal without executing the request.
+    Overload,
+    /// Serve, then flip one bit of the reply's page payload (checksum
+    /// fields untouched). Replies without a page payload pass unharmed.
+    CorruptReply {
+        /// Byte offset to corrupt, taken modulo the page size.
+        byte: usize,
+        /// Bit index within the byte, taken modulo 8.
+        bit: u8,
+    },
+    /// Pipelined bursts only: one reply in the burst is replaced by a
+    /// clone of another, exercising the client's duplicate-seq defense.
+    DuplicateReply,
+    /// Pipelined bursts only: the replies come back in reverse order,
+    /// exercising the client's seq matching.
+    ReorderBurst,
+    /// Fail-stop: wipe the server's memory; until [`FaultAction::Restart`]
+    /// (or [`ChaosCluster::heal`]) every call and reconnect is refused.
+    Crash,
+    /// Bring a crashed server back (memory stays wiped) and serve.
+    Restart,
+}
+
+impl FaultAction {
+    /// Stable name recorded in [`FaultEvent`] traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultAction::Delay(_) => "delay",
+            FaultAction::Drop => "drop",
+            FaultAction::BlackholeReply => "blackhole-reply",
+            FaultAction::Overload => "overload",
+            FaultAction::CorruptReply { .. } => "corrupt-reply",
+            FaultAction::DuplicateReply => "duplicate-reply",
+            FaultAction::ReorderBurst => "reorder-burst",
+            FaultAction::Crash => "crash",
+            FaultAction::Restart => "restart",
+        }
+    }
+
+    /// Whether the action can fire in the given context (burst-only
+    /// actions never fire on single calls).
+    fn applicable(&self, burst: bool) -> bool {
+        match self {
+            FaultAction::DuplicateReply | FaultAction::ReorderBurst => burst,
+            _ => true,
+        }
+    }
+}
+
+/// Which requests a [`FaultRule`] applies to.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OpFilter {
+    /// Every request.
+    Any,
+    /// Data-path requests only (see [`Message::is_data_op`]).
+    DataOps,
+    /// Requests with exactly this opcode.
+    Op(Opcode),
+}
+
+impl OpFilter {
+    fn matches(&self, msg: &Message) -> bool {
+        match self {
+            OpFilter::Any => true,
+            OpFilter::DataOps => msg.is_data_op(),
+            OpFilter::Op(op) => msg.opcode() == *op,
+        }
+    }
+}
+
+/// One scoped fault: where, what, when, how often.
+///
+/// Rules are evaluated in plan order; the first matching rule whose
+/// probability draw fires wins the call. Probability draws are made for
+/// every matching rule in order (fired or not), so the generator's
+/// consumption — and therefore the whole schedule — is a pure function
+/// of the seed and the call sequence.
+#[derive(Clone, Debug)]
+pub struct FaultRule {
+    /// Restrict to one server; `None` matches every server.
+    pub server: Option<ServerId>,
+    /// Restrict by request class.
+    pub filter: OpFilter,
+    /// The fault to inject.
+    pub action: FaultAction,
+    /// Chance the rule fires on a matching call, in `[0, 1]`.
+    pub probability: f64,
+    /// Armed-call-index window in which the rule is live; `None` means
+    /// always.
+    pub window: Option<Range<u64>>,
+    /// Remaining firings; `None` means unlimited.
+    pub remaining: Option<u32>,
+}
+
+impl FaultRule {
+    /// A rule that fires `action` on every call of every server.
+    pub fn new(action: FaultAction) -> Self {
+        FaultRule {
+            server: None,
+            filter: OpFilter::Any,
+            action,
+            probability: 1.0,
+            window: None,
+            remaining: None,
+        }
+    }
+
+    /// Restricts the rule to one server.
+    pub fn on_server(mut self, id: ServerId) -> Self {
+        self.server = Some(id);
+        self
+    }
+
+    /// Restricts the rule by request class.
+    pub fn on_ops(mut self, filter: OpFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Sets the per-call firing probability.
+    pub fn with_probability(mut self, p: f64) -> Self {
+        self.probability = p;
+        self
+    }
+
+    /// Restricts the rule to a window of armed call indices.
+    pub fn in_window(mut self, window: Range<u64>) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Caps the number of times the rule may fire.
+    pub fn times(mut self, n: u32) -> Self {
+        self.remaining = Some(n);
+        self
+    }
+}
+
+/// One fired fault, the unit of the determinism contract: two runs of
+/// the same plan over the same call sequence produce identical event
+/// vectors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Armed-call index at which the fault fired.
+    pub index: u64,
+    /// Server the faulted call addressed.
+    pub server: ServerId,
+    /// Opcode of the faulted request (first request, for bursts).
+    pub opcode: Opcode,
+    /// [`FaultAction::name`] of the injected fault.
+    pub action: &'static str,
+}
+
+struct PlanInner {
+    rules: Vec<FaultRule>,
+    rng: StdRng,
+    calls: u64,
+    events: Vec<FaultEvent>,
+}
+
+/// A seeded, composable fault schedule shared by every [`ChaosTransport`]
+/// in a cluster.
+///
+/// The plan starts **disarmed**: transports serve faithfully (and the
+/// call counter stays frozen) until [`FaultPlan::arm`], so a harness can
+/// load fixture state without the plan's windows drifting.
+pub struct FaultPlan {
+    inner: Mutex<PlanInner>,
+    armed: AtomicBool,
+}
+
+impl FaultPlan {
+    /// An empty plan whose probability draws derive from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            inner: Mutex::new(PlanInner {
+                rules: Vec::new(),
+                rng: StdRng::seed_from_u64(seed),
+                calls: 0,
+                events: Vec::new(),
+            }),
+            armed: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds a rule at build time.
+    pub fn with_rule(self, rule: FaultRule) -> Self {
+        self.inject(rule);
+        self
+    }
+
+    /// Adds a rule at run time (e.g. arm a crash *during* a quiesce).
+    pub fn inject(&self, rule: FaultRule) {
+        self.inner.lock().rules.push(rule);
+    }
+
+    /// Starts injecting faults and counting calls.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops injecting faults; the call counter freezes again.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the plan is currently injecting.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::SeqCst)
+    }
+
+    /// Number of armed calls observed so far.
+    pub fn calls(&self) -> u64 {
+        self.inner.lock().calls
+    }
+
+    /// The fired-fault trace so far.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// A randomized plan for `n_servers` servers derived entirely from
+    /// `seed`: two to four rules mixing delays, drops, lost replies,
+    /// overload storms, corruption, and burst pathologies, plus at most
+    /// one crash (optionally followed by a mid-schedule restart).
+    pub fn random(seed: u64, n_servers: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = FaultPlan::seeded(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let n_rules = rng.gen_range(2u32..=4);
+        let mut crash_used = false;
+        for _ in 0..n_rules {
+            let server = ServerId(rng.gen_range(0u32..n_servers as u32));
+            let kind = rng.gen_range(0u32..8);
+            let rule =
+                match kind {
+                    0 => FaultRule::new(FaultAction::Delay(Duration::from_micros(
+                        rng.gen_range(200u64..2000),
+                    )))
+                    .with_probability(rng.gen_range(0.05..0.3)),
+                    1 => FaultRule::new(FaultAction::Drop)
+                        .on_ops(OpFilter::DataOps)
+                        .with_probability(rng.gen_range(0.05..0.25)),
+                    2 => FaultRule::new(FaultAction::BlackholeReply)
+                        .on_ops(OpFilter::DataOps)
+                        .with_probability(rng.gen_range(0.05..0.2)),
+                    3 => FaultRule::new(FaultAction::Overload)
+                        .with_probability(rng.gen_range(0.05..0.3)),
+                    4 => FaultRule::new(FaultAction::CorruptReply {
+                        byte: rng.gen_range(0usize..4096),
+                        bit: rng.gen_range(0u32..8) as u8,
+                    })
+                    .on_ops(OpFilter::DataOps)
+                    .with_probability(rng.gen_range(0.05..0.2)),
+                    5 => FaultRule::new(FaultAction::DuplicateReply)
+                        .with_probability(rng.gen_range(0.05..0.2)),
+                    6 => FaultRule::new(FaultAction::ReorderBurst)
+                        .with_probability(rng.gen_range(0.1..0.4)),
+                    _ if !crash_used => {
+                        crash_used = true;
+                        let at = rng.gen_range(20u64..200);
+                        plan.inject(
+                            FaultRule::new(FaultAction::Crash)
+                                .on_server(server)
+                                .in_window(at..at + 1)
+                                .times(1),
+                        );
+                        if rng.gen_bool(0.5) {
+                            // Sometimes the server comes back mid-schedule,
+                            // memory gone — recovery must cope either way.
+                            let back = at + rng.gen_range(100u64..400);
+                            plan.inject(
+                                FaultRule::new(FaultAction::Restart)
+                                    .on_server(server)
+                                    .in_window(back..u64::MAX)
+                                    .times(1),
+                            );
+                        }
+                        continue;
+                    }
+                    _ => FaultRule::new(FaultAction::Overload)
+                        .with_probability(rng.gen_range(0.05..0.2)),
+                };
+            // Half the rules are server-scoped, half cluster-wide.
+            let rule = if rng.gen_bool(0.5) {
+                rule.on_server(server)
+            } else {
+                rule
+            };
+            plan.inject(rule);
+        }
+        plan
+    }
+
+    /// Decides the fault (if any) for one call. Consumes randomness only
+    /// while armed, and identically for identical call sequences.
+    fn decide(&self, server: ServerId, msg: &Message, burst: bool) -> Option<FaultAction> {
+        if !self.is_armed() {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        let index = inner.calls;
+        inner.calls += 1;
+        let inner = &mut *inner;
+        for rule in inner.rules.iter_mut() {
+            if rule.server.is_some_and(|s| s != server)
+                || !rule.filter.matches(msg)
+                || !rule.action.applicable(burst)
+                || rule.window.as_ref().is_some_and(|w| !w.contains(&index))
+                || rule.remaining == Some(0)
+            {
+                continue;
+            }
+            if !inner.rng.gen_bool(rule.probability.clamp(0.0, 1.0)) {
+                continue;
+            }
+            if let Some(left) = rule.remaining.as_mut() {
+                *left -= 1;
+            }
+            inner.events.push(FaultEvent {
+                index,
+                server,
+                opcode: msg.opcode(),
+                action: rule.action.name(),
+            });
+            return Some(rule.action);
+        }
+        None
+    }
+}
+
+// --- the in-process server behind the chaos seam ---------------------------
+
+struct ChaosState {
+    /// Pages keyed by `(session, key)`: each transport gets its own
+    /// session namespace, because every shard's pool hands out store
+    /// keys from 1 — without namespacing, shards would silently overwrite
+    /// each other exactly like two clients sharing one swap file.
+    pages: HashMap<(u64, StoreKey), Page>,
+    crashed: bool,
+    next_session: u64,
+}
+
+/// Handle to one in-process chaos server; cloning shares the state, so a
+/// crash observed through one shard's transport is a crash for all.
+#[derive(Clone)]
+pub struct ChaosServer(Arc<Mutex<ChaosState>>);
+
+impl ChaosServer {
+    fn new() -> Self {
+        ChaosServer(Arc::new(Mutex::new(ChaosState {
+            pages: HashMap::new(),
+            crashed: false,
+            next_session: 0,
+        })))
+    }
+
+    fn new_session(&self) -> u64 {
+        let mut st = self.0.lock();
+        st.next_session += 1;
+        st.next_session
+    }
+
+    /// Fail-stop: wipe memory, refuse connections.
+    pub fn crash(&self) {
+        let mut st = self.0.lock();
+        st.crashed = true;
+        st.pages.clear();
+    }
+
+    /// Bring the server back up (memory stays wiped).
+    pub fn restart(&self) {
+        self.0.lock().crashed = false;
+    }
+
+    /// Whether the server is currently down.
+    pub fn is_crashed(&self) -> bool {
+        self.0.lock().crashed
+    }
+
+    /// Total pages stored across all sessions.
+    pub fn stored_pages(&self) -> usize {
+        self.0.lock().pages.len()
+    }
+
+    /// Serves one request faithfully (fault handling lives in the
+    /// transport; by the time a request gets here it executes for real).
+    fn serve(&self, sid: u64, msg: &Message) -> Message {
+        let mut st = self.0.lock();
+        match msg.clone() {
+            Message::Alloc { pages } => Message::AllocReply {
+                granted: pages,
+                hint: LoadHint::Ok,
+            },
+            Message::PageOut { id, page, .. } => {
+                st.pages.insert((sid, id), page);
+                Message::PageOutAck {
+                    id,
+                    hint: LoadHint::Ok,
+                }
+            }
+            Message::PageIn { id } => match st.pages.get(&(sid, id)) {
+                Some(p) => Message::PageInReply {
+                    id,
+                    checksum: p.checksum(),
+                    page: p.clone(),
+                },
+                None => Message::PageInMiss { id },
+            },
+            Message::Free { id } => {
+                st.pages.remove(&(sid, id));
+                Message::FreeAck { id }
+            }
+            Message::LoadQuery => Message::LoadReport {
+                free_pages: 1 << 20,
+                stored_pages: st.pages.len() as u64,
+                cpu_permille: 0,
+                hint: LoadHint::Ok,
+            },
+            Message::ListPages { start, limit } => {
+                let mut ids: Vec<StoreKey> = st
+                    .pages
+                    .keys()
+                    .filter(|(s, k)| *s == sid && k.0 >= start.0)
+                    .map(|(_, k)| *k)
+                    .collect();
+                ids.sort_by_key(|k| k.0);
+                let more = ids.len() > limit as usize;
+                ids.truncate(limit as usize);
+                Message::ListPagesReply { ids, more }
+            }
+            Message::PageOutDelta { id, page, .. } => {
+                let delta = match st.pages.get(&(sid, id)) {
+                    Some(old) => {
+                        let mut d = old.clone();
+                        d.xor_with(&page);
+                        d
+                    }
+                    None => page.clone(),
+                };
+                st.pages.insert((sid, id), page);
+                Message::PageOutDeltaReply {
+                    id,
+                    delta,
+                    hint: LoadHint::Ok,
+                }
+            }
+            Message::XorInto { id, page } => {
+                match st.pages.get_mut(&(sid, id)) {
+                    Some(existing) => existing.xor_with(&page),
+                    None => {
+                        st.pages.insert((sid, id), page);
+                    }
+                }
+                Message::XorAck { id }
+            }
+            Message::PageOutBatch { seq, pages } => {
+                let items = pages
+                    .into_iter()
+                    .map(|entry| {
+                        st.pages.insert((sid, entry.id), entry.page);
+                        BatchItem::Ack
+                    })
+                    .collect();
+                Message::BatchReply {
+                    seq,
+                    hint: LoadHint::Ok,
+                    items,
+                }
+            }
+            Message::PageInBatch { seq, ids } => {
+                let items = ids
+                    .iter()
+                    .map(|id| match st.pages.get(&(sid, *id)) {
+                        Some(p) => BatchItem::Page {
+                            checksum: p.checksum(),
+                            page: p.clone(),
+                        },
+                        None => BatchItem::Miss,
+                    })
+                    .collect();
+                Message::BatchReply {
+                    seq,
+                    hint: LoadHint::Ok,
+                    items,
+                }
+            }
+            Message::GetStats => Message::StatsReply {
+                json: "{\"schema\":\"rmp-metrics-v1\",\"counters\":{},\"gauges\":{},\
+                       \"histograms\":{},\"events\":[]}"
+                    .into(),
+            },
+            other => Message::Error {
+                code: ErrorCode::Internal,
+                message: format!("chaos server: unhandled {:?}", other.opcode()),
+            },
+        }
+    }
+}
+
+fn io_err(kind: std::io::ErrorKind, msg: &'static str) -> RmpError {
+    RmpError::Io(std::io::Error::new(kind, msg))
+}
+
+/// A [`ServerTransport`] that consults a [`FaultPlan`] before (and
+/// sometimes after) handing each request to its [`ChaosServer`].
+pub struct ChaosTransport {
+    id: ServerId,
+    sid: u64,
+    plan: Arc<FaultPlan>,
+    server: ChaosServer,
+}
+
+impl ChaosTransport {
+    /// Wraps `server` under `plan`, opening a fresh session namespace.
+    pub fn new(id: ServerId, plan: Arc<FaultPlan>, server: ChaosServer) -> Self {
+        let sid = server.new_session();
+        ChaosTransport {
+            id,
+            sid,
+            plan,
+            server,
+        }
+    }
+
+    /// Applies a decided fault around one served call. The fault decision
+    /// runs *before* the crash-state check so a `Restart` rule can heal a
+    /// downed server; everything else hits the refused-connection wall.
+    fn apply(&mut self, msg: &Message, action: Option<FaultAction>) -> Result<Message> {
+        match action {
+            Some(FaultAction::Crash) => {
+                self.server.crash();
+                return Err(io_err(std::io::ErrorKind::ConnectionReset, "chaos: crash"));
+            }
+            Some(FaultAction::Restart) => self.server.restart(),
+            _ => {}
+        }
+        if self.server.is_crashed() {
+            return Err(io_err(
+                std::io::ErrorKind::ConnectionRefused,
+                "chaos: server down",
+            ));
+        }
+        match action {
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::Drop) => {
+                return Err(io_err(std::io::ErrorKind::TimedOut, "chaos: request lost"))
+            }
+            Some(FaultAction::Overload) => {
+                return Err(RmpError::Remote {
+                    code: ErrorCode::Overloaded,
+                    message: "chaos: backlog full".into(),
+                })
+            }
+            _ => {}
+        }
+        let mut reply = self.server.serve(self.sid, msg);
+        match action {
+            Some(FaultAction::BlackholeReply) => {
+                // The server executed; the caller never learns.
+                Err(io_err(std::io::ErrorKind::TimedOut, "chaos: reply lost"))
+            }
+            Some(FaultAction::CorruptReply { byte, bit }) => {
+                reply.flip_payload_bit(byte, bit);
+                Ok(reply)
+            }
+            _ => Ok(reply),
+        }
+    }
+}
+
+impl ServerTransport for ChaosTransport {
+    fn call(&mut self, msg: &Message) -> Result<Message> {
+        let action = self.plan.decide(self.id, msg, false);
+        self.apply(msg, action)
+    }
+
+    fn send_only(&mut self, _msg: &Message) -> Result<()> {
+        Ok(())
+    }
+
+    fn call_pipelined(&mut self, msgs: &[Message]) -> Result<Vec<Message>> {
+        let Some(first) = msgs.first() else {
+            return Ok(Vec::new());
+        };
+        // One decision per burst: burst-shape faults (duplicate, reorder)
+        // act on the reply vector; everything else behaves as if decided
+        // for each request in turn.
+        let action = self.plan.decide(self.id, first, true);
+        match action {
+            Some(FaultAction::DuplicateReply) => {
+                let mut replies = Vec::with_capacity(msgs.len());
+                for m in msgs {
+                    replies.push(self.apply(m, None)?);
+                }
+                // Replace the last reply with a clone of the first (or
+                // append when the burst has a single frame): same length,
+                // duplicated identity — the client's seq matching must
+                // refuse it rather than mis-deliver.
+                let dup = replies[0].clone();
+                if replies.len() > 1 {
+                    *replies.last_mut().expect("non-empty") = dup;
+                } else {
+                    replies.push(dup);
+                }
+                Ok(replies)
+            }
+            Some(FaultAction::ReorderBurst) => {
+                let mut replies = Vec::with_capacity(msgs.len());
+                for m in msgs {
+                    replies.push(self.apply(m, None)?);
+                }
+                replies.reverse();
+                Ok(replies)
+            }
+            Some(FaultAction::CorruptReply { byte, bit }) => {
+                let mut replies = Vec::with_capacity(msgs.len());
+                for m in msgs {
+                    replies.push(self.apply(m, None)?);
+                }
+                for reply in replies.iter_mut() {
+                    if reply.flip_payload_bit(byte, bit) {
+                        break;
+                    }
+                }
+                Ok(replies)
+            }
+            other => {
+                // Whole-burst faults: apply the action to the first frame
+                // (crash/drop/delay semantics), serve the rest faithfully.
+                let mut replies = Vec::with_capacity(msgs.len());
+                replies.push(self.apply(first, other)?);
+                for m in &msgs[1..] {
+                    replies.push(self.apply(m, None)?);
+                }
+                Ok(replies)
+            }
+        }
+    }
+
+    fn reconnect(&mut self) -> Result<()> {
+        if self.server.is_crashed() {
+            Err(io_err(
+                std::io::ErrorKind::ConnectionRefused,
+                "chaos: server down",
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+// --- cluster + endurance driver --------------------------------------------
+
+/// A set of [`ChaosServer`]s sharing one [`FaultPlan`], from which any
+/// number of per-shard [`ServerPool`]s can be built. All pools see the
+/// same servers (and the same crashes); each transport gets its own
+/// session namespace so shards never collide on store keys.
+pub struct ChaosCluster {
+    plan: Arc<FaultPlan>,
+    servers: Vec<ChaosServer>,
+}
+
+impl ChaosCluster {
+    /// A cluster of `n_servers` servers under `plan`.
+    pub fn new(n_servers: usize, plan: FaultPlan) -> Self {
+        ChaosCluster {
+            plan: Arc::new(plan),
+            servers: (0..n_servers).map(|_| ChaosServer::new()).collect(),
+        }
+    }
+
+    /// The shared plan.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+
+    /// Handle to one server (for direct crash/restart from tests).
+    pub fn server(&self, i: usize) -> &ChaosServer {
+        &self.servers[i]
+    }
+
+    /// Builds a fresh pool with one chaos transport per server.
+    pub fn pool(&self, transport_cfg: &TransportConfig) -> ServerPool {
+        let mut pool = ServerPool::with_transport_config(transport_cfg.clone());
+        for (i, server) in self.servers.iter().enumerate() {
+            let id = ServerId(i as u32);
+            pool.add_transport(
+                id,
+                Box::new(ChaosTransport::new(
+                    id,
+                    Arc::clone(&self.plan),
+                    server.clone(),
+                )),
+                1.0,
+            );
+        }
+        pool
+    }
+
+    /// Servers currently down.
+    pub fn crashed_servers(&self) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_crashed())
+            .map(|(i, _)| ServerId(i as u32))
+            .collect()
+    }
+
+    /// Ends the chaos window: disarms the plan and restarts every downed
+    /// server (memory stays wiped), returning the ids that were down.
+    pub fn heal(&self) -> Vec<ServerId> {
+        self.plan.disarm();
+        let down = self.crashed_servers();
+        for id in &down {
+            self.servers[id.0 as usize].restart();
+        }
+        down
+    }
+}
+
+/// Outcome of one endurance schedule (see [`run_schedule`]).
+#[derive(Clone, Debug)]
+pub struct ScheduleOutcome {
+    /// Seed the schedule derives from; reruns replay it.
+    pub seed: u64,
+    /// Policy under test.
+    pub policy: Policy,
+    /// Operations issued during the chaos window.
+    pub ops: u64,
+    /// Faults the plan fired.
+    pub faults: usize,
+    /// Whether a server crash fired during the schedule.
+    pub crash_fired: bool,
+    /// Pages whose loss the policy legitimately cannot prevent
+    /// (NoReliability after a crash).
+    pub lost_tolerated: usize,
+    /// Invariant violations; empty means the schedule passed.
+    pub violations: Vec<String>,
+}
+
+impl ScheduleOutcome {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Tight retry policy so endurance schedules spend their wall-clock on
+/// faults, not backoff sleeps.
+fn endurance_transport_config() -> TransportConfig {
+    TransportConfig {
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            jitter: 0.0,
+        },
+        ..TransportConfig::default()
+    }
+}
+
+/// Runs one randomized seeded fault schedule against a two-shard
+/// [`ShardedPager`] under `policy` and checks the durability invariants:
+///
+/// 1. **No acked page is lost or corrupted** — every successfully written
+///    page that was never ambiguously overwritten reads back bit-exact
+///    after the cluster heals (NoReliability is excused from *loss* — but
+///    never corruption — when a crash fired).
+/// 2. **Only typed errors surface** — faults become `RmpError`s, never
+///    panics or garbage data.
+/// 3. **Recovery converges** — after healing, the recovery backlog
+///    drains to zero within a bounded number of maintenance ticks.
+///
+/// The returned [`ScheduleOutcome`] lists every violation with enough
+/// context to replay from `seed`.
+pub fn run_schedule(policy: Policy, seed: u64) -> ScheduleOutcome {
+    let n_servers = match policy {
+        Policy::BasicParity | Policy::ParityLogging => 3,
+        _ => 2,
+    };
+    let cluster = ChaosCluster::new(n_servers, FaultPlan::random(seed, n_servers));
+    let tcfg = endurance_transport_config();
+    let shards = 2usize;
+    let config = PagerConfig::new(policy)
+        .with_servers(2)
+        .with_shard_count(shards)
+        .with_transport(tcfg.clone());
+    let pager = ShardedPager::builder(config)
+        .pools((0..shards).map(|_| cluster.pool(&tcfg)).collect())
+        .disks(
+            (0..shards)
+                .map(|_| Box::new(RamDisk::unbounded()) as Box<dyn rmp_blockdev::PagingDevice>)
+                .collect(),
+        )
+        .build()
+        .expect("chaos pager builds");
+
+    let mut outcome = ScheduleOutcome {
+        seed,
+        policy,
+        ops: 0,
+        faults: 0,
+        crash_fired: false,
+        lost_tolerated: 0,
+        violations: Vec::new(),
+    };
+    // Model of what the pager owes us: id → fill value of the last
+    // *acknowledged* write. Ids whose last write or free failed are
+    // `ambiguous` — either outcome is legal, so they leave the model's
+    // strict set (their reads must still be well-typed, never garbage
+    // *acknowledged* as good).
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let mut ambiguous: HashSet<u64> = HashSet::new();
+
+    // Phase 1: fixture state, faults disarmed — every write must land.
+    for i in 0..64u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("disarmed writes succeed");
+        model.insert(i, i);
+    }
+
+    // Phase 2: the chaos window.
+    cluster.plan().arm();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc3a5_c85c_97cb_3127);
+    for _ in 0..300u32 {
+        outcome.ops += 1;
+        let roll = rng.gen_range(0u32..100);
+        if roll < 45 {
+            let id = rng.gen_range(0u64..96);
+            let fill = rng.gen_range(0u64..1 << 32);
+            match pager.page_out(PageId(id), &Page::deterministic(fill)) {
+                Ok(()) => {
+                    model.insert(id, fill);
+                    ambiguous.remove(&id);
+                }
+                Err(_) => {
+                    // The write may or may not have reached any replica.
+                    ambiguous.insert(id);
+                }
+            }
+        } else if roll < 80 {
+            let id = rng.gen_range(0u64..96);
+            // Mid-chaos read errors are legal (a replica may be down
+            // and recovery hasn't run); the post-heal sweep is strict.
+            if let Ok(page) = pager.page_in(PageId(id)) {
+                if let Some(&fill) = model.get(&id) {
+                    if !ambiguous.contains(&id) && page != Page::deterministic(fill) {
+                        outcome.violations.push(format!(
+                            "seed {seed} {policy:?}: mid-chaos read of pg{id} \
+                             returned wrong bytes"
+                        ));
+                    }
+                }
+            }
+        } else if roll < 90 {
+            let id = rng.gen_range(0u64..96);
+            match pager.free(PageId(id)) {
+                Ok(()) => {
+                    model.remove(&id);
+                    ambiguous.remove(&id);
+                }
+                Err(_) => {
+                    ambiguous.insert(id);
+                }
+            }
+        } else if roll < 95 {
+            let _ = pager.flush();
+        } else {
+            let _ = pager.periodic_maintenance();
+        }
+    }
+    outcome.faults = cluster.plan().events().len();
+    outcome.crash_fired = cluster.plan().events().iter().any(|e| e.action == "crash");
+
+    // Phase 3: heal and converge. In-process transports have no socket
+    // to redial, so each shard's pool absolves every server (detector
+    // state and grants are forgotten) before recovery reconstructs what
+    // the crashed ones lost.
+    let down = cluster.heal();
+    for shard in 0..shards {
+        pager.with_shard(shard, |p| {
+            for s in 0..n_servers {
+                p.pool_mut().absolve(ServerId(s as u32));
+            }
+            // Re-learn capacities: replacement-copy placement consults
+            // the view's free-page counts, which crash handling zeroed.
+            p.pool_mut().refresh_loads();
+        });
+    }
+    let mut crashed: Vec<ServerId> = cluster
+        .plan()
+        .events()
+        .iter()
+        .filter(|e| e.action == "crash")
+        .map(|e| e.server)
+        .collect();
+    crashed.extend(down);
+    crashed.sort_by_key(|s| s.0);
+    crashed.dedup();
+    for id in crashed {
+        if let Err(e) = pager.recover_from_crash(id) {
+            // NoReliability has nothing to rebuild from; anything else
+            // failing here is judged by the strict sweep below.
+            let _ = e;
+        }
+    }
+    let mut converged = false;
+    for _ in 0..50 {
+        if pager.recovery_backlog() == 0 {
+            converged = true;
+            break;
+        }
+        let _ = pager.periodic_maintenance();
+    }
+    if !converged {
+        outcome.violations.push(format!(
+            "seed {seed} {policy:?}: recovery backlog stuck at {} after 50 ticks",
+            pager.recovery_backlog()
+        ));
+    }
+
+    // Phase 4: strict verification of every unambiguous acked page.
+    for (&id, &fill) in &model {
+        if ambiguous.contains(&id) {
+            // Either outcome is legal; it just must not panic.
+            let _ = pager.page_in(PageId(id));
+            continue;
+        }
+        match pager.page_in(PageId(id)) {
+            Ok(page) => {
+                if page != Page::deterministic(fill) {
+                    outcome.violations.push(format!(
+                        "seed {seed} {policy:?}: pg{id} corrupted after heal"
+                    ));
+                }
+            }
+            Err(RmpError::PageNotFound(_)) | Err(RmpError::Unrecoverable(_))
+                if policy == Policy::NoReliability && outcome.crash_fired =>
+            {
+                // The one policy that promises nothing across a crash.
+                outcome.lost_tolerated += 1;
+            }
+            Err(e) => {
+                outcome.violations.push(format!(
+                    "seed {seed} {policy:?}: pg{id} unreadable after heal: {e}"
+                ));
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_pool(cluster: &ChaosCluster) -> ServerPool {
+        cluster.pool(&endurance_transport_config())
+    }
+
+    #[test]
+    fn disarmed_plan_serves_faithfully() {
+        let cluster = ChaosCluster::new(
+            1,
+            FaultPlan::seeded(7).with_rule(FaultRule::new(FaultAction::Drop)),
+        );
+        let mut pool = quiet_pool(&cluster);
+        pool.page_out(ServerId(0), StoreKey(1), &Page::deterministic(1))
+            .expect("disarmed plan injects nothing");
+        assert_eq!(cluster.plan().calls(), 0, "disarmed calls are not counted");
+        assert!(cluster.plan().events().is_empty());
+    }
+
+    #[test]
+    fn drop_rides_through_retry_and_is_traced() {
+        let cluster = ChaosCluster::new(
+            1,
+            FaultPlan::seeded(7).with_rule(FaultRule::new(FaultAction::Drop).times(1)),
+        );
+        cluster.plan().arm();
+        let mut pool = quiet_pool(&cluster);
+        pool.page_out(ServerId(0), StoreKey(1), &Page::deterministic(1))
+            .expect("one drop is absorbed by the retry budget");
+        let events = cluster.plan().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].action, "drop");
+        assert_eq!(events[0].server, ServerId(0));
+    }
+
+    #[test]
+    fn blackhole_executes_but_times_out() {
+        let cluster = ChaosCluster::new(
+            1,
+            FaultPlan::seeded(3).with_rule(FaultRule::new(FaultAction::BlackholeReply).times(1)),
+        );
+        cluster.plan().arm();
+        let mut pool = quiet_pool(&cluster);
+        // The first attempt stores the page server-side and loses the
+        // reply; the retry overwrites idempotently and succeeds.
+        pool.page_out(ServerId(0), StoreKey(9), &Page::deterministic(9))
+            .expect("retry lands");
+        assert_eq!(cluster.server(0).stored_pages(), 1);
+        assert_eq!(
+            pool.page_in(ServerId(0), StoreKey(9)).expect("read back"),
+            Page::deterministic(9)
+        );
+    }
+
+    #[test]
+    fn corrupt_reply_is_caught_by_checksums() {
+        let cluster = ChaosCluster::new(
+            1,
+            FaultPlan::seeded(3).with_rule(
+                FaultRule::new(FaultAction::CorruptReply { byte: 17, bit: 3 })
+                    .on_ops(OpFilter::Op(Opcode::PageIn))
+                    .times(1),
+            ),
+        );
+        let mut pool = quiet_pool(&cluster);
+        pool.page_out(ServerId(0), StoreKey(4), &Page::deterministic(4))
+            .expect("store");
+        cluster.plan().arm();
+        // The corrupted reply must never be accepted as good data: the
+        // pool's end-to-end verification rejects it, and the clean retry
+        // (rule budget exhausted) returns the true bytes.
+        let page = pool.page_in(ServerId(0), StoreKey(4));
+        match page {
+            Ok(p) => assert_eq!(p, Page::deterministic(4), "corrupt bytes accepted"),
+            Err(e) => assert!(
+                matches!(e, RmpError::CorruptPage { .. } | RmpError::Corrupt(_)),
+                "unexpected error {e}"
+            ),
+        }
+    }
+
+    #[test]
+    fn crash_downs_server_until_restart() {
+        let cluster = ChaosCluster::new(
+            1,
+            FaultPlan::seeded(5).with_rule(FaultRule::new(FaultAction::Crash).times(1)),
+        );
+        let mut pool = quiet_pool(&cluster);
+        pool.page_out(ServerId(0), StoreKey(2), &Page::deterministic(2))
+            .expect("store");
+        cluster.plan().arm();
+        let err = pool
+            .page_in(ServerId(0), StoreKey(2))
+            .expect_err("crashed server cannot answer");
+        assert!(err.is_server_failure(), "typed server failure, got {err}");
+        assert!(cluster.server(0).is_crashed());
+        assert_eq!(cluster.server(0).stored_pages(), 0, "crash wipes memory");
+        let down = cluster.heal();
+        assert_eq!(down, vec![ServerId(0)]);
+        pool.absolve(ServerId(0));
+        pool.page_out(ServerId(0), StoreKey(2), &Page::deterministic(3))
+            .expect("healed server serves again");
+    }
+
+    #[test]
+    fn overload_is_typed_and_transient() {
+        let cluster = ChaosCluster::new(
+            1,
+            FaultPlan::seeded(5).with_rule(FaultRule::new(FaultAction::Overload).times(1)),
+        );
+        cluster.plan().arm();
+        let mut pool = quiet_pool(&cluster);
+        pool.page_out(ServerId(0), StoreKey(1), &Page::deterministic(1))
+            .expect("overload backs off and retries");
+        assert!(
+            pool.view().is_alive(ServerId(0)),
+            "overload must not kill the server"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_call_sequence_same_trace() {
+        let trace = |seed: u64| {
+            let cluster = ChaosCluster::new(
+                2,
+                FaultPlan::seeded(seed)
+                    .with_rule(
+                        FaultRule::new(FaultAction::Drop)
+                            .on_ops(OpFilter::DataOps)
+                            .with_probability(0.3),
+                    )
+                    .with_rule(FaultRule::new(FaultAction::Overload).with_probability(0.2)),
+            );
+            cluster.plan().arm();
+            let mut pool = quiet_pool(&cluster);
+            for i in 0..40u64 {
+                let _ = pool.page_out(
+                    ServerId((i % 2) as u32),
+                    StoreKey(i),
+                    &Page::deterministic(i),
+                );
+            }
+            cluster.plan().events()
+        };
+        let a = trace(42);
+        let b = trace(42);
+        assert!(!a.is_empty(), "a 30% drop rule over 40 calls fires");
+        assert_eq!(a, b, "identical seeds and call sequences diverged");
+        let c = trace(43);
+        assert_ne!(a, c, "different seeds should explore different faults");
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let events = |seed: u64| {
+            let cluster = ChaosCluster::new(2, FaultPlan::random(seed, 2));
+            cluster.plan().arm();
+            let mut pool = quiet_pool(&cluster);
+            for i in 0..30u64 {
+                let _ = pool.page_out(
+                    ServerId((i % 2) as u32),
+                    StoreKey(i),
+                    &Page::deterministic(i),
+                );
+            }
+            cluster.plan().events()
+        };
+        assert_eq!(events(11), events(11));
+    }
+
+    #[test]
+    fn windowed_rule_fires_only_inside_its_window() {
+        let cluster = ChaosCluster::new(
+            1,
+            FaultPlan::seeded(1)
+                .with_rule(FaultRule::new(FaultAction::Drop).in_window(5..6).times(1)),
+        );
+        cluster.plan().arm();
+        let mut pool = quiet_pool(&cluster);
+        for i in 0..10u64 {
+            let _ = pool.page_out(ServerId(0), StoreKey(i), &Page::deterministic(i));
+        }
+        let events = cluster.plan().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].index, 5);
+    }
+}

@@ -1,0 +1,435 @@
+//! Accrual failure detection — gray servers scored, not just crashed ones.
+//!
+//! The original pool heuristic was binary: a failed call made a server
+//! Suspect, three clean calls of *any* kind promoted it back. Real
+//! remote-memory fleets fail *gray* — a server that answers every call,
+//! but at 10× its usual latency, never trips a binary detector and holds
+//! the pagein tail hostage. This module replaces the binary rule with a
+//! phi-accrual-style **suspicion score** per server, in the spirit of
+//! Hayashibara's φ detector: instead of a boolean "did it time out", the
+//! detector accumulates continuous evidence (deadline misses, replies far
+//! above the server's own baseline) and decays it on clean replies, so
+//! the pager can distinguish *dead*, *gray*, and *healthy* and act
+//! differently on each.
+//!
+//! Evidence in:
+//!
+//! * **Deadline miss / transport failure** — [`MISS_WEIGHT`] added at
+//!   once; a single miss reaches the Suspect threshold, preserving the
+//!   old behaviour for clean fail-stop faults.
+//! * **Slow reply** — a reply slower than [`SLOW_MULT`]× the server's own
+//!   *fast baseline* (an EWMA fed only by non-slow replies, so a
+//!   persistently slow server cannot drag its baseline up and launder its
+//!   lateness) adds [`SLOW_WEIGHT`]. Replies under the slow floor
+//!   ([`FailureDetector::set_slow_floor_us`]) are
+//!   never "slow" — microsecond jitter on a loopback fake is noise, not
+//!   grayness.
+//! * **Clean reply** — halves the score ([`CLEAN_DECAY`]).
+//!
+//! State out: `Healthy → Suspect` when the score crosses
+//! [`SUSPECT_ENTER`]; `Suspect → Healthy` only when the score has decayed
+//! below [`SUSPECT_EXIT`] **and** [`CLEAN_DATA_CALLS`] consecutive clean
+//! *data-path* replies have arrived (control chatter like `GetStats`
+//! proves nothing about the paging path — see the regression test in
+//! `tests/flaky_transport.rs`). The enter/exit gap is the hysteresis: a
+//! server flapping around one threshold cannot oscillate. Declaring a
+//! server *Dead* stays where it always was — in the pool, when a retry
+//! budget is exhausted — because death is a decision about abandoning
+//! in-flight work, not about statistics.
+//!
+//! The score also drives **hedged pageins** (`Pager::maybe_hedged_read`):
+//! above `hedge_suspicion_threshold` the pager may race a redundant
+//! policy's degraded path instead of queueing behind a gray primary,
+//! using [`FailureDetector::expected_latency_us`] (an EWMA over *all*
+//! replies, slow ones included) to predict what waiting would cost.
+
+use std::collections::HashMap;
+
+use rmp_types::ServerId;
+
+/// Suspicion score at which a Healthy server becomes Suspect.
+pub const SUSPECT_ENTER: f64 = 2.0;
+
+/// Suspicion score below which a Suspect server *may* recover (the other
+/// gate is [`CLEAN_DATA_CALLS`]); the gap to [`SUSPECT_ENTER`] is the
+/// hysteresis band.
+pub const SUSPECT_EXIT: f64 = 0.5;
+
+/// Consecutive clean data-path replies required before a Suspect server
+/// is trusted again.
+pub const CLEAN_DATA_CALLS: u32 = 3;
+
+/// Score added by one deadline miss or transport failure. Equal to
+/// [`SUSPECT_ENTER`] so a single miss suspects the server immediately.
+pub const MISS_WEIGHT: f64 = 2.0;
+
+/// Score added by one slow (but successful) reply. Three slow replies in
+/// a row out-accrue the clean decay and cross [`SUSPECT_ENTER`].
+pub const SLOW_WEIGHT: f64 = 0.75;
+
+/// Multiplicative decay applied by one clean reply.
+pub const CLEAN_DECAY: f64 = 0.5;
+
+/// Ceiling on the suspicion score, so recovery from a long fault takes a
+/// bounded number of clean replies rather than growing with fault length.
+pub const SUSPICION_CAP: f64 = 8.0;
+
+/// A reply is "slow" when it exceeds this multiple of the server's fast
+/// baseline (and the slow floor).
+pub const SLOW_MULT: f64 = 4.0;
+
+/// Default floor below which replies are never counted slow,
+/// microseconds. In-memory test transports answer in single-digit
+/// microseconds with multi-× jitter; only real-network-scale lateness
+/// should accrue suspicion.
+pub const DEFAULT_SLOW_FLOOR_US: f64 = 200.0;
+
+/// EWMA smoothing factor for both latency estimates (1/8, TCP's classic
+/// SRTT gain).
+const EWMA_ALPHA: f64 = 0.125;
+
+/// What a sample did to a server's health state, so the pool can mirror
+/// the transition into its `ClusterView` (and metrics) exactly once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No state change (score moved, state did not).
+    Unchanged,
+    /// Healthy → Suspect: deprioritize the server.
+    BecameSuspect,
+    /// Suspect → Healthy: trust the server again.
+    BecameHealthy,
+}
+
+/// Per-server accrual state.
+#[derive(Clone, Debug)]
+struct ServerHealth {
+    /// The accrued suspicion score.
+    suspicion: f64,
+    /// EWMA over *all* reply latencies, µs — what the next call is
+    /// expected to cost. 0 until the first reply.
+    expected_us: f64,
+    /// EWMA over non-slow reply latencies, µs — the server's fast
+    /// baseline that slow detection compares against.
+    baseline_us: f64,
+    /// Consecutive clean data-path replies since the last fault.
+    clean_data_streak: u32,
+    /// Hysteresis latch: true between Suspect entry and recovery.
+    suspect: bool,
+}
+
+impl ServerHealth {
+    fn new() -> Self {
+        ServerHealth {
+            suspicion: 0.0,
+            expected_us: 0.0,
+            baseline_us: 0.0,
+            clean_data_streak: 0,
+            suspect: false,
+        }
+    }
+
+    /// Applies the hysteresis rules after a score/streak update.
+    fn transition(&mut self) -> Verdict {
+        if !self.suspect && self.suspicion >= SUSPECT_ENTER {
+            self.suspect = true;
+            return Verdict::BecameSuspect;
+        }
+        if self.suspect
+            && self.suspicion < SUSPECT_EXIT
+            && self.clean_data_streak >= CLEAN_DATA_CALLS
+        {
+            self.suspect = false;
+            self.clean_data_streak = 0;
+            return Verdict::BecameHealthy;
+        }
+        Verdict::Unchanged
+    }
+}
+
+/// Accrual failure detector over a set of servers.
+///
+/// Owned by [`crate::ServerPool`], which feeds it one sample per call
+/// attempt and mirrors the returned [`Verdict`] into its cluster view.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_core::detector::{FailureDetector, Verdict};
+/// use rmp_types::ServerId;
+///
+/// let mut d = FailureDetector::new();
+/// let srv = ServerId(0);
+/// // One miss crosses the Suspect threshold...
+/// assert_eq!(d.on_miss(srv), Verdict::BecameSuspect);
+/// // ...and three clean data replies (with the score decayed) recover it.
+/// assert_eq!(d.on_reply(srv, 100.0, true), Verdict::Unchanged);
+/// assert_eq!(d.on_reply(srv, 100.0, true), Verdict::Unchanged);
+/// assert_eq!(d.on_reply(srv, 100.0, true), Verdict::BecameHealthy);
+/// ```
+#[derive(Debug)]
+pub struct FailureDetector {
+    servers: HashMap<ServerId, ServerHealth>,
+    slow_floor_us: f64,
+}
+
+impl Default for FailureDetector {
+    fn default() -> Self {
+        FailureDetector::new()
+    }
+}
+
+impl FailureDetector {
+    /// Creates a detector with the default slow floor.
+    pub fn new() -> Self {
+        FailureDetector {
+            servers: HashMap::new(),
+            slow_floor_us: DEFAULT_SLOW_FLOOR_US,
+        }
+    }
+
+    /// Sets the floor below which replies are never counted slow.
+    /// `f64::INFINITY` disables slow-reply accrual entirely — the
+    /// determinism property test uses this, because wall-clock latencies
+    /// are the one nondeterministic input the detector consumes.
+    pub fn set_slow_floor_us(&mut self, floor: f64) {
+        self.slow_floor_us = floor;
+    }
+
+    fn health(&mut self, id: ServerId) -> &mut ServerHealth {
+        self.servers.entry(id).or_insert_with(ServerHealth::new)
+    }
+
+    /// Feeds one successful reply: `latency_us` spent, `data_path` when
+    /// the call carried page data (stores/fetches/frees, not stats or
+    /// load chatter). Returns the state transition, if any.
+    pub fn on_reply(&mut self, id: ServerId, latency_us: f64, data_path: bool) -> Verdict {
+        let floor = self.slow_floor_us;
+        let h = self.health(id);
+        let slow = h.baseline_us > 0.0 && latency_us > (SLOW_MULT * h.baseline_us).max(floor);
+        if h.expected_us == 0.0 {
+            h.expected_us = latency_us;
+        } else {
+            h.expected_us += EWMA_ALPHA * (latency_us - h.expected_us);
+        }
+        if slow {
+            h.suspicion = (h.suspicion + SLOW_WEIGHT).min(SUSPICION_CAP);
+            // A slow reply is still correct data: the streak survives, but
+            // does not grow — promotion needs *fast* clean evidence.
+        } else {
+            if h.baseline_us == 0.0 {
+                h.baseline_us = latency_us;
+            } else {
+                h.baseline_us += EWMA_ALPHA * (latency_us - h.baseline_us);
+            }
+            h.suspicion *= CLEAN_DECAY;
+            if data_path {
+                h.clean_data_streak += 1;
+            }
+        }
+        h.transition()
+    }
+
+    /// Feeds one deadline miss or transport failure.
+    pub fn on_miss(&mut self, id: ServerId) -> Verdict {
+        let h = self.health(id);
+        h.suspicion = (h.suspicion + MISS_WEIGHT).min(SUSPICION_CAP);
+        h.clean_data_streak = 0;
+        h.transition()
+    }
+
+    /// The pool declared `id` dead: pin the score to the cap so a later
+    /// rejoin starts from maximum distrust.
+    pub fn on_death(&mut self, id: ServerId) {
+        let h = self.health(id);
+        h.suspicion = SUSPICION_CAP;
+        h.clean_data_streak = 0;
+        h.suspect = true;
+    }
+
+    /// Forgets everything about `id` — used when its transport is
+    /// replaced or explicitly reconnected (the old latency baseline
+    /// described a connection that no longer exists).
+    pub fn reset(&mut self, id: ServerId) {
+        self.servers.remove(&id);
+    }
+
+    /// Current suspicion score of `id` (0 when never sampled).
+    pub fn suspicion(&self, id: ServerId) -> f64 {
+        self.servers.get(&id).map_or(0.0, |h| h.suspicion)
+    }
+
+    /// Whether `id` is currently latched Suspect.
+    pub fn is_suspect(&self, id: ServerId) -> bool {
+        self.servers.get(&id).is_some_and(|h| h.suspect)
+    }
+
+    /// EWMA over all of `id`'s reply latencies, µs — what the next call
+    /// is expected to cost (0 when never sampled).
+    pub fn expected_latency_us(&self, id: ServerId) -> f64 {
+        self.servers.get(&id).map_or(0.0, |h| h.expected_us)
+    }
+
+    /// `id`'s fast baseline latency, µs (0 when never sampled).
+    pub fn baseline_us(&self, id: ServerId) -> f64 {
+        self.servers.get(&id).map_or(0.0, |h| h.baseline_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRV: ServerId = ServerId(7);
+
+    #[test]
+    fn one_miss_suspects_immediately() {
+        let mut d = FailureDetector::new();
+        assert_eq!(d.on_miss(SRV), Verdict::BecameSuspect);
+        assert!(d.is_suspect(SRV));
+        assert!(d.suspicion(SRV) >= SUSPECT_ENTER);
+    }
+
+    #[test]
+    fn clean_data_replies_recover_a_suspect() {
+        let mut d = FailureDetector::new();
+        d.on_miss(SRV);
+        // Two clean data replies: score decayed below exit but streak short.
+        assert_eq!(d.on_reply(SRV, 100.0, true), Verdict::Unchanged);
+        assert_eq!(d.on_reply(SRV, 100.0, true), Verdict::Unchanged);
+        assert!(d.is_suspect(SRV));
+        // Third completes the streak.
+        assert_eq!(d.on_reply(SRV, 100.0, true), Verdict::BecameHealthy);
+        assert!(!d.is_suspect(SRV));
+    }
+
+    #[test]
+    fn control_replies_do_not_recover_a_suspect() {
+        let mut d = FailureDetector::new();
+        d.on_miss(SRV);
+        for _ in 0..20 {
+            assert_eq!(d.on_reply(SRV, 100.0, false), Verdict::Unchanged);
+        }
+        assert!(d.is_suspect(SRV), "stats chatter must not promote");
+        // Data replies still work afterwards.
+        for _ in 0..2 {
+            d.on_reply(SRV, 100.0, true);
+        }
+        assert_eq!(d.on_reply(SRV, 100.0, true), Verdict::BecameHealthy);
+    }
+
+    #[test]
+    fn a_miss_resets_the_clean_streak() {
+        let mut d = FailureDetector::new();
+        d.on_miss(SRV);
+        d.on_reply(SRV, 100.0, true);
+        d.on_reply(SRV, 100.0, true);
+        d.on_miss(SRV); // Streak back to zero.
+        d.on_reply(SRV, 100.0, true);
+        d.on_reply(SRV, 100.0, true);
+        assert!(d.is_suspect(SRV), "streak must restart after a new miss");
+        assert_eq!(d.on_reply(SRV, 100.0, true), Verdict::BecameHealthy);
+    }
+
+    #[test]
+    fn slow_replies_accrue_to_suspect_without_any_miss() {
+        let mut d = FailureDetector::new();
+        // Establish a ~500 µs baseline.
+        for _ in 0..20 {
+            assert_eq!(d.on_reply(SRV, 500.0, true), Verdict::Unchanged);
+        }
+        // Now the server gray-fails: 10× latency, still answering.
+        let mut became_suspect = false;
+        for _ in 0..6 {
+            if d.on_reply(SRV, 5_000.0, true) == Verdict::BecameSuspect {
+                became_suspect = true;
+            }
+        }
+        assert!(became_suspect, "persistent slowness must suspect");
+        // The fast baseline must not have been dragged up to the slow
+        // latency (else the server launders its own grayness)...
+        assert!(d.baseline_us(SRV) < 1_000.0, "{}", d.baseline_us(SRV));
+        // ...while the expected latency has moved toward it.
+        assert!(d.expected_latency_us(SRV) > 1_000.0);
+        // And the score holds (slow replies keep out-accruing decay).
+        for _ in 0..50 {
+            d.on_reply(SRV, 5_000.0, true);
+        }
+        assert!(d.is_suspect(SRV), "gray server must stay suspect");
+        assert!(d.suspicion(SRV) >= SUSPECT_ENTER);
+    }
+
+    #[test]
+    fn fast_jitter_below_floor_is_not_slow() {
+        let mut d = FailureDetector::new();
+        // 2 µs baseline, 40 µs spikes: 20× the baseline but under the
+        // 200 µs floor — loopback noise, not grayness.
+        for _ in 0..10 {
+            d.on_reply(SRV, 2.0, true);
+        }
+        for _ in 0..100 {
+            d.on_reply(SRV, 40.0, true);
+        }
+        assert!(!d.is_suspect(SRV));
+        assert!(d.suspicion(SRV) < SUSPECT_EXIT);
+    }
+
+    #[test]
+    fn infinite_floor_disables_slow_accrual() {
+        let mut d = FailureDetector::new();
+        d.set_slow_floor_us(f64::INFINITY);
+        for _ in 0..10 {
+            d.on_reply(SRV, 500.0, true);
+        }
+        for _ in 0..100 {
+            assert_eq!(d.on_reply(SRV, 1_000_000.0, true), Verdict::Unchanged);
+        }
+        assert_eq!(d.suspicion(SRV), 0.0);
+    }
+
+    #[test]
+    fn score_caps_and_recovery_is_bounded() {
+        let mut d = FailureDetector::new();
+        for _ in 0..1000 {
+            d.on_miss(SRV);
+        }
+        assert!(d.suspicion(SRV) <= SUSPICION_CAP);
+        // From the cap, a bounded number of clean replies recovers:
+        // 8 * 0.5^n < 0.5 within 5 decays, then the streak gate.
+        let mut verdicts = Vec::new();
+        for _ in 0..10 {
+            verdicts.push(d.on_reply(SRV, 100.0, true));
+        }
+        assert!(verdicts.contains(&Verdict::BecameHealthy));
+    }
+
+    #[test]
+    fn death_pins_the_score_and_reset_forgets() {
+        let mut d = FailureDetector::new();
+        d.on_reply(SRV, 100.0, true);
+        d.on_death(SRV);
+        assert_eq!(d.suspicion(SRV), SUSPICION_CAP);
+        assert!(d.is_suspect(SRV));
+        d.reset(SRV);
+        assert_eq!(d.suspicion(SRV), 0.0);
+        assert!(!d.is_suspect(SRV));
+        assert_eq!(d.expected_latency_us(SRV), 0.0);
+    }
+
+    #[test]
+    fn hysteresis_blocks_flapping() {
+        let mut d = FailureDetector::new();
+        // Alternate miss / clean-data forever: the score oscillates
+        // between ~2 and ~1+, never below SUSPECT_EXIT, and the streak
+        // never reaches 3 — the server must stay Suspect, not flap.
+        d.on_miss(SRV);
+        let mut promotions = 0;
+        for _ in 0..100 {
+            if d.on_reply(SRV, 100.0, true) == Verdict::BecameHealthy {
+                promotions += 1;
+            }
+            d.on_miss(SRV);
+        }
+        assert_eq!(promotions, 0, "flapping server must not be promoted");
+        assert!(d.is_suspect(SRV));
+    }
+}

@@ -47,6 +47,41 @@ impl BasicParity {
         })
     }
 
+    /// Recomputes the parity page `parity_key` from the current contents
+    /// of its stripe members and overwrites it idempotently.
+    ///
+    /// This is the repair path for the XOR protocol's retry hazard: both
+    /// wire steps of a pageout are *non-idempotent*. A retried
+    /// `PageOutDelta` whose first attempt was applied but whose reply was
+    /// lost echoes a zero delta (old == new on the second attempt), and a
+    /// retried `XorInto` folds its delta in twice — cancelling it. Either
+    /// way the parity silently diverges from the data it covers, which a
+    /// later reconstruction of a *sibling* page would turn into garbage
+    /// bytes. Whenever a delta/XOR call was retried or failed, the caller
+    /// abandons incremental maintenance for this stripe and rebuilds its
+    /// parity from ground truth instead. Costs `S` fetches plus one
+    /// store — the price of certainty, paid only on ambiguous retries.
+    fn resync_parity(&mut self, ctx: &mut Ctx<'_>, parity_key: StoreKey) -> Result<()> {
+        let members = self
+            .map
+            .parity_rebuild_plan()
+            .into_iter()
+            .find(|(key, _)| *key == parity_key)
+            .map(|(_, members)| members)
+            .unwrap_or_default();
+        let mut acc = Page::zeroed();
+        for &(s, k) in &members {
+            let piece = ctx.pool.page_in(s, k)?;
+            ctx.stats.net_fetches += 1;
+            acc.xor_with(&piece);
+        }
+        ctx.pool
+            .page_out(self.map.parity_server(), parity_key, &acc)?;
+        ctx.stats.net_parity_transfers += 1;
+        ctx.count("engine_parity_resyncs_total");
+        Ok(())
+    }
+
     /// Fetches every surviving member of `plan`'s stripe plus its parity
     /// page and solves the XOR equation for the lost page.
     fn reconstruct_one(&self, ctx: &mut Ctx<'_>, plan: &BasicRecovery) -> Result<(Page, u64)> {
@@ -100,13 +135,32 @@ impl Engine for BasicParity {
             }
         };
         ctx.stats.net_data_transfers += 1;
+        if ctx.pool.last_call_attempts() > 1 {
+            // The delta call was retried: an earlier attempt may already
+            // have stored the page, making the echoed delta zero (old ==
+            // new) while the real old→new change never reached the
+            // parity. The delta cannot be trusted — rebuild the stripe's
+            // parity from its current members.
+            return self.resync_parity(ctx, slot.parity_key);
+        }
         // Step 2: fold the delta into the parity page. The client must not
         // drop `page` before this completes (footnote in Section 2.2) —
         // trivially satisfied here because the call is synchronous.
-        ctx.pool
-            .xor_into(self.map.parity_server(), slot.parity_key, &delta)?;
-        ctx.stats.net_parity_transfers += 1;
-        Ok(())
+        match ctx
+            .pool
+            .xor_into(self.map.parity_server(), slot.parity_key, &delta)
+        {
+            Ok(()) if ctx.pool.last_call_attempts() == 1 => {
+                ctx.stats.net_parity_transfers += 1;
+                Ok(())
+            }
+            // Retried (the delta may have been folded in twice, which
+            // cancels it) or failed (it may or may not have been applied
+            // before the failure): the parity state is unknowable from
+            // here, so recompute it.
+            Ok(()) => self.resync_parity(ctx, slot.parity_key),
+            Err(_) => self.resync_parity(ctx, slot.parity_key),
+        }
     }
 
     fn page_in(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<Page> {
@@ -121,15 +175,31 @@ impl Engine for BasicParity {
         let Some(slot) = self.map.location(id) else {
             return Ok(());
         };
-        // Cancel the page out of its parity before dropping it.
+        // Fetch the dying page's content for the parity cancel while it
+        // still exists, but release it *before* touching the parity: the
+        // old order (cancel, then free) could fail after the cancel and
+        // leave a still-stored page excluded from its parity — silent
+        // garbage for every sibling reconstruction. Freeing first keeps
+        // the failure states consistent: either the page survives with
+        // its parity intact, or it is gone and the parity gets repaired
+        // below.
         let old = ctx.pool.page_in(slot.server, slot.key)?;
         ctx.stats.net_fetches += 1;
-        ctx.pool
-            .xor_into(self.map.parity_server(), slot.parity_key, &old)?;
-        ctx.stats.net_parity_transfers += 1;
         ctx.pool.free(slot.server, slot.key)?;
         self.map.free(id);
-        Ok(())
+        let clean_cancel = matches!(
+            ctx.pool
+                .xor_into(self.map.parity_server(), slot.parity_key, &old),
+            Ok(())
+        ) && ctx.pool.last_call_attempts() == 1;
+        if clean_cancel {
+            ctx.stats.net_parity_transfers += 1;
+            return Ok(());
+        }
+        // Retried or failed cancel: the parity may hold the delta zero,
+        // one, or two times. Rebuild it from the members that remain
+        // (the map no longer lists the freed page).
+        self.resync_parity(ctx, slot.parity_key)
     }
 
     fn contains(&self, id: PageId) -> bool {

@@ -24,6 +24,8 @@
 //! future work (adaptive network-load switching, heterogeneous link
 //! costs).
 
+pub mod chaos;
+pub mod detector;
 pub mod engine;
 pub mod pager;
 pub mod pool;
@@ -32,6 +34,11 @@ pub mod recovery;
 pub mod sharded;
 pub mod transport;
 
+pub use chaos::{
+    run_schedule, ChaosCluster, ChaosServer, ChaosTransport, FaultAction, FaultEvent, FaultPlan,
+    FaultRule, OpFilter, ScheduleOutcome,
+};
+pub use detector::FailureDetector;
 pub use pager::{Pager, PagerBuilder};
 pub use pool::ServerPool;
 pub use recovery::RecoveryReport;

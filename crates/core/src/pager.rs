@@ -18,6 +18,13 @@ use crate::pool::ServerPool;
 use crate::prefetch::{PrefetchCache, StrideDetector};
 use crate::recovery::{RecoveryPlan, RecoveryReport};
 
+/// Floor on the expected-latency gate of a hedged pagein, µs. Even a
+/// maximally suspect primary is not worth hedging around when it is
+/// expected to answer in under half a millisecond — the degraded path
+/// costs at least one transfer itself (and in-memory test transports
+/// would otherwise hedge on microsecond noise).
+const HEDGE_MIN_EXPECTED_US: f64 = 500.0;
+
 /// Builder for [`Pager`].
 ///
 /// # Examples
@@ -58,6 +65,7 @@ struct PagerMetrics {
     prefetch_issued: Arc<Counter>,
     prefetch_hits: Arc<Counter>,
     prefetch_useless: Arc<Counter>,
+    prefetch_skipped_gray: Arc<Counter>,
     pageout_latency: Arc<Histogram>,
     pagein_latency: Arc<Histogram>,
     degraded_latency: Arc<Histogram>,
@@ -80,6 +88,7 @@ impl PagerMetrics {
             prefetch_issued: registry.counter("pager_prefetch_issued_total"),
             prefetch_hits: registry.counter("pager_prefetch_hits_total"),
             prefetch_useless: registry.counter("pager_prefetch_useless_total"),
+            prefetch_skipped_gray: registry.counter("pager_prefetch_skipped_gray_total"),
             pageout_latency: registry.histogram("pager_pageout_latency_us"),
             pagein_latency: registry.histogram("pager_pagein_latency_us"),
             degraded_latency: registry.histogram("pager_degraded_read_latency_us"),
@@ -720,6 +729,14 @@ impl Pager {
             by_server.entry(server).or_default().push((pid, key));
         }
         for (server, entries) in by_server {
+            // Prefetching is optional work on the demand path: issuing a
+            // batch at a gray server would stall the very fault this
+            // prefetch is trying to hide. Those pages fall through to
+            // (hedged) demand reads instead.
+            if self.looks_gray(server) {
+                self.metrics.prefetch_skipped_gray.add(entries.len() as u64);
+                continue;
+            }
             let keys: Vec<StoreKey> = entries.iter().map(|&(_, key)| key).collect();
             self.metrics.prefetch_issued.add(keys.len() as u64);
             let Ok(pages) = self.pool.page_in_batch(server, &keys) else {
@@ -796,7 +813,62 @@ impl Pager {
         result
     }
 
+    /// Hedged pagein: when the primary holder of `id` looks *gray* —
+    /// alive, but with detector suspicion above
+    /// [`PagerConfig::hedge_suspicion_threshold`] and an expected reply
+    /// slower than a healthy replica's tail (the dynamic hedge delay) —
+    /// serve the read through the policy's degraded path instead of
+    /// queueing behind the slow server.
+    ///
+    /// With blocking transports the race resolves at dispatch time: the
+    /// predicted-slow primary loses before it is even asked, and the
+    /// degraded path runs alone. A hedge that fails returns `None` and
+    /// the demand path proceeds against the primary as usual — hedging
+    /// can only trade latency, never correctness. The decision and its
+    /// outcome land in `pool_hedged_pageins_total` / `pool_hedge_wins_total`
+    /// and the trace ring ([`EventKind::Hedge`]).
+    fn maybe_hedged_read(&mut self, id: PageId) -> Option<Page> {
+        if !self.config.policy.survives_single_crash() {
+            return None;
+        }
+        let (primary, _) = self.engine.primary_location(id)?;
+        if !self.pool.view().is_alive(primary) {
+            // A dead primary takes the crash path (degraded read + queued
+            // rebuild), which the demand loop below already handles.
+            return None;
+        }
+        if !self.looks_gray(primary) {
+            return None;
+        }
+        self.pool.note_hedged_pagein(primary);
+        match self.degraded_read(id, primary) {
+            Ok(page) => {
+                self.pool.note_hedge_win();
+                Some(page)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Whether `server` currently looks *gray*: detector suspicion at or
+    /// above [`PagerConfig::hedge_suspicion_threshold`] with an expected
+    /// reply slower than a healthy replica's tail. The shared gate of
+    /// every latency-motivated bypass — hedged pageins and prefetch
+    /// issuance — so no optional work queues behind a predicted-slow
+    /// server while it is still (correctly) considered alive.
+    fn looks_gray(&self, server: ServerId) -> bool {
+        let threshold = self.config.hedge_suspicion_threshold;
+        if !threshold.is_finite() || self.pool.suspicion(server) < threshold {
+            return false;
+        }
+        let expected = self.pool.expected_latency_us(server);
+        expected >= self.pool.hedge_delay_us(server).max(HEDGE_MIN_EXPECTED_US)
+    }
+
     fn demand_page_in(&mut self, id: PageId) -> Result<Page> {
+        if let Some(page) = self.maybe_hedged_read(id) {
+            return Ok(page);
+        }
         let mut retries = self.pool.server_ids().len().max(1);
         loop {
             // `check_sum` counts the failures it detects itself; corruption

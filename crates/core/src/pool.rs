@@ -6,17 +6,15 @@ use std::time::{Duration, Instant};
 
 use rmp_cluster::{ClusterView, Condition, Registry};
 use rmp_proto::{BatchItem, BatchPage, LoadHint, Message, MAX_BATCH_PAGES};
-use rmp_types::metrics::{Counter, EventKind, Histogram, MetricsRegistry};
+use rmp_types::metrics::{Counter, EventKind, Gauge, Histogram, MetricsRegistry};
 use rmp_types::{ErrorCode, Page, Result, RmpError, ServerId, StoreKey, TransportConfig};
 
+use crate::detector::{FailureDetector, Verdict};
 use crate::transport::{ServerTransport, TcpTransport};
 
 /// Frames requested per allocation round-trip; the client consumes the
 /// grant locally so most pageouts need no extra allocation message.
 const ALLOC_CHUNK: u32 = 64;
-
-/// Consecutive clean calls before a suspect server is trusted again.
-const SUSPECT_CLEAN_STREAK: u32 = 3;
 
 /// Pre-resolved metric handles for the pool's hot call path: registered
 /// once in [`ServerPool::set_metrics`], recorded lock-free thereafter.
@@ -30,10 +28,15 @@ struct PoolMetrics {
     deaths: Arc<Counter>,
     reconnects: Arc<Counter>,
     wire_transfers: Arc<Counter>,
+    hedged_pageins: Arc<Counter>,
+    hedge_wins: Arc<Counter>,
     call_latency: Arc<Histogram>,
     /// Per-server latency histograms (`pool_call_latency_us{srvN}`),
     /// resolved on first use so only servers that take traffic appear.
     per_server_latency: HashMap<ServerId, Arc<Histogram>>,
+    /// Per-server suspicion gauges (`detector_suspicion{srvN}`), the
+    /// detector score in milli-units (score × 1000, gauges are integral).
+    per_server_suspicion: HashMap<ServerId, Arc<Gauge>>,
 }
 
 impl PoolMetrics {
@@ -46,8 +49,11 @@ impl PoolMetrics {
             deaths: registry.counter("pool_deaths_total"),
             reconnects: registry.counter("pool_reconnects_total"),
             wire_transfers: registry.counter("pool_wire_transfers_total"),
+            hedged_pageins: registry.counter("pool_hedged_pageins_total"),
+            hedge_wins: registry.counter("pool_hedge_wins_total"),
             call_latency: registry.histogram("pool_call_latency_us"),
             per_server_latency: HashMap::new(),
+            per_server_suspicion: HashMap::new(),
             registry,
         }
     }
@@ -57,6 +63,12 @@ impl PoolMetrics {
             self.registry
                 .histogram(&format!("pool_call_latency_us{{{id}}}"))
         })
+    }
+
+    fn server_suspicion(&mut self, id: ServerId) -> &Arc<Gauge> {
+        self.per_server_suspicion
+            .entry(id)
+            .or_insert_with(|| self.registry.gauge(&format!("detector_suspicion{{{id}}}")))
     }
 }
 
@@ -93,8 +105,19 @@ pub struct ServerPool {
     service_count: u64,
     /// Deadlines and retry policy applied to every call.
     transport_cfg: TransportConfig,
-    /// Consecutive clean calls per suspect server, for re-promotion.
-    clean_streak: HashMap<ServerId, u32>,
+    /// Accrual failure detector: per-server suspicion scores fed by reply
+    /// latencies and deadline misses (see [`crate::detector`]). Drives
+    /// Suspect entry/exit with hysteresis and the hedged-pagein decision.
+    detector: FailureDetector,
+    /// Attempts consumed by the most recent call (1 = first try clean).
+    /// Callers with non-idempotent wire operations (basic parity's
+    /// XOR delta path) use this to detect that a retry may have applied
+    /// their operation twice.
+    last_attempts: u32,
+    /// Hedged pageins decided on this pool, and how many the degraded
+    /// path won (mirrored into metrics when attached).
+    hedged_pageins: u64,
+    hedge_wins: u64,
     /// xorshift64* state for backoff jitter; deterministic seed keeps
     /// tests reproducible.
     jitter_state: u64,
@@ -131,7 +154,10 @@ impl ServerPool {
             service_total_ms: 0.0,
             service_count: 0,
             transport_cfg,
-            clean_streak: HashMap::new(),
+            detector: FailureDetector::new(),
+            last_attempts: 0,
+            hedged_pageins: 0,
+            hedge_wins: 0,
             jitter_state: 0x2545_F491_4F6C_DD1D,
             verify_checksums: true,
             batch_max_pages: 16,
@@ -235,7 +261,8 @@ impl ServerPool {
         let transport = TcpTransport::connect_with(addr, &self.transport_cfg)?;
         self.transports.insert(id, Box::new(transport));
         self.grants.remove(&id);
-        self.clean_streak.remove(&id);
+        self.detector.reset(id);
+        self.publish_suspicion(id);
         self.view.mark_alive(id);
         if let Some(m) = &self.metrics {
             m.reconnects.inc();
@@ -248,7 +275,20 @@ impl ServerPool {
     pub fn replace_transport(&mut self, id: ServerId, transport: Box<dyn ServerTransport>) {
         self.transports.insert(id, transport);
         self.grants.remove(&id);
-        self.clean_streak.remove(&id);
+        self.detector.reset(id);
+        self.publish_suspicion(id);
+        self.view.mark_alive(id);
+    }
+
+    /// Forgives `id` without touching its transport: detector state is
+    /// forgotten and the server is marked alive in the view. The chaos
+    /// harness uses this after disarming a fault plan over an in-process
+    /// transport, where there is no socket to redial but the server's
+    /// history (a scripted fault burst) says nothing about its future.
+    pub fn absolve(&mut self, id: ServerId) {
+        self.grants.remove(&id);
+        self.detector.reset(id);
+        self.publish_suspicion(id);
         self.view.mark_alive(id);
     }
 
@@ -288,6 +328,91 @@ impl ServerPool {
         }
     }
 
+    /// Current detector suspicion score of `id` — 0 for a server that has
+    /// never misbehaved, [`crate::detector::SUSPICION_CAP`] for one
+    /// declared dead. The pager compares this against
+    /// `hedge_suspicion_threshold` before hedging a pagein.
+    pub fn suspicion(&self, id: ServerId) -> f64 {
+        self.detector.suspicion(id)
+    }
+
+    /// What the next call to `id` is expected to cost, µs (EWMA over all
+    /// replies, slow ones included; 0 when never sampled).
+    pub fn expected_latency_us(&self, id: ServerId) -> f64 {
+        self.detector.expected_latency_us(id)
+    }
+
+    /// Attempts consumed by the most recent call on this pool (1 = clean
+    /// first try, more = at least one retry happened). Non-idempotent
+    /// callers (basic parity's XOR path) consult this to learn that their
+    /// last operation may have been applied more than once server-side.
+    pub fn last_call_attempts(&self) -> u32 {
+        self.last_attempts
+    }
+
+    /// Sets the detector's slow-reply floor (µs); `f64::INFINITY`
+    /// disables slowness accrual — the determinism tests use this because
+    /// wall-clock latency is the one nondeterministic detector input.
+    pub fn set_detector_slow_floor_us(&mut self, floor: f64) {
+        self.detector.set_slow_floor_us(floor);
+    }
+
+    /// The dynamic hedge delay, µs: the best (lowest) tail-latency
+    /// estimate among live servers other than `exclude` — the p99 of the
+    /// server's call histogram when metrics are attached, else
+    /// [`crate::detector::SLOW_MULT`]× its fast baseline. A pagein whose
+    /// primary is expected to take longer than this is cheaper to serve
+    /// through the degraded path. Returns 0 when no other server has been
+    /// sampled yet (callers treat that as "no basis to hedge").
+    pub fn hedge_delay_us(&self, exclude: ServerId) -> f64 {
+        let mut best = f64::INFINITY;
+        for (&id, _) in self.transports.iter() {
+            if id == exclude || !self.view.is_alive(id) {
+                continue;
+            }
+            let p99 = self
+                .metrics
+                .as_ref()
+                .and_then(|m| m.per_server_latency.get(&id))
+                .map(|h| h.snapshot().p99_us())
+                .filter(|&p| p > 0.0);
+            let est =
+                p99.unwrap_or_else(|| crate::detector::SLOW_MULT * self.detector.baseline_us(id));
+            if est > 0.0 {
+                best = best.min(est);
+            }
+        }
+        if best.is_finite() {
+            best
+        } else {
+            0.0
+        }
+    }
+
+    /// Counts one hedged pagein (the decision to race the degraded path).
+    pub fn note_hedged_pagein(&mut self, primary: ServerId) {
+        self.hedged_pageins += 1;
+        if let Some(m) = &self.metrics {
+            m.hedged_pageins.inc();
+            m.registry
+                .trace(EventKind::Hedge, Some(primary), None, "raced");
+        }
+    }
+
+    /// Counts one hedge that produced the page (the race was won by the
+    /// degraded path — the primary never had to answer).
+    pub fn note_hedge_win(&mut self) {
+        self.hedge_wins += 1;
+        if let Some(m) = &self.metrics {
+            m.hedge_wins.inc();
+        }
+    }
+
+    /// `(hedged pageins, hedge wins)` recorded on this pool.
+    pub fn hedge_stats(&self) -> (u64, u64) {
+        (self.hedged_pageins, self.hedge_wins)
+    }
+
     /// Next jitter factor in `[1 - jitter, 1 + jitter]` (xorshift64*).
     fn jitter_factor(&mut self) -> f64 {
         let mut x = self.jitter_state;
@@ -300,10 +425,11 @@ impl ServerPool {
         1.0 - jitter + 2.0 * jitter * unit
     }
 
-    /// Folds one attempt's elapsed time into the service statistics.
-    /// Failed and timed-out attempts count too: a flaky cluster must look
-    /// *slow* to the adaptive policy, not invisible.
-    fn record_attempt(&mut self, id: ServerId, start: Instant) {
+    /// Folds one attempt's elapsed time into the service statistics and
+    /// returns it in microseconds. Failed and timed-out attempts count
+    /// too: a flaky cluster must look *slow* to the adaptive policy, not
+    /// invisible.
+    fn record_attempt(&mut self, id: ServerId, start: Instant) -> f64 {
         let elapsed = start.elapsed();
         let ms = elapsed.as_secs_f64() * 1000.0;
         self.service_total_ms += ms;
@@ -313,25 +439,38 @@ impl ServerPool {
             m.call_latency.record(elapsed);
             m.server_latency(id).record(elapsed);
         }
+        elapsed.as_secs_f64() * 1_000_000.0
     }
 
-    /// A call completed cleanly; a suspect server earns trust back after
-    /// [`SUSPECT_CLEAN_STREAK`] consecutive clean calls.
-    fn note_clean_call(&mut self, id: ServerId) {
-        let suspect = self
-            .view
-            .status(id)
-            .is_some_and(|s| s.condition == Condition::Suspect);
-        if !suspect {
-            self.clean_streak.remove(&id);
-            return;
+    /// Mirrors the detector's current score for `id` into its
+    /// `detector_suspicion{srvN}` gauge (milli-units), when attached.
+    fn publish_suspicion(&mut self, id: ServerId) {
+        if let Some(m) = &mut self.metrics {
+            let score = self.detector.suspicion(id);
+            m.server_suspicion(id).set((score * 1000.0) as u64);
         }
-        let streak = self.clean_streak.entry(id).or_insert(0);
-        *streak += 1;
-        if *streak >= SUSPECT_CLEAN_STREAK {
-            self.clean_streak.remove(&id);
-            self.view.mark_alive(id);
+    }
+
+    /// Feeds one successful reply to the detector and mirrors any state
+    /// transition into the cluster view. Only clean *data-path* replies
+    /// (page stores/fetches/frees — anything [`Message::is_data_op`])
+    /// count toward re-promoting a Suspect server: a server that answers
+    /// `GetStats` promptly has proven nothing about its paging path.
+    /// Persistent slowness can also suspect a server *here*, on a
+    /// successful call — that is the gray-failure case the old binary
+    /// heuristic missed.
+    fn note_reply(&mut self, id: ServerId, latency_us: f64, data_path: bool) {
+        match self.detector.on_reply(id, latency_us, data_path) {
+            Verdict::BecameSuspect => {
+                self.view.mark_suspect(id);
+                if let Some(m) = &self.metrics {
+                    m.suspect_transitions.inc();
+                }
+            }
+            Verdict::BecameHealthy => self.view.mark_alive(id),
+            Verdict::Unchanged => {}
         }
+        self.publish_suspicion(id);
     }
 
     /// The single failure-handling point of the paging path.
@@ -363,7 +502,9 @@ impl ServerPool {
         }
         let max_attempts = self.transport_cfg.retry.max_attempts.max(1);
         let mut saw_timeout = false;
+        let data_path = msgs.iter().any(Message::is_data_op);
         for attempt in 0..max_attempts {
+            self.last_attempts = attempt + 1;
             let transport = self
                 .transports
                 .get_mut(&id)
@@ -374,10 +515,10 @@ impl ServerPool {
             } else {
                 transport.call_pipelined(msgs)
             };
-            self.record_attempt(id, start);
+            let latency_us = self.record_attempt(id, start);
             let err = match outcome {
                 Ok(replies) => {
-                    self.note_clean_call(id);
+                    self.note_reply(id, latency_us, data_path);
                     return Ok(replies);
                 }
                 Err(e) => e,
@@ -395,6 +536,8 @@ impl ServerPool {
                 } => {
                     // Retrying a draining server only delays the failover.
                     self.view.mark_dead(id);
+                    self.detector.on_death(id);
+                    self.publish_suspicion(id);
                     self.grants.remove(&id);
                     if let Some(m) = &self.metrics {
                         m.deaths.inc();
@@ -411,7 +554,8 @@ impl ServerPool {
                     // the call fails as Timeout, steering the pager to
                     // other servers without declaring this one crashed.
                     saw_timeout |= e.is_timeout() || e.is_overload();
-                    self.clean_streak.remove(&id);
+                    self.detector.on_miss(id);
+                    self.publish_suspicion(id);
                     if attempt + 1 >= max_attempts {
                         break;
                     }
@@ -459,6 +603,8 @@ impl ServerPool {
         }
         // Out of attempts: the failure is no longer transient.
         self.view.mark_dead(id);
+        self.detector.on_death(id);
+        self.publish_suspicion(id);
         self.grants.remove(&id);
         if let Some(m) = &self.metrics {
             m.deaths.inc();
@@ -937,6 +1083,8 @@ impl ServerPool {
             t.send_only(&Message::InjectCrash)?;
         }
         self.view.mark_dead(id);
+        self.detector.on_death(id);
+        self.publish_suspicion(id);
         if let Some(m) = &self.metrics {
             m.deaths.inc();
             m.registry

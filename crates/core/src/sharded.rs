@@ -321,6 +321,25 @@ impl ShardedPager {
         Ok(())
     }
 
+    /// Worst (highest) detector suspicion for `server` across every
+    /// shard's pool. Shards see the same physical server through
+    /// independent connections, so the pessimistic view is the honest
+    /// one: any shard observing trouble is trouble.
+    pub fn suspicion(&self, server: ServerId) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().pool().suspicion(server))
+            .fold(0.0, f64::max)
+    }
+
+    /// Summed `(hedged pageins, hedge wins)` across every shard's pool.
+    pub fn hedge_stats(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, w), s| {
+            let (sh, sw) = s.lock().pool().hedge_stats();
+            (h + sh, w + sw)
+        })
+    }
+
     /// Per-shard metrics snapshots wrapped in one JSON document.
     pub fn metrics_snapshot_json(&self) -> String {
         let shards: Vec<String> = self

@@ -1,0 +1,511 @@
+//! Chaos endurance: randomized seeded fault schedules against the
+//! sharded pager, plus the targeted regressions the chaos engine exists
+//! to catch — quiesce-time crashes, non-idempotent parity retries,
+//! control-path trust laundering, gray-server hedging, and the
+//! determinism contract that makes any failure replayable from its
+//! printed seed.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmp_blockdev::{PagingDevice, RamDisk};
+use rmp_cluster::Condition;
+use rmp_core::chaos::{
+    run_schedule, ChaosCluster, FaultAction, FaultEvent, FaultPlan, FaultRule, OpFilter,
+};
+use rmp_core::{Pager, ShardedPager};
+use rmp_proto::Opcode;
+use rmp_types::{Page, PageId, PagerConfig, Policy, RetryPolicy, ServerId, TransportConfig};
+
+const POLICIES: [Policy; 5] = [
+    Policy::NoReliability,
+    Policy::Mirroring,
+    Policy::BasicParity,
+    Policy::ParityLogging,
+    Policy::WriteThrough,
+];
+
+fn fast_transport() -> TransportConfig {
+    TransportConfig {
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            jitter: 0.0,
+        },
+        ..TransportConfig::default()
+    }
+}
+
+// --- the endurance sweep ---------------------------------------------------
+
+/// ≥20 distinct seeded schedules across all five policies. Every
+/// schedule's outcome is printed with its seed; a violation fails the
+/// test with the exact seeds to replay (`run_schedule(policy, seed)`).
+/// Scale up with `CHAOS_SEEDS=<n>` (seeds per policy, default 4).
+#[test]
+fn endurance_schedules_hold_invariants_across_policies() {
+    let per_policy: u64 = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let mut failures = Vec::new();
+    let mut total = 0u64;
+    for (pi, &policy) in POLICIES.iter().enumerate() {
+        for s in 0..per_policy {
+            let seed = (pi as u64) * 7919 + s * 104_729 + 1;
+            let outcome = run_schedule(policy, seed);
+            total += 1;
+            println!(
+                "chaos schedule policy={:?} seed={} ops={} faults={} crash={} \
+                 lost_tolerated={} -> {}",
+                outcome.policy,
+                outcome.seed,
+                outcome.ops,
+                outcome.faults,
+                outcome.crash_fired,
+                outcome.lost_tolerated,
+                if outcome.passed() { "PASS" } else { "FAIL" },
+            );
+            if !outcome.passed() {
+                failures.extend(outcome.violations);
+            }
+        }
+    }
+    assert!(total >= 20, "need at least 20 schedules, ran {total}");
+    assert!(
+        failures.is_empty(),
+        "invariant violations (replay with run_schedule(policy, seed)):\n{}",
+        failures.join("\n")
+    );
+}
+
+// --- crash during quiesce (flush / recover_from_crash) ---------------------
+
+fn absolve_all(pager: &ShardedPager, shards: usize, servers: u32) {
+    for shard in 0..shards {
+        pager.with_shard(shard, |p| {
+            for s in 0..servers {
+                p.pool_mut().absolve(ServerId(s));
+            }
+            // Replacement-copy placement consults the view's free-page
+            // counts, which crash handling zeroed.
+            p.pool_mut().refresh_loads();
+        });
+    }
+}
+
+fn drain_backlog(pager: &ShardedPager) -> bool {
+    for _ in 0..50 {
+        if pager.recovery_backlog() == 0 {
+            return true;
+        }
+        let _ = pager.periodic_maintenance();
+    }
+    false
+}
+
+/// A server crash landing in the middle of a multi-shard ascending-order
+/// quiesce must neither deadlock nor wedge recovery. Two quiesced paths
+/// are attacked: `flush` (ParityLogging seals partial parity groups on
+/// the wire mid-quiesce) and `recover_from_crash` (BasicParity rebuilds
+/// the crashed server's pages in place — and the server dies *again*
+/// under the rebuild writes). The whole scenario runs on a watchdog
+/// thread: a deadlock fails the test by timeout instead of hanging CI.
+#[test]
+fn crash_during_quiesce_converges_without_deadlock() {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        // --- part 1: crash mid-flush ---------------------------------
+        let cluster = ChaosCluster::new(3, FaultPlan::seeded(5150));
+        let tcfg = fast_transport();
+        let config = PagerConfig::new(Policy::ParityLogging)
+            .with_servers(2)
+            .with_shard_count(2)
+            .with_transport(tcfg.clone());
+        let pager = ShardedPager::builder(config)
+            .pools((0..2).map(|_| cluster.pool(&tcfg)).collect())
+            .disks(
+                (0..2)
+                    .map(|_| Box::new(RamDisk::unbounded()) as Box<dyn PagingDevice>)
+                    .collect(),
+            )
+            .build()
+            .expect("pager");
+        // An odd count leaves partial parity groups behind, so the
+        // quiesced flush has real sealing work to do on the wire.
+        for i in 0..31u64 {
+            pager
+                .page_out(PageId(i), &Page::deterministic(i))
+                .expect("fixture writes");
+        }
+        cluster.plan().inject(
+            FaultRule::new(FaultAction::Crash)
+                .on_ops(OpFilter::DataOps)
+                .times(1),
+        );
+        cluster.plan().arm();
+        let _ = pager.flush(); // typed error or success; must return
+        if cluster.plan().events().is_empty() {
+            // Nothing was pending to seal; the armed crash fires on the
+            // next ordinary data call instead.
+            let _ = pager.page_out(PageId(200), &Page::deterministic(200));
+        }
+        let events = cluster.plan().events();
+        assert!(!events.is_empty(), "the quiesce-time crash never fired");
+        let victim = events
+            .iter()
+            .find(|e| e.action == "crash")
+            .expect("crash")
+            .server;
+        cluster.heal();
+        absolve_all(&pager, 2, 3);
+        pager
+            .recover_from_crash(victim)
+            .expect("single-crash recovery succeeds after healing");
+        assert!(drain_backlog(&pager), "flush-crash backlog never drained");
+        for i in 0..31u64 {
+            assert_eq!(
+                pager.page_in(PageId(i)).expect("page survives flush crash"),
+                Page::deterministic(i),
+                "pg{i} corrupted by the flush-time crash"
+            );
+        }
+
+        // --- part 2: crash inside recover_from_crash -----------------
+        let cluster = ChaosCluster::new(3, FaultPlan::seeded(5151));
+        let config = PagerConfig::new(Policy::BasicParity)
+            .with_servers(2)
+            .with_shard_count(2)
+            .with_transport(tcfg.clone());
+        let pager = ShardedPager::builder(config)
+            .pools((0..2).map(|_| cluster.pool(&tcfg)).collect())
+            .disks(
+                (0..2)
+                    .map(|_| Box::new(RamDisk::unbounded()) as Box<dyn PagingDevice>)
+                    .collect(),
+            )
+            .build()
+            .expect("pager");
+        for i in 0..32u64 {
+            pager
+                .page_out(PageId(i), &Page::deterministic(i))
+                .expect("fixture writes");
+        }
+        // Server 0 fail-stops and reboots wiped; the in-place rebuild
+        // then writes reconstructed pages back to it — and the armed
+        // rule kills it *again* under those writes, mid-quiesce.
+        cluster.server(0).crash();
+        cluster.server(0).restart();
+        cluster.plan().inject(
+            FaultRule::new(FaultAction::Crash)
+                .on_server(ServerId(0))
+                .on_ops(OpFilter::DataOps)
+                .times(1),
+        );
+        cluster.plan().arm();
+        let _ = pager.recover_from_crash(ServerId(0)); // must return, Ok or Err
+        assert!(
+            !cluster.plan().events().is_empty(),
+            "the recovery-time crash never fired"
+        );
+        cluster.heal();
+        absolve_all(&pager, 2, 3);
+        pager
+            .recover_from_crash(ServerId(0))
+            .expect("second recovery completes after the repeat crash");
+        assert!(
+            drain_backlog(&pager),
+            "recovery-crash backlog never drained"
+        );
+        for i in 0..32u64 {
+            assert_eq!(
+                pager
+                    .page_in(PageId(i))
+                    .expect("page survives repeated crash"),
+                Page::deterministic(i),
+                "pg{i} corrupted by the recovery-time crash"
+            );
+        }
+        tx.send(()).expect("report completion");
+    });
+    rx.recv_timeout(Duration::from_secs(120))
+        .expect("quiesce-crash scenario deadlocked or wedged");
+}
+
+// --- non-idempotent parity calls under retry -------------------------------
+
+/// Dropped and blackholed `XorInto`/`PageOutDelta` calls must not desync
+/// the basic-parity stripe: the engine detects the ambiguous retry and
+/// rebuilds the parity from ground truth, so a later crash still
+/// reconstructs every page bit-exact.
+#[test]
+fn retried_parity_updates_do_not_desync_the_stripe() {
+    let cluster = ChaosCluster::new(3, FaultPlan::seeded(77));
+    let tcfg = fast_transport();
+    let config = PagerConfig::new(Policy::BasicParity)
+        .with_servers(2)
+        .with_transport(tcfg.clone());
+    let mut pager = Pager::builder(config)
+        .pool(cluster.pool(&tcfg))
+        .build()
+        .expect("pager");
+    for i in 0..8u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("fixture writes");
+    }
+    // One XorInto vanishes entirely (all three attempts dropped) and one
+    // is executed with its reply lost (applied, retried, applied again —
+    // the classic double-XOR that cancels the delta).
+    cluster.plan().inject(
+        FaultRule::new(FaultAction::Drop)
+            .on_ops(OpFilter::Op(Opcode::XorInto))
+            .times(3),
+    );
+    cluster.plan().inject(
+        FaultRule::new(FaultAction::BlackholeReply)
+            .on_ops(OpFilter::Op(Opcode::XorInto))
+            .times(1),
+    );
+    cluster.plan().arm();
+    for i in 0..8u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i + 100))
+            .expect("overwrites survive parity-path faults");
+    }
+    cluster.plan().disarm();
+    assert!(
+        !cluster.plan().events().is_empty(),
+        "the parity fault rules never fired"
+    );
+    // Crash each data server in turn; reconstruction through the parity
+    // is the only way back, so a stale parity turns into wrong bytes.
+    for victim in [ServerId(0), ServerId(1)] {
+        cluster.server(victim.0 as usize).crash();
+        cluster.server(victim.0 as usize).restart();
+        pager.pool_mut().absolve(victim);
+        pager.pool_mut().refresh_loads();
+        pager
+            .recover_from_crash(victim)
+            .expect("parity reconstruction succeeds");
+        for i in 0..8u64 {
+            assert_eq!(
+                pager.page_in(PageId(i)).expect("page readable"),
+                Page::deterministic(i + 100),
+                "pg{i} corrupted after losing {victim} — parity desynced"
+            );
+        }
+    }
+}
+
+// --- control-path calls must not launder trust -----------------------------
+
+/// A Suspect server that answers `GetStats`/`LoadQuery` promptly while
+/// its paging path is unproven must stay Suspect; only clean data-path
+/// replies earn the promotion back to Healthy.
+#[test]
+fn stats_replies_do_not_promote_a_suspect_server() {
+    let cluster = ChaosCluster::new(
+        1,
+        FaultPlan::seeded(9).with_rule(FaultRule::new(FaultAction::Drop).times(1)),
+    );
+    cluster.plan().arm();
+    let mut pool = cluster.pool(&fast_transport());
+    let sid = ServerId(0);
+    pool.page_out(sid, rmp_types::StoreKey(1), &Page::deterministic(1))
+        .expect("rides through the one drop");
+    let condition = |p: &rmp_core::ServerPool| p.view().status(sid).expect("known").condition;
+    assert_eq!(condition(&pool), Condition::Suspect, "one miss suspects");
+    // A storm of clean *control* replies: suspicion decays but the
+    // data-path streak stays frozen — no promotion.
+    for _ in 0..6 {
+        pool.get_stats(sid).expect("stats answer");
+        pool.query_load(sid).expect("load answer");
+    }
+    assert_eq!(
+        condition(&pool),
+        Condition::Suspect,
+        "control-path replies must not re-promote a suspect server"
+    );
+    // Clean data-path replies do.
+    for _ in 0..3 {
+        pool.page_in(sid, rmp_types::StoreKey(1)).expect("read");
+    }
+    assert_eq!(
+        condition(&pool),
+        Condition::Healthy,
+        "three clean data replies earn the server back"
+    );
+}
+
+// --- hedged reads on a gray primary ----------------------------------------
+
+/// A slow-dripping (gray) primary must get hedged around — reads race
+/// the mirror copy — while the server is *not* declared dead: gray is
+/// neither healthy nor crashed.
+#[test]
+fn gray_primary_is_hedged_not_buried() {
+    let cluster = ChaosCluster::new(2, FaultPlan::seeded(31));
+    let tcfg = fast_transport();
+    let config = PagerConfig::new(Policy::Mirroring)
+        .with_servers(2)
+        .with_transport(tcfg.clone())
+        .with_hedge_suspicion_threshold(2.0);
+    let mut pager = Pager::builder(config)
+        .pool(cluster.pool(&tcfg))
+        .build()
+        .expect("pager");
+    for i in 0..32u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("fixture writes");
+    }
+    // Warm the latency baselines with fault-free reads.
+    for i in 0..32u64 {
+        pager.page_in(PageId(i)).expect("warm read");
+    }
+    // Server 0 turns gray: every data call is served, 3 ms late (about
+    // 10× the in-process baseline with margin). No drops, no crashes.
+    cluster.plan().inject(
+        FaultRule::new(FaultAction::Delay(Duration::from_millis(3)))
+            .on_server(ServerId(0))
+            .on_ops(OpFilter::DataOps),
+    );
+    cluster.plan().arm();
+    for round in 0..6 {
+        for i in 0..32u64 {
+            assert_eq!(
+                pager.page_in(PageId(i)).expect("gray reads still answer"),
+                Page::deterministic(i),
+                "round {round}: wrong bytes from a gray cluster"
+            );
+        }
+    }
+    let (hedged, wins) = pager.pool().hedge_stats();
+    assert!(
+        hedged > 0,
+        "a gray primary above the suspicion threshold must trigger hedges"
+    );
+    assert!(wins <= hedged, "hedge accounting is monotone");
+    assert!(
+        pager.pool().view().is_alive(ServerId(0)),
+        "a slow server is gray, not dead"
+    );
+    assert_eq!(
+        pager.recovery_backlog(),
+        0,
+        "slowness must not trigger crash recovery"
+    );
+    assert!(
+        pager.pool().suspicion(ServerId(0)) >= 2.0,
+        "sustained slowness accrues suspicion"
+    );
+}
+
+// --- determinism: the replay contract --------------------------------------
+
+/// Same seed, same plan, same op sequence → identical fault traces and
+/// identical final pager state. Wall-clock-sensitive machinery (slowness
+/// accrual, hedging) is disabled so the run is a pure function of the
+/// seed; the remaining faults (drops, lost replies, overloads,
+/// corruption, burst reordering) all have timing-independent effects.
+#[test]
+fn identical_seeds_replay_identical_histories() {
+    fn one_run(seed: u64) -> (Vec<FaultEvent>, Vec<String>) {
+        let plan = FaultPlan::seeded(seed)
+            .with_rule(
+                FaultRule::new(FaultAction::Drop)
+                    .on_ops(OpFilter::DataOps)
+                    .with_probability(0.12),
+            )
+            .with_rule(
+                FaultRule::new(FaultAction::BlackholeReply)
+                    .on_ops(OpFilter::DataOps)
+                    .with_probability(0.08),
+            )
+            .with_rule(FaultRule::new(FaultAction::Overload).with_probability(0.08))
+            .with_rule(
+                FaultRule::new(FaultAction::CorruptReply { byte: 11, bit: 2 })
+                    .on_ops(OpFilter::Op(Opcode::PageIn))
+                    .with_probability(0.1),
+            )
+            .with_rule(FaultRule::new(FaultAction::ReorderBurst).with_probability(0.2));
+        let cluster = ChaosCluster::new(2, plan);
+        let tcfg = fast_transport();
+        let config = PagerConfig::new(Policy::Mirroring)
+            .with_servers(2)
+            .with_shard_count(2)
+            .with_transport(tcfg.clone())
+            .with_hedge_suspicion_threshold(f64::INFINITY);
+        let pager = ShardedPager::builder(config)
+            .pools((0..2).map(|_| cluster.pool(&tcfg)).collect())
+            .disks(
+                (0..2)
+                    .map(|_| Box::new(RamDisk::unbounded()) as Box<dyn PagingDevice>)
+                    .collect(),
+            )
+            .build()
+            .expect("pager");
+        for shard in 0..2 {
+            pager.with_shard(shard, |p| {
+                p.pool_mut().set_detector_slow_floor_us(f64::INFINITY)
+            });
+        }
+        for i in 0..32u64 {
+            pager
+                .page_out(PageId(i), &Page::deterministic(i))
+                .expect("fixture writes");
+        }
+        cluster.plan().arm();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+        let mut journal = Vec::new();
+        for _ in 0..200u32 {
+            let id = rng.gen_range(0u64..48);
+            let roll = rng.gen_range(0u32..10);
+            let entry = if roll < 5 {
+                let fill = rng.gen_range(0u64..1 << 20);
+                match pager.page_out(PageId(id), &Page::deterministic(fill)) {
+                    Ok(()) => format!("out pg{id}={fill} ok"),
+                    Err(e) => format!("out pg{id}={fill} err {e}"),
+                }
+            } else if roll < 9 {
+                match pager.page_in(PageId(id)) {
+                    Ok(p) => format!("in pg{id} ok {:016x}", p.checksum()),
+                    Err(e) => format!("in pg{id} err {e}"),
+                }
+            } else {
+                match pager.free(PageId(id)) {
+                    Ok(()) => format!("free pg{id} ok"),
+                    Err(e) => format!("free pg{id} err {e}"),
+                }
+            };
+            journal.push(entry);
+        }
+        cluster.plan().disarm();
+        for i in 0..48u64 {
+            journal.push(match pager.page_in(PageId(i)) {
+                Ok(p) => format!("final pg{i} {:016x}", p.checksum()),
+                Err(e) => format!("final pg{i} err {e}"),
+            });
+        }
+        (cluster.plan().events(), journal)
+    }
+
+    let (events_a, journal_a) = one_run(424_242);
+    let (events_b, journal_b) = one_run(424_242);
+    assert!(!events_a.is_empty(), "the schedule injected nothing");
+    assert_eq!(events_a, events_b, "fault traces diverged across replays");
+    assert_eq!(
+        journal_a, journal_b,
+        "pager histories diverged across replays"
+    );
+    let (events_c, _) = one_run(424_243);
+    assert_ne!(
+        events_a, events_c,
+        "a different seed should explore a different schedule"
+    );
+}

@@ -300,6 +300,63 @@ impl Message {
         }
     }
 
+    /// Whether this request moves page data (pageouts, pageins, frees,
+    /// parity updates, batches) as opposed to control chatter (load
+    /// probes, allocations, stats, listings).
+    ///
+    /// The pool's failure detector only lets a Suspect server earn trust
+    /// back through clean *data-path* calls: a server that answers
+    /// `GetStats` promptly while dropping every `PageIn` must not be
+    /// re-promoted on the strength of its stats endpoint.
+    pub fn is_data_op(&self) -> bool {
+        matches!(
+            self,
+            Message::PageOut { .. }
+                | Message::PageIn { .. }
+                | Message::Free { .. }
+                | Message::PageOutDelta { .. }
+                | Message::XorInto { .. }
+                | Message::PageOutBatch { .. }
+                | Message::PageInBatch { .. }
+        )
+    }
+
+    /// Flips one bit of the first page payload this message carries
+    /// (reply corruption hook for fault injection): the page of a
+    /// [`Message::PageInReply`], the delta of a
+    /// [`Message::PageOutDeltaReply`], or the first page item inside a
+    /// [`Message::BatchReply`]. The frame checksum fields are left
+    /// untouched, so the receiver's end-to-end verification sees exactly
+    /// what on-wire corruption looks like. Returns `false` when the
+    /// message carries no page payload.
+    pub fn flip_payload_bit(&mut self, byte: usize, bit: u8) -> bool {
+        let flip = |page: &mut Page| {
+            let buf = page.as_mut();
+            let idx = byte % buf.len();
+            buf[idx] ^= 1 << (bit % 8);
+        };
+        match self {
+            Message::PageInReply { page, .. } => {
+                flip(page);
+                true
+            }
+            Message::PageOutDeltaReply { delta, .. } => {
+                flip(delta);
+                true
+            }
+            Message::BatchReply { items, .. } => {
+                for item in items.iter_mut() {
+                    if let BatchItem::Page { page, .. } = item {
+                        flip(page);
+                        return true;
+                    }
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+
     /// Encodes the message (header + payload) into a fresh buffer.
     pub fn encode(&self) -> Bytes {
         let mut payload = BytesMut::with_capacity(64);

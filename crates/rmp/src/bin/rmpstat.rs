@@ -113,6 +113,25 @@ fn render_table(probes: &[PolicyProbe]) -> String {
             p.pagein_latency.p99_us(),
         ));
     }
+    out.push_str(
+        "\ndetector (accrual suspicion per server at probe end; the crashed \
+         server pins at the cap)\n",
+    );
+    for p in probes {
+        let suspicion: Vec<String> = p
+            .server_suspicion
+            .iter()
+            .map(|(id, s)| format!("srv{id} {s:.2}"))
+            .collect();
+        out.push_str(&format!(
+            "{:<16} {}  hedged {}->{} won ({:.0}%)\n",
+            p.policy.label(),
+            suspicion.join("  "),
+            p.hedged_pageins,
+            p.hedge_wins,
+            p.hedge_win_rate * 100.0,
+        ));
+    }
     out
 }
 

@@ -64,6 +64,18 @@ pub struct PolicyProbe {
     pub prefetch_useless: u64,
     /// Fraction of all pageins served from the prefetch cache.
     pub prefetch_hit_rate: f64,
+    /// Pageins routed through the hedged degraded path because the
+    /// primary looked gray (`pool_hedged_pageins_total`).
+    pub hedged_pageins: u64,
+    /// Hedged pageins the degraded path actually served
+    /// (`pool_hedge_wins_total`).
+    pub hedge_wins: u64,
+    /// Fraction of hedged pageins won by the hedge.
+    pub hedge_win_rate: f64,
+    /// Accrual-detector suspicion per server at probe end, ordered by
+    /// server id. The crashed server reports the pinned cap; survivors
+    /// report their (near-zero) steady-state score.
+    pub server_suspicion: Vec<(u32, f64)>,
 }
 
 /// Expected wire transfers per degraded read for `policy` with `s` data
@@ -139,6 +151,19 @@ pub fn probe_policy(policy: Policy, pages: usize) -> Result<PolicyProbe> {
     } else {
         0.0
     };
+    let (hedged_pageins, hedge_wins) = pager.pool().hedge_stats();
+    let hedge_win_rate = if hedged_pageins > 0 {
+        hedge_wins as f64 / hedged_pageins as f64
+    } else {
+        0.0
+    };
+    let mut server_suspicion: Vec<(u32, f64)> = pager
+        .pool()
+        .server_ids()
+        .into_iter()
+        .map(|id| (id.0, pager.pool().suspicion(id)))
+        .collect();
+    server_suspicion.sort_unstable_by_key(|&(id, _)| id);
     Ok(PolicyProbe {
         policy,
         servers: s,
@@ -154,6 +179,10 @@ pub fn probe_policy(policy: Policy, pages: usize) -> Result<PolicyProbe> {
         prefetch_hits,
         prefetch_useless,
         prefetch_hit_rate,
+        hedged_pageins,
+        hedge_wins,
+        hedge_win_rate,
+        server_suspicion,
     })
 }
 
@@ -183,6 +212,11 @@ pub fn probe_to_json(p: &PolicyProbe) -> String {
         Some(v) => format!("{v:.4}"),
         None => "null".into(),
     };
+    let suspicion: Vec<String> = p
+        .server_suspicion
+        .iter()
+        .map(|(id, s)| format!("\"srv{id}\": {s:.3}"))
+        .collect();
     format!(
         concat!(
             "{{\"policy\": \"{}\", \"servers\": {}, \"pageouts\": {}, ",
@@ -193,6 +227,8 @@ pub fn probe_to_json(p: &PolicyProbe) -> String {
             "\"expected_degraded_transfers\": {}, ",
             "\"prefetch\": {{\"issued\": {}, \"hits\": {}, \"useless\": {}, ",
             "\"hit_rate\": {:.4}}}, ",
+            "\"detector\": {{\"hedged_pageins\": {}, \"hedge_wins\": {}, ",
+            "\"hedge_win_rate\": {:.4}, \"suspicion\": {{{}}}}}, ",
             "\"pageout_latency_us\": {}, \"pagein_latency_us\": {}}}"
         ),
         p.policy.label(),
@@ -207,6 +243,10 @@ pub fn probe_to_json(p: &PolicyProbe) -> String {
         p.prefetch_hits,
         p.prefetch_useless,
         p.prefetch_hit_rate,
+        p.hedged_pageins,
+        p.hedge_wins,
+        p.hedge_win_rate,
+        suspicion.join(", "),
         p.pageout_latency.to_json(),
         p.pagein_latency.to_json(),
     )
@@ -260,6 +300,28 @@ mod tests {
         assert!(probe.prefetch_issued >= probe.prefetch_hits);
         let json = probe_to_json(&probe);
         assert!(json.contains("\"prefetch\": {\"issued\": "), "{json}");
+    }
+
+    #[test]
+    fn probe_reports_detector_state_for_the_crashed_server() {
+        let probe = probe_policy(Policy::Mirroring, 16).expect("probe");
+        let crashed = probe
+            .server_suspicion
+            .iter()
+            .find(|(id, _)| *id == 0)
+            .expect("srv0 sampled");
+        assert!(
+            crashed.1 >= 2.0,
+            "the probe crashes srv0, which must carry pinned suspicion: {:?}",
+            probe.server_suspicion
+        );
+        assert!(probe.hedge_wins <= probe.hedged_pageins);
+        let json = probe_to_json(&probe);
+        assert!(
+            json.contains("\"detector\": {\"hedged_pageins\": "),
+            "{json}"
+        );
+        assert!(json.contains("\"suspicion\": {\"srv0\": "), "{json}");
     }
 
     #[test]

@@ -90,6 +90,11 @@ struct Shared {
     sessions: Mutex<HashMap<u64, TcpStream>>,
     /// Bounded session workers; see [`crate::workers`].
     workers: WorkerPool,
+    /// Deterministic gray-failure injection: every request stalls this
+    /// many nanoseconds before service. Models a degraded host (thrashing
+    /// disk, saturated NIC) that answers correctly but slowly — the
+    /// failure mode a fail-stop crash detector cannot see.
+    stall_nanos: AtomicU64,
     busy_nanos: AtomicU64,
     served_requests: AtomicU64,
     next_session: AtomicU64,
@@ -172,6 +177,7 @@ impl MemoryServer {
             shutting_down: AtomicBool::new(false),
             sessions: Mutex::new(HashMap::new()),
             workers: WorkerPool::new(config.worker_min, config.worker_max),
+            stall_nanos: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             served_requests: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
@@ -267,6 +273,13 @@ fn session_loop(stream: TcpStream, shared: Arc<Shared>, sid: u64) {
             Err(_) => break,
         };
         let start = Instant::now();
+        // The stall lands inside the timed window on purpose: a gray
+        // server's own busy fraction and latency histogram should show
+        // the degradation, exactly as a thrashing host's would.
+        let stall = shared.stall_nanos.load(Ordering::Relaxed);
+        if stall > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(stall));
+        }
         match &msg {
             Message::PageOut { .. } | Message::PageOutDelta { .. } => {
                 shared.metrics.pageouts.inc();
@@ -591,6 +604,19 @@ impl ServerHandle {
     /// server can promise to clients.
     pub fn set_native_usage(&self, pages: usize) {
         self.shared.store.lock().set_native_usage(pages);
+    }
+
+    /// Injects a gray failure: every subsequent request stalls for
+    /// `delay` before being served — correctly, but slowly. Pass
+    /// `Duration::ZERO` to restore normal service. Unlike
+    /// [`ServerHandle::crash`], no state is lost and no connection is
+    /// severed; this is the failure mode the client's suspicion detector
+    /// (not its crash handling) must absorb.
+    pub fn set_stall(&self, delay: std::time::Duration) {
+        self.shared.stall_nanos.store(
+            delay.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::SeqCst,
+        );
     }
 
     /// Pages currently stored (all clients).
@@ -1271,6 +1297,35 @@ mod tests {
         ] {
             assert!(json.contains(name), "missing {name} in {json}");
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn stall_hook_slows_service_without_breaking_it() {
+        let server = small_server();
+        let mut c = connect(&server);
+        c.call(&Message::LoadQuery).expect("healthy baseline");
+        server.set_stall(std::time::Duration::from_millis(25));
+        let start = Instant::now();
+        let page = Page::deterministic(9);
+        let reply = c
+            .call(&page_out(StoreKey(1), page.clone()))
+            .expect("gray server still serves correctly");
+        assert!(matches!(reply, Message::PageOutAck { .. }));
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(25),
+            "stall was applied"
+        );
+        let Message::PageInReply { page: got, .. } = c
+            .call(&Message::PageIn { id: StoreKey(1) })
+            .expect("slow read")
+        else {
+            panic!("expected PageInReply");
+        };
+        assert_eq!(got, page, "gray failure degrades latency, never data");
+        server.set_stall(std::time::Duration::ZERO);
+        c.call(&Message::LoadQuery).expect("recovered");
+        assert!(!server.is_crashed(), "a stall is not a crash");
         server.shutdown();
     }
 

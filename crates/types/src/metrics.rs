@@ -332,6 +332,9 @@ pub enum EventKind {
     Gc,
     /// A page failed its end-to-end checksum.
     ChecksumFailure,
+    /// A pagein was hedged: the primary looked gray (high suspicion,
+    /// slow expected reply) and the degraded path was raced instead.
+    Hedge,
 }
 
 impl EventKind {
@@ -348,6 +351,7 @@ impl EventKind {
             EventKind::Migration => "migration",
             EventKind::Gc => "gc",
             EventKind::ChecksumFailure => "checksum_failure",
+            EventKind::Hedge => "hedge",
         }
     }
 }
