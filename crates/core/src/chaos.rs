@@ -31,6 +31,34 @@
 //! randomized seeded schedule against a [`ShardedPager`] and checks the
 //! durability invariants (no acked page lost or corrupted, recovery
 //! converges, only typed errors surface).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use rmp_core::{ChaosCluster, FaultAction, FaultPlan, FaultRule};
+//! use rmp_types::{ServerId, TransportConfig};
+//!
+//! // Two in-process chaos servers; once armed, server 0 serves its next
+//! // three requests late — a gray server, scripted and replayable.
+//! let plan = FaultPlan::seeded(7).with_rule(
+//!     FaultRule::new(FaultAction::Delay(Duration::from_millis(2)))
+//!         .on_server(ServerId(0))
+//!         .times(3),
+//! );
+//! let cluster = ChaosCluster::new(2, plan);
+//! let mut pool = cluster.pool(&TransportConfig::default());
+//! cluster.plan().arm();
+//!
+//! // The delayed call still succeeds — a gray fault degrades latency,
+//! // never data — and the injection lands in the event trace.
+//! pool.query_load(ServerId(0)).unwrap();
+//! assert_eq!(cluster.plan().events().len(), 1);
+//!
+//! // Server 1 has no matching rule and serves untouched.
+//! pool.query_load(ServerId(1)).unwrap();
+//! assert_eq!(cluster.plan().events().len(), 1);
+//! ```
 
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;

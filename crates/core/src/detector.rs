@@ -43,6 +43,33 @@
 //! using [`FailureDetector::expected_latency_us`] (an EWMA over *all*
 //! replies, slow ones included) to predict what waiting would cost.
 
+//!
+//! # Examples
+//!
+//! ```
+//! use rmp_core::FailureDetector;
+//! use rmp_types::ServerId;
+//!
+//! let mut d = FailureDetector::new();
+//! let s = ServerId(0);
+//! // Twenty clean data-path replies at ~100µs establish a baseline.
+//! for _ in 0..20 {
+//!     d.on_reply(s, 100.0, true);
+//! }
+//! assert!(!d.is_suspect(s));
+//!
+//! // One deadline miss is strong evidence: the server turns Suspect.
+//! d.on_miss(s);
+//! assert!(d.is_suspect(s));
+//!
+//! // Clean data-path replies decay the score back below the exit
+//! // threshold — hysteresis, not a fixed clean-call count.
+//! for _ in 0..10 {
+//!     d.on_reply(s, 100.0, true);
+//! }
+//! assert!(!d.is_suspect(s));
+//! ```
+
 use std::collections::HashMap;
 
 use rmp_types::ServerId;

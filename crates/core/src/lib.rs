@@ -30,6 +30,7 @@ pub mod engine;
 pub mod pager;
 pub mod pool;
 pub mod prefetch;
+pub mod reactor;
 pub mod recovery;
 pub mod sharded;
 pub mod transport;
@@ -40,7 +41,8 @@ pub use chaos::{
 };
 pub use detector::FailureDetector;
 pub use pager::{Pager, PagerBuilder};
-pub use pool::ServerPool;
+pub use pool::{PendingPageIn, ServerPool};
+pub use reactor::{PendingReplies, WindowStats, WindowedTransport};
 pub use recovery::RecoveryReport;
 pub use sharded::{ShardedPager, ShardedPagerBuilder};
 pub use transport::{ServerTransport, TcpTransport};

@@ -127,6 +127,14 @@ impl PagerBuilder {
     }
 }
 
+/// One prefetch batch in flight on a server's request window: the page
+/// ids it will fill (paired with their store keys, in reply order) and
+/// the pool handle to collect it.
+struct PendingPrefetch {
+    entries: Vec<(PageId, StoreKey)>,
+    handle: crate::pool::PendingPageIn,
+}
+
 /// The Remote Memory Pager client (Section 3.1).
 ///
 /// Implements [`PagingDevice`], so any [`rmp_vm::PagedMemory`] — or any
@@ -156,6 +164,11 @@ pub struct Pager {
     stride: StrideDetector,
     /// Pages fetched ahead of demand along the detected stride.
     prefetch: PrefetchCache,
+    /// Prefetch batches in flight on windowed transports: issued without
+    /// waiting, harvested when ready (or when a demand fault needs one of
+    /// their pages). Empty when the pool's transports have no request
+    /// window — those prefetches run synchronously as before.
+    pending_prefetch: Vec<PendingPrefetch>,
     /// Useless-prefetch count already forwarded to the metrics counter
     /// (the cache tracks a running total; counters only add).
     prefetch_useless_reported: u64,
@@ -259,6 +272,7 @@ impl Pager {
             active_plan: None,
             stride: StrideDetector::new(),
             prefetch: PrefetchCache::new(prefetch_capacity),
+            pending_prefetch: Vec::new(),
             prefetch_useless_reported: 0,
             metrics: PagerMetrics::new(registry),
         })
@@ -497,6 +511,9 @@ impl Pager {
         // layout.
         self.stride.reset();
         self.prefetch.clear();
+        // Dropping the handles abandons the fetches: their window slots
+        // free immediately and late replies are discarded on arrival.
+        self.pending_prefetch.clear();
         self.sync_useless();
         Ok(plan.report())
     }
@@ -685,10 +702,57 @@ impl Pager {
         }
     }
 
+    /// Whether `pid` is being fetched by an in-flight prefetch batch.
+    fn prefetch_inflight(&self, pid: PageId) -> bool {
+        self.pending_prefetch
+            .iter()
+            .any(|p| p.entries.iter().any(|&(e, _)| e == pid))
+    }
+
+    /// Collects finished prefetch batches into the cache. Ready batches
+    /// always drain without blocking; when `need` names a page, the batch
+    /// carrying it is collected even if that means waiting for the reply
+    /// (a demand fault that overlaps an in-flight prefetch waits for the
+    /// one fetch rather than issuing a duplicate).
+    ///
+    /// A batch that failed is simply dropped — prefetching is speculative,
+    /// and the demand path refetches with full retry if the page matters.
+    fn harvest_prefetches(&mut self, need: Option<PageId>) {
+        let mut i = 0;
+        while i < self.pending_prefetch.len() {
+            let wanted = need.is_some_and(|id| {
+                self.pending_prefetch[i]
+                    .entries
+                    .iter()
+                    .any(|&(pid, _)| pid == id)
+            });
+            if !wanted && !self.pending_prefetch[i].handle.is_ready() {
+                i += 1;
+                continue;
+            }
+            let PendingPrefetch { entries, handle } = self.pending_prefetch.swap_remove(i);
+            let Ok(pages) = self.pool.finish_page_in_batch(handle) else {
+                continue;
+            };
+            for ((pid, _), page) in entries.into_iter().zip(pages) {
+                if let Some(page) = page {
+                    // Each page that came back is a real wire fetch; the
+                    // stats stay honest about transfer counts even when
+                    // the fetch ran ahead of demand.
+                    self.stats.net_fetches += 1;
+                    self.prefetch.insert(pid, page);
+                }
+            }
+        }
+    }
+
     /// Issues one best-effort batched prefetch of the next
     /// `prefetch_window` pages along `stride`: predictions are grouped by
     /// the server that holds their primary copy and fetched with a single
-    /// pipelined batch per server instead of one round trip per page.
+    /// batch per server instead of one round trip per page. On windowed
+    /// transports the batch is only *submitted* here — it rides the
+    /// request window alongside demand traffic and is harvested when
+    /// ready — while blocking transports fetch synchronously as before.
     /// Failures are swallowed — a wrong guess must never fail the demand
     /// fault that triggered it.
     fn maybe_prefetch(&mut self, id: PageId, stride: Option<i64>) {
@@ -697,12 +761,18 @@ impl Pager {
         if window == 0 {
             return;
         }
+        // Pull in whatever read-ahead has landed since the last fault.
+        self.harvest_prefetches(None);
         // Refill the window only once the runway is gone: while the next
-        // predicted page is still cached, topping up one page per access
-        // would pay a round trip per pagein and erase the batching win.
+        // predicted page is still cached (or already on the wire), topping
+        // up one page per access would pay a round trip per pagein and
+        // erase the batching win.
         if let Some(next) = (id.0 as i64).checked_add(stride) {
-            if next >= 0 && self.prefetch.contains(PageId(next as u64)) {
-                return;
+            if next >= 0 {
+                let pid = PageId(next as u64);
+                if self.prefetch.contains(pid) || self.prefetch_inflight(pid) {
+                    return;
+                }
             }
         }
         let mut by_server: HashMap<ServerId, Vec<(PageId, StoreKey)>> = HashMap::new();
@@ -717,7 +787,7 @@ impl Pager {
                 break;
             }
             let pid = PageId(next as u64);
-            if self.prefetch.contains(pid) {
+            if self.prefetch.contains(pid) || self.prefetch_inflight(pid) {
                 continue;
             }
             // Only pages whose primary copy sits in remote memory are
@@ -728,7 +798,10 @@ impl Pager {
             };
             by_server.entry(server).or_default().push((pid, key));
         }
-        for (server, entries) in by_server {
+        for (server, mut entries) in by_server {
+            // The async path submits a single frame; keep the issue list
+            // within one frame's page cap so entries and replies pair 1:1.
+            entries.truncate(self.pool.batch_max_pages());
             // Prefetching is optional work on the demand path: issuing a
             // batch at a gray server would stall the very fault this
             // prefetch is trying to hide. Those pages fall through to
@@ -737,16 +810,28 @@ impl Pager {
                 self.metrics.prefetch_skipped_gray.add(entries.len() as u64);
                 continue;
             }
+            // One outstanding batch per server: issuing a second while the
+            // first is still on the wire would just queue behind it.
+            if self
+                .pending_prefetch
+                .iter()
+                .any(|p| p.handle.server() == server)
+            {
+                continue;
+            }
             let keys: Vec<StoreKey> = entries.iter().map(|&(_, key)| key).collect();
             self.metrics.prefetch_issued.add(keys.len() as u64);
+            if let Some(handle) = self.pool.spawn_page_in_batch(server, &keys) {
+                self.pending_prefetch
+                    .push(PendingPrefetch { entries, handle });
+                continue;
+            }
+            // No request window on this transport: fetch synchronously.
             let Ok(pages) = self.pool.page_in_batch(server, &keys) else {
                 continue;
             };
             for ((pid, _), page) in entries.into_iter().zip(pages) {
                 if let Some(page) = page {
-                    // Each page that came back is a real wire fetch; the
-                    // stats stay honest about transfer counts even when
-                    // the fetch ran ahead of demand.
                     self.stats.net_fetches += 1;
                     self.prefetch.insert(pid, page);
                 }
@@ -793,6 +878,11 @@ impl Pager {
             return self.demand_page_in(id);
         }
         let stride = self.stride.observe(id);
+        // A demand fault overlapping an in-flight prefetch waits for that
+        // one fetch (it is already on the wire) instead of duplicating it.
+        if self.prefetch_inflight(id) {
+            self.harvest_prefetches(Some(id));
+        }
         if let Some(page) = self.prefetch.take(id) {
             // A prefetched copy is held to the same store-corruption
             // check as a wire read; a corrupt one is dropped here and

@@ -10,6 +10,7 @@ use rmp_types::metrics::{Counter, EventKind, Gauge, Histogram, MetricsRegistry};
 use rmp_types::{ErrorCode, Page, Result, RmpError, ServerId, StoreKey, TransportConfig};
 
 use crate::detector::{FailureDetector, Verdict};
+use crate::reactor::{PendingReplies, WindowedTransport};
 use crate::transport::{ServerTransport, TcpTransport};
 
 /// Frames requested per allocation round-trip; the client consumes the
@@ -30,6 +31,11 @@ struct PoolMetrics {
     wire_transfers: Arc<Counter>,
     hedged_pageins: Arc<Counter>,
     hedge_wins: Arc<Counter>,
+    /// Sum of in-flight windowed frames across all connections, sampled
+    /// after each call.
+    window_depth: Arc<Gauge>,
+    /// Submissions that found a request window full and had to wait.
+    window_stalls: Arc<Counter>,
     call_latency: Arc<Histogram>,
     /// Per-server latency histograms (`pool_call_latency_us{srvN}`),
     /// resolved on first use so only servers that take traffic appear.
@@ -51,6 +57,8 @@ impl PoolMetrics {
             wire_transfers: registry.counter("pool_wire_transfers_total"),
             hedged_pageins: registry.counter("pool_hedged_pageins_total"),
             hedge_wins: registry.counter("pool_hedge_wins_total"),
+            window_depth: registry.gauge("pool_window_depth"),
+            window_stalls: registry.counter("pool_window_stalls_total"),
             call_latency: registry.histogram("pool_call_latency_us"),
             per_server_latency: HashMap::new(),
             per_server_suspicion: HashMap::new(),
@@ -132,8 +140,64 @@ pub struct ServerPool {
     /// Tag for the next batch frame, echoed by its reply so replies can
     /// be matched even if a transport delivers them out of order.
     next_batch_seq: u32,
+    /// Per-server windowed-transport stall counts already mirrored into
+    /// `pool_window_stalls_total` (transport stats are cumulative; the
+    /// metric only takes deltas). Entries reset on reconnect/replace.
+    window_stalls_seen: HashMap<ServerId, u64>,
     /// Observability hooks; `None` (the default) records nothing.
     metrics: Option<PoolMetrics>,
+}
+
+/// A batch fetch in flight on a server's request window, started by
+/// [`ServerPool::spawn_page_in_batch`] and collected by
+/// [`ServerPool::finish_page_in_batch`]. The prefetcher holds these while
+/// the pager keeps faulting: the fetch and the demand traffic share one
+/// windowed connection.
+///
+/// Dropping the handle abandons the fetch — the window slot frees and the
+/// reply is discarded on arrival.
+pub struct PendingPageIn {
+    server: ServerId,
+    seq: u32,
+    keys: Vec<StoreKey>,
+    issued: Instant,
+    pending: PendingReplies,
+}
+
+impl PendingPageIn {
+    /// The server this fetch is running against.
+    pub fn server(&self) -> ServerId {
+        self.server
+    }
+
+    /// The keys requested, in reply order.
+    pub fn keys(&self) -> &[StoreKey] {
+        &self.keys
+    }
+
+    /// Whether `key` is among the requested keys — the demand path checks
+    /// this before blocking on an overlapping prefetch instead of
+    /// re-fetching the page itself.
+    pub fn contains(&self, key: StoreKey) -> bool {
+        self.keys.contains(&key)
+    }
+
+    /// Whether the reply has arrived: `finish_page_in_batch` will not
+    /// block.
+    pub fn is_ready(&self) -> bool {
+        self.pending.is_ready()
+    }
+}
+
+/// Dials `addr` with the transport the config selects: the windowed
+/// reactor when more than one in-flight frame is allowed, the blocking
+/// one-frame-at-a-time transport otherwise.
+fn dial_transport(addr: &str, cfg: &TransportConfig) -> Result<Box<dyn ServerTransport>> {
+    if cfg.window_max_inflight > 1 {
+        Ok(Box::new(WindowedTransport::connect_with(addr, cfg)?))
+    } else {
+        Ok(Box::new(TcpTransport::connect_with(addr, cfg)?))
+    }
 }
 
 impl ServerPool {
@@ -162,6 +226,7 @@ impl ServerPool {
             verify_checksums: true,
             batch_max_pages: 16,
             next_batch_seq: 1,
+            window_stalls_seen: HashMap::new(),
             metrics: None,
         }
     }
@@ -217,9 +282,9 @@ impl ServerPool {
     pub fn connect_with(registry: &Registry, transport_cfg: TransportConfig) -> Result<Self> {
         let mut pool = ServerPool::with_transport_config(transport_cfg);
         for info in registry.iter() {
-            let transport = TcpTransport::connect_with(&info.addr, &pool.transport_cfg)?;
+            let transport = dial_transport(&info.addr, &pool.transport_cfg)?;
             pool.addrs.insert(info.id, info.addr.clone());
-            pool.add_transport(info.id, Box::new(transport), info.link_cost);
+            pool.add_transport(info.id, transport, info.link_cost);
         }
         Ok(pool)
     }
@@ -258,9 +323,10 @@ impl ServerPool {
             .addrs
             .get(&id)
             .ok_or_else(|| RmpError::Config(format!("no known address for {id}")))?;
-        let transport = TcpTransport::connect_with(addr, &self.transport_cfg)?;
-        self.transports.insert(id, Box::new(transport));
+        let transport = dial_transport(addr, &self.transport_cfg)?;
+        self.transports.insert(id, transport);
         self.grants.remove(&id);
+        self.window_stalls_seen.remove(&id);
         self.detector.reset(id);
         self.publish_suspicion(id);
         self.view.mark_alive(id);
@@ -275,6 +341,7 @@ impl ServerPool {
     pub fn replace_transport(&mut self, id: ServerId, transport: Box<dyn ServerTransport>) {
         self.transports.insert(id, transport);
         self.grants.remove(&id);
+        self.window_stalls_seen.remove(&id);
         self.detector.reset(id);
         self.publish_suspicion(id);
         self.view.mark_alive(id);
@@ -439,7 +506,32 @@ impl ServerPool {
             m.call_latency.record(elapsed);
             m.server_latency(id).record(elapsed);
         }
+        self.publish_window_stats();
         elapsed.as_secs_f64() * 1_000_000.0
+    }
+
+    /// Mirrors the windowed transports' counters into the pool metrics:
+    /// `pool_window_depth` (sum of in-flight frames across connections)
+    /// and `pool_window_stalls_total` (per-server stall deltas, since the
+    /// transport's counters are cumulative and the metric only grows).
+    /// A no-op when no metrics are attached or no transport has a window.
+    fn publish_window_stats(&mut self) {
+        let Some(m) = &mut self.metrics else { return };
+        let mut depth = 0u64;
+        let mut any = false;
+        for (id, t) in self.transports.iter() {
+            let Some(ws) = t.window_stats() else { continue };
+            any = true;
+            depth += ws.inflight as u64;
+            let seen = self.window_stalls_seen.entry(*id).or_insert(0);
+            if ws.stalls > *seen {
+                m.window_stalls.add(ws.stalls - *seen);
+            }
+            *seen = ws.stalls;
+        }
+        if any {
+            m.window_depth.set(depth);
+        }
     }
 
     /// Mirrors the detector's current score for `id` into its
@@ -501,6 +593,12 @@ impl ServerPool {
             m.calls.inc();
         }
         let max_attempts = self.transport_cfg.retry.max_attempts.max(1);
+        // The whole call — every attempt, backoff, and redial — runs
+        // against one budget resolved *now*, at entry. (An earlier version
+        // re-derived the deadline from `Instant::now()` on each attempt,
+        // so each retry inherited a fresh budget and a slow-failing server
+        // could hold a caller far past the intended bound.)
+        let deadline = Instant::now() + self.transport_cfg.effective_call_budget();
         let mut saw_timeout = false;
         let data_path = msgs.iter().any(Message::is_data_op);
         for attempt in 0..max_attempts {
@@ -559,6 +657,13 @@ impl ServerPool {
                     if attempt + 1 >= max_attempts {
                         break;
                     }
+                    if Instant::now() >= deadline {
+                        // Attempts remain but the call budget is spent;
+                        // further retries would only stretch the stall the
+                        // budget exists to bound.
+                        saw_timeout = true;
+                        break;
+                    }
                     // Transient until proven otherwise: deprioritize the
                     // server, give it a moment, and redial.
                     self.view.mark_suspect(id);
@@ -581,7 +686,13 @@ impl ServerPool {
                     let backoff = self.transport_cfg.retry.backoff_for(attempt);
                     if !backoff.is_zero() {
                         let jittered = backoff.as_secs_f64() * self.jitter_factor();
-                        std::thread::sleep(Duration::from_secs_f64(jittered.max(0.0)));
+                        // Never sleep past the call deadline: the backoff
+                        // is clamped to whatever budget remains.
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        let sleep = Duration::from_secs_f64(jittered.max(0.0)).min(remaining);
+                        if !sleep.is_zero() {
+                            std::thread::sleep(sleep);
+                        }
                     }
                     // A restarted server lost this client's grants; drop
                     // them so the next reserve re-allocates.
@@ -914,6 +1025,132 @@ impl ServerPool {
                             "unexpected batch read outcome Ack".into(),
                         ))
                     }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Starts a batch fetch on `id`'s request window without waiting for
+    /// the reply: the frame is submitted onto the windowed transport and a
+    /// handle comes back immediately, so the caller (the prefetcher)
+    /// overlaps the fetch with whatever it does next — including demand
+    /// faults on the *same* connection.
+    ///
+    /// Returns `None` when it cannot run asynchronously — the transport
+    /// has no request window (blocking TCP, test fakes, chaos wrappers),
+    /// the submission failed, or `keys` is empty — and the caller falls
+    /// back to the synchronous [`ServerPool::page_in_batch`]. At most
+    /// [`ServerPool::batch_max_pages`] keys are taken; excess keys are
+    /// ignored rather than split (a prefetch is best-effort by nature).
+    pub fn spawn_page_in_batch(
+        &mut self,
+        id: ServerId,
+        keys: &[StoreKey],
+    ) -> Option<PendingPageIn> {
+        if keys.is_empty() {
+            return None;
+        }
+        let keys: Vec<StoreKey> = keys.iter().take(self.batch_max_pages).copied().collect();
+        let seq = self.batch_seq();
+        let frame = Message::PageInBatch {
+            seq,
+            ids: keys.clone(),
+        };
+        let transport = self.transports.get_mut(&id)?;
+        let pending = match transport.submit(std::slice::from_ref(&frame))? {
+            Ok(pending) => pending,
+            // A failed submission (dead connection, stalled window) is not
+            // worth a retry storm for a speculative fetch; the demand path
+            // will exercise the full retry machinery if the server really
+            // is in trouble.
+            Err(_) => return None,
+        };
+        Some(PendingPageIn {
+            server: id,
+            seq,
+            keys,
+            issued: Instant::now(),
+            pending,
+        })
+    }
+
+    /// Collects a fetch started by [`ServerPool::spawn_page_in_batch`],
+    /// blocking if the reply has not arrived yet (poll
+    /// [`PendingPageIn::is_ready`] first to avoid that). Pages come back
+    /// in request order, misses as `None`, exactly like
+    /// [`ServerPool::page_in_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures surface directly — no retry, no
+    /// redial, no death sentence: a speculative fetch that fails is simply
+    /// dropped, and the reply latency (or miss) still feeds the failure
+    /// detector so sustained trouble shows up where it matters.
+    pub fn finish_page_in_batch(&mut self, pending: PendingPageIn) -> Result<Vec<Option<Page>>> {
+        let PendingPageIn {
+            server: id,
+            seq,
+            keys,
+            issued,
+            pending,
+        } = pending;
+        let outcome = pending.wait_all();
+        let latency_us = issued.elapsed().as_secs_f64() * 1_000_000.0;
+        let replies = match outcome {
+            Ok(replies) => replies,
+            Err(e) => {
+                self.detector.on_miss(id);
+                self.publish_suspicion(id);
+                self.publish_window_stats();
+                return Err(e);
+            }
+        };
+        self.note_reply(id, latency_us, true);
+        self.publish_window_stats();
+        let mut replies = replies.into_iter();
+        let (reply_seq, hint, items) = match replies.next() {
+            Some(Message::BatchReply { seq, hint, items }) => (seq, hint, items),
+            Some(other) => {
+                return Err(RmpError::Protocol(format!(
+                    "unexpected reply to batch frame: {:?}",
+                    other.opcode()
+                )))
+            }
+            None => return Err(RmpError::Protocol("batch fetch yielded no reply".into())),
+        };
+        if reply_seq != seq {
+            return Err(RmpError::Protocol(format!(
+                "batch seq mismatch: sent {seq}, got {reply_seq}"
+            )));
+        }
+        if items.len() != keys.len() {
+            return Err(RmpError::Protocol(format!(
+                "batch seq {seq}: {} items for {} requests",
+                items.len(),
+                keys.len()
+            )));
+        }
+        self.apply_hint(id, hint);
+        let mut out = Vec::with_capacity(keys.len());
+        for (item, key) in items.into_iter().zip(&keys) {
+            match item {
+                BatchItem::Page { checksum, page } => {
+                    self.note_wire_transfer();
+                    if self.verify_checksums && page.checksum() != checksum {
+                        return Err(RmpError::CorruptPage {
+                            server: id,
+                            key: *key,
+                        });
+                    }
+                    out.push(Some(page));
+                }
+                BatchItem::Miss => out.push(None),
+                BatchItem::Err(code) => return Err(Self::map_item_error(id, *key, code)),
+                BatchItem::Ack => {
+                    return Err(RmpError::Protocol(
+                        "unexpected batch read outcome Ack".into(),
+                    ))
                 }
             }
         }

@@ -14,6 +14,28 @@
 //! server instead of `window` round trips), and subsequent faults that
 //! land on a predicted page are served locally without touching the
 //! wire.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmp_core::prefetch::{PrefetchCache, StrideDetector};
+//! use rmp_types::{Page, PageId};
+//!
+//! // A sequential fault trace: the majority vote locks on stride 1.
+//! let mut stride = StrideDetector::new();
+//! let mut detected = None;
+//! for i in 0..10 {
+//!     detected = stride.observe(PageId(i));
+//! }
+//! assert_eq!(detected, Some(1));
+//!
+//! // The cache hands each prefetched page out exactly once.
+//! let mut cache = PrefetchCache::new(4);
+//! cache.insert(PageId(10), Page::filled(1));
+//! assert!(cache.contains(PageId(10)));
+//! assert!(cache.take(PageId(10)).is_some());
+//! assert!(cache.take(PageId(10)).is_none());
+//! ```
 
 use std::collections::VecDeque;
 

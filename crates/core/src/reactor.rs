@@ -1,0 +1,787 @@
+//! Nonblocking windowed transport: one reactor thread per connection.
+//!
+//! The blocking [`crate::transport::TcpTransport`] parks an OS thread for
+//! every in-flight request, so a single client thread can never keep more
+//! than one frame on the wire. The windowed transport replaces that with
+//! an event-driven reactor: requests are wrapped in seq-tagged
+//! [`Message::Windowed`] envelopes, the submitting thread reserves window
+//! slots under the shared lock and writes the frames itself (one vectored
+//! write per burst, outside the lock), and a per-connection driver thread
+//! does nothing but read: it blocks in `read(2)` so the kernel wakes it
+//! the instant reply bytes arrive, decodes the burst, and matches each
+//! reply — which may arrive out of order — back to its per-call
+//! completion slot by seq. Submission is decoupled from completion, so
+//! demand pageins, prefetch batches, recovery fetches, and pageouts all
+//! overlap on one connection while `Pager`'s synchronous API stays
+//! untouched: a caller that wants its reply simply blocks on the slot's
+//! condition variable (the waker handoff; see `DESIGN.md` §13).
+//!
+//! The window itself is negotiated at connect time: the client sends
+//! [`Message::Hello`] asking for [`rmp_types::TransportConfig::window_max_inflight`]
+//! outstanding frames and the server grants at most its own per-session
+//! cap. Submissions beyond the granted window stall (counted in
+//! [`WindowStats::stalls`]) until a completion frees a slot, bounding both
+//! client memory and server queue depth.
+//!
+//! Lock order: `Shared::inner` before any `Slot::state`. The driver and
+//! submitters take `inner` first; waiters take their slot's lock alone,
+//! and re-acquire `inner` (after releasing the slot) only to abandon a
+//! timed-out seq.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmp_core::reactor::WindowedTransport;
+//! use rmp_proto::Message;
+//! use rmp_server::{MemoryServer, ServerConfig};
+//! use rmp_types::TransportConfig;
+//!
+//! let server = MemoryServer::spawn(ServerConfig::default()).unwrap();
+//! let addr = server.addr().to_string();
+//! let mut t = WindowedTransport::connect_with(&addr, &TransportConfig::default()).unwrap();
+//!
+//! // Submit two requests back to back, then collect both replies: they
+//! // share the connection and the server may answer either first.
+//! let pending = t.submit(&[Message::LoadQuery, Message::GetStats]).unwrap();
+//! let replies = pending.wait_all().unwrap();
+//! assert!(matches!(replies[0], Message::LoadReport { .. }));
+//! assert!(matches!(replies[1], Message::StatsReply { .. }));
+//! ```
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use rmp_proto::{FrameAccumulator, Framed, Message};
+use rmp_types::{ErrorCode, Result, RmpError, TransportConfig};
+
+use crate::transport::ServerTransport;
+
+/// The driver's `SO_RCVTIMEO`: its blocking read returns within this
+/// interval even with no data, so it can recheck the shutdown flag. Data
+/// arrival wakes it immediately — the tick only bounds teardown latency,
+/// never completion latency.
+const DRIVER_TICK: Duration = Duration::from_millis(100);
+
+/// Cumulative counters of one windowed connection, snapshotted by
+/// [`WindowedTransport::stats`]. Counters reset when the connection is
+/// re-established.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WindowStats {
+    /// Granted window (outstanding-frame limit) of this connection.
+    pub window: usize,
+    /// Seq-tagged frames currently awaiting replies.
+    pub inflight: usize,
+    /// Times a submission found the window full and had to wait.
+    pub stalls: u64,
+    /// Frames submitted onto the window.
+    pub submitted: u64,
+    /// Replies matched back to a waiting slot.
+    pub completed: u64,
+    /// Replies whose seq no longer had a waiter (abandoned after a
+    /// deadline); dropped on the floor.
+    pub late_replies: u64,
+    /// Times the driver thread woke from its blocking read (reply bytes
+    /// arrived, or an idle tick to recheck shutdown).
+    pub wakeups: u64,
+}
+
+/// Why a connection stopped serving; reproduced into an error for every
+/// pending and future call ([`RmpError`] is not `Clone`, so each slot gets
+/// a freshly built instance).
+#[derive(Debug)]
+enum Dead {
+    Io(io::ErrorKind, String),
+    Remote(ErrorCode, String),
+}
+
+impl Dead {
+    fn to_error(&self) -> RmpError {
+        match self {
+            Dead::Io(kind, msg) => RmpError::Io(io::Error::new(*kind, msg.clone())),
+            Dead::Remote(code, message) => RmpError::Remote {
+                code: *code,
+                message: message.clone(),
+            },
+        }
+    }
+}
+
+/// One call's completion slot: the waker handed from the submitting
+/// thread to the driver.
+#[derive(Default)]
+struct Slot {
+    state: Mutex<Option<Result<Message>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn complete(&self, result: Result<Message>) {
+        *self.state.lock().expect("slot lock") = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+struct Inner {
+    /// In-flight seqs to their completion slots.
+    pending: HashMap<u32, Arc<Slot>>,
+    inflight: usize,
+    next_seq: u32,
+    window: usize,
+    shutdown: bool,
+    dead: Option<Dead>,
+    stalls: u64,
+    submitted: u64,
+    completed: u64,
+    late_replies: u64,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Wakes submitters stalled on a full window.
+    space_cv: Condvar,
+    wakeups: AtomicU64,
+}
+
+impl Shared {
+    fn new(window: usize) -> Self {
+        Shared {
+            inner: Mutex::new(Inner {
+                pending: HashMap::new(),
+                inflight: 0,
+                next_seq: 0,
+                window,
+                shutdown: false,
+                dead: None,
+                stalls: 0,
+                submitted: 0,
+                completed: 0,
+                late_replies: 0,
+            }),
+            space_cv: Condvar::new(),
+            wakeups: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("reactor lock")
+    }
+}
+
+/// Fails every pending slot and refuses future submissions. Idempotent.
+fn mark_dead(inner: &mut Inner, reason: Dead, space_cv: &Condvar) {
+    if inner.dead.is_some() {
+        return;
+    }
+    for (_, slot) in inner.pending.drain() {
+        slot.complete(Err(reason.to_error()));
+    }
+    inner.inflight = 0;
+    inner.dead = Some(reason);
+    space_cv.notify_all();
+}
+
+/// Writes every segment to the blocking socket as a sequence of vectored
+/// writes — a full window of frames (each a 12-byte envelope prefix plus
+/// its body) leaves in one `writev(2)` instead of two syscalls per frame.
+///
+/// Called by the submitting thread only, never while holding
+/// [`Shared::inner`]: a blocking write that stalled on a full send buffer
+/// while holding the lock would wedge the driver (which needs the lock to
+/// complete replies) and deadlock the connection. The socket's
+/// `SO_SNDTIMEO` bounds the stall; hitting it surfaces as `TimedOut`.
+fn write_segments(stream: &TcpStream, segments: &[Bytes]) -> io::Result<()> {
+    /// Segments gathered per `writev`; 64 covers a 32-frame window.
+    const WRITEV_BATCH: usize = 64;
+    let mut seg = 0;
+    let mut off = 0;
+    while seg < segments.len() {
+        let slices: Vec<io::IoSlice<'_>> = std::iter::once(io::IoSlice::new(&segments[seg][off..]))
+            .chain(segments[seg + 1..].iter().map(|b| io::IoSlice::new(b)))
+            .take(WRITEV_BATCH)
+            .collect();
+        match (&*stream).write_vectored(&slices) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "socket accepted no bytes",
+                ));
+            }
+            Ok(written) => {
+                let mut n = written + off;
+                while seg < segments.len() && n >= segments[seg].len() {
+                    n -= segments[seg].len();
+                    seg += 1;
+                }
+                off = n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "socket write stalled past the write deadline",
+                ));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Routes one inbound frame: enveloped replies complete their seq's slot;
+/// a bare `Error` (e.g. an accept-time overload refusal) concerns the
+/// whole connection and fails everything.
+fn complete_frame(inner: &mut Inner, msg: Message, space_cv: &Condvar) {
+    match msg {
+        Message::Windowed { seq, inner: reply } => match inner.pending.remove(&seq) {
+            Some(slot) => {
+                inner.inflight -= 1;
+                inner.completed += 1;
+                slot.complete(Ok(*reply));
+                // Hysteresis: wake stalled submitters only once half the
+                // window has drained, so each wakeup injects half a
+                // window of frames in one vectored write. Waking on
+                // every completion costs a condvar-and-scheduler round
+                // trip per frame — the submitter trickles in one frame
+                // per reply and the pipeline collapses to lockstep.
+                // Liveness: every in-flight frame completes (or is
+                // abandoned/failed, which notifies unconditionally), so
+                // `inflight` always reaches the threshold.
+                if inner.inflight * 2 <= inner.window {
+                    space_cv.notify_all();
+                }
+            }
+            None => inner.late_replies += 1,
+        },
+        Message::Error { code, message } => {
+            mark_dead(inner, Dead::Remote(code, message), space_cv);
+        }
+        other => {
+            mark_dead(
+                inner,
+                Dead::Io(
+                    io::ErrorKind::InvalidData,
+                    format!("bare {:?} frame on a windowed session", other.opcode()),
+                ),
+                space_cv,
+            );
+        }
+    }
+}
+
+/// The per-connection driver: a dedicated blocking reader. It parks
+/// inside `read(2)` — the kernel wakes it the moment reply bytes arrive,
+/// so completion latency is scheduling-bound, not poll-interval-bound —
+/// decodes each burst, and completes slots. The socket's `SO_RCVTIMEO`
+/// ([`DRIVER_TICK`]) bounds how long a fully idle driver goes between
+/// shutdown-flag checks. Exits when the connection dies or the transport
+/// shuts down (teardown also shuts the socket down, turning a parked
+/// read into an immediate EOF).
+fn drive(stream: TcpStream, shared: Arc<Shared>) {
+    let mut acc = FrameAccumulator::new();
+    // Large enough to take a full 32-frame burst of page replies (the
+    // server writes each burst's replies as one block) in one read.
+    let mut rbuf = vec![0u8; 256 * 1024];
+    loop {
+        let mut fatal: Option<Dead> = None;
+        let mut read = 0;
+        match (&stream).read(&mut rbuf) {
+            Ok(0) => {
+                fatal = Some(Dead::Io(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection".into(),
+                ));
+            }
+            Ok(n) => read = n,
+            // An SO_RCVTIMEO tick (EAGAIN on Linux, TimedOut elsewhere):
+            // no data yet; fall through to the shutdown check below.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => fatal = Some(Dead::Io(e.kind(), e.to_string())),
+        }
+        shared.wakeups.fetch_add(1, Ordering::Relaxed);
+        acc.extend(&rbuf[..read]);
+
+        // Decode the burst before taking the lock — deserializing a page
+        // reply copies 4 KiB, and submitters need the lock to refill the
+        // window while we work through a burst.
+        let mut burst = Vec::new();
+        loop {
+            match acc.next_frame() {
+                Ok(Some(msg)) => burst.push(msg),
+                Ok(None) => break,
+                Err(e) => {
+                    fatal = Some(Dead::Io(io::ErrorKind::InvalidData, e.to_string()));
+                    break;
+                }
+            }
+        }
+
+        let mut inner = shared.lock();
+        for msg in burst {
+            complete_frame(&mut inner, msg, &shared.space_cv);
+        }
+        if let Some(reason) = fatal {
+            mark_dead(&mut inner, reason, &shared.space_cv);
+        }
+        if inner.dead.is_some() {
+            return;
+        }
+        if inner.shutdown {
+            mark_dead(
+                &mut inner,
+                Dead::Io(io::ErrorKind::ConnectionReset, "transport shut down".into()),
+                &shared.space_cv,
+            );
+            return;
+        }
+    }
+}
+
+/// Replies still owed for a batch of submitted frames.
+///
+/// Returned by [`WindowedTransport::submit`]; consume with
+/// [`PendingReplies::wait_all`], or poll [`PendingReplies::is_ready`]
+/// first to avoid blocking (the prefetch path does). Dropping the handle
+/// abandons the outstanding seqs: their window slots are released
+/// immediately and late replies are discarded when they arrive.
+pub struct PendingReplies {
+    shared: Arc<Shared>,
+    read_timeout: Duration,
+    slots: Vec<(u32, Arc<Slot>)>,
+    taken: usize,
+}
+
+impl PendingReplies {
+    /// Whether every reply has already arrived: `wait_all` will not block.
+    pub fn is_ready(&self) -> bool {
+        self.slots[self.taken..]
+            .iter()
+            .all(|(_, slot)| slot.state.lock().expect("slot lock").is_some())
+    }
+
+    /// Blocks until every submitted frame has its reply, returning them
+    /// in submission order.
+    ///
+    /// # Errors
+    ///
+    /// The first failed slot fails the whole batch (the pool retries
+    /// whole batches): a reply outstanding past the read deadline returns
+    /// a `TimedOut` I/O error, a dead connection the error that killed
+    /// it, and a protocol `Error` reply [`RmpError::Remote`]. Remaining
+    /// outstanding seqs are abandoned.
+    pub fn wait_all(mut self) -> Result<Vec<Message>> {
+        let mut replies = Vec::with_capacity(self.slots.len() - self.taken);
+        while self.taken < self.slots.len() {
+            let (seq, slot) = {
+                let (seq, ref slot) = self.slots[self.taken];
+                (seq, Arc::clone(slot))
+            };
+            self.taken += 1;
+            match self.wait_slot(seq, &slot)? {
+                Message::Error { code, message } => return Err(RmpError::Remote { code, message }),
+                reply => replies.push(reply),
+            }
+        }
+        Ok(replies)
+    }
+
+    fn wait_slot(&self, seq: u32, slot: &Slot) -> Result<Message> {
+        let deadline = Instant::now() + self.read_timeout;
+        let mut state = slot.state.lock().expect("slot lock");
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(state);
+                let mut inner = self.shared.lock();
+                if inner.pending.remove(&seq).is_some() {
+                    // Abandoned: the slot frees now, the reply (if it
+                    // ever comes) is dropped as late.
+                    inner.inflight -= 1;
+                    self.shared.space_cv.notify_all();
+                    return Err(RmpError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "windowed call timed out",
+                    )));
+                }
+                drop(inner);
+                // The driver completed this seq between our timeout and
+                // the abandon attempt; the result is there now.
+                state = slot.state.lock().expect("slot lock");
+                continue;
+            }
+            let (guard, _) = slot
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("slot lock");
+            state = guard;
+        }
+    }
+}
+
+impl Drop for PendingReplies {
+    fn drop(&mut self) {
+        if self.taken >= self.slots.len() {
+            return;
+        }
+        let mut inner = self.shared.lock();
+        let mut freed = false;
+        for (seq, _) in &self.slots[self.taken..] {
+            if inner.pending.remove(seq).is_some() {
+                inner.inflight -= 1;
+                freed = true;
+            }
+        }
+        if freed {
+            self.shared.space_cv.notify_all();
+        }
+    }
+}
+
+/// Event-driven replacement for [`crate::transport::TcpTransport`]: a
+/// sliding window of seq-tagged frames kept in flight on one nonblocking
+/// connection (see the [module docs](self)).
+///
+/// Selected by the pool whenever
+/// [`rmp_types::TransportConfig::window_max_inflight`] is above 1.
+pub struct WindowedTransport {
+    addr: String,
+    config: TransportConfig,
+    shared: Arc<Shared>,
+    stream: Option<TcpStream>,
+    driver: Option<JoinHandle<()>>,
+    granted: usize,
+}
+
+impl std::fmt::Debug for WindowedTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedTransport")
+            .field("addr", &self.addr)
+            .field("granted", &self.granted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WindowedTransport {
+    /// Connects to `addr` (`host:port`) with default deadlines and window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> Result<Self> {
+        WindowedTransport::connect_with(addr, &TransportConfig::default())
+    }
+
+    /// Dials `addr`, performs the `Hello` handshake on the still-blocking
+    /// socket, then switches it nonblocking and starts the driver thread.
+    ///
+    /// Only dial failures error out. A failed *handshake* (the server
+    /// refused with a typed `Error`, timed out, or spoke garbage) yields
+    /// a transport whose calls all return that failure — mirroring the
+    /// blocking transport, where an accept-time refusal surfaces on the
+    /// first call, so the pool's retry/reconnect logic sees identical
+    /// shapes from both transports.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut` when no connection is established within the deadline;
+    /// otherwise propagates resolution and connection failures.
+    pub fn connect_with(addr: &str, config: &TransportConfig) -> Result<Self> {
+        let mut transport = WindowedTransport {
+            addr: addr.to_string(),
+            config: config.clone(),
+            shared: Arc::new(Shared::new(1)),
+            stream: None,
+            driver: None,
+            granted: 1,
+        };
+        transport.establish()?;
+        Ok(transport)
+    }
+
+    /// The address this transport dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The window the server granted (1 when the handshake failed).
+    pub fn granted_window(&self) -> usize {
+        self.granted
+    }
+
+    fn install_dead(&mut self, reason: Dead) {
+        let shared = Shared::new(1);
+        shared.lock().dead = Some(reason);
+        self.shared = Arc::new(shared);
+        self.stream = None;
+        self.driver = None;
+        self.granted = 1;
+    }
+
+    fn establish(&mut self) -> Result<()> {
+        let stream = crate::transport::dial(&self.addr, &self.config)?;
+        let mut framed = Framed::new(stream);
+        let requested = self.config.window_max_inflight.max(1) as u32;
+        let handshake = framed
+            .send(&Message::Hello { window: requested })
+            .and_then(|()| framed.recv());
+        match handshake {
+            Ok(Message::HelloReply { window }) => {
+                let granted = (window.max(1) as usize).min(requested as usize);
+                let stream = framed.into_inner();
+                // The socket stays blocking: the driver parks in read(2)
+                // with SO_RCVTIMEO as its shutdown-check tick, and the
+                // submitter's writes are bounded by SO_SNDTIMEO (already
+                // set to the write timeout by `dial`).
+                stream.set_read_timeout(Some(DRIVER_TICK))?;
+                let driver_stream = stream.try_clone()?;
+                let shared = Arc::new(Shared::new(granted));
+                let driver_shared = Arc::clone(&shared);
+                let driver = std::thread::Builder::new()
+                    .name(format!("rmp-reactor-{}", self.addr))
+                    .spawn(move || drive(driver_stream, driver_shared))?;
+                self.shared = shared;
+                self.stream = Some(stream);
+                self.driver = Some(driver);
+                self.granted = granted;
+                Ok(())
+            }
+            Ok(Message::Error { code, message }) => {
+                self.install_dead(Dead::Remote(code, message));
+                Ok(())
+            }
+            Ok(other) => {
+                self.install_dead(Dead::Io(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected {:?} handshake reply", other.opcode()),
+                ));
+                Ok(())
+            }
+            Err(RmpError::Remote { code, message }) => {
+                self.install_dead(Dead::Remote(code, message));
+                Ok(())
+            }
+            Err(RmpError::Io(e)) => {
+                self.install_dead(Dead::Io(e.kind(), e.to_string()));
+                Ok(())
+            }
+            Err(other) => {
+                self.install_dead(Dead::Io(io::ErrorKind::InvalidData, other.to_string()));
+                Ok(())
+            }
+        }
+    }
+
+    fn teardown(&mut self) {
+        {
+            let mut inner = self.shared.lock();
+            inner.shutdown = true;
+            mark_dead(
+                &mut inner,
+                Dead::Io(io::ErrorKind::ConnectionReset, "transport torn down".into()),
+                &self.shared.space_cv,
+            );
+        }
+        // Shutting the socket down turns the driver's parked read into an
+        // immediate EOF, so the join below never waits a full tick.
+        if let Some(stream) = self.stream.take() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(driver) = self.driver.take() {
+            let _ = driver.join();
+        }
+    }
+
+    /// Submits every message in `msgs` onto the request window without
+    /// waiting for replies; the returned handle collects them later.
+    /// Stalls (bounded by the write deadline) when the window is full.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut` when the window stays full past the write deadline;
+    /// the connection's terminal error when it has died. Frames already
+    /// enqueued before a mid-batch failure stay in flight and their
+    /// replies are discarded on arrival.
+    pub fn submit(&mut self, msgs: &[Message]) -> Result<PendingReplies> {
+        let write_deadline = Instant::now() + self.config.write_timeout;
+        // Encode before taking the lock: a page-carrying frame costs a
+        // 4 KiB copy, and the driver needs the lock to complete replies
+        // — encoding under it would stall completions for the whole
+        // batch. The envelope prefix (which needs the seq) is built
+        // under the lock, but that is 12 bytes, not a page.
+        let encoded: Vec<Bytes> = msgs.iter().map(Message::encode).collect();
+        let mut slots = Vec::with_capacity(msgs.len());
+        let mut queued: Vec<Bytes> = Vec::with_capacity(msgs.len().min(self.granted) * 2);
+        let mut inner = self.shared.lock();
+        for frame in encoded {
+            if let Some(dead) = &inner.dead {
+                return Err(dead.to_error());
+            }
+            let mut counted_stall = false;
+            while inner.inflight >= inner.window {
+                if !counted_stall {
+                    inner.stalls += 1;
+                    counted_stall = true;
+                }
+                // The window is full: flush what this batch has queued
+                // so the server can drain it, then sleep until a
+                // completion frees a slot. The flush drops the lock for
+                // the write, so re-test everything afterwards.
+                if !queued.is_empty() {
+                    inner = self.flush(inner, &mut queued);
+                    if let Some(dead) = &inner.dead {
+                        return Err(dead.to_error());
+                    }
+                    continue;
+                }
+                let now = Instant::now();
+                if now >= write_deadline {
+                    return Err(RmpError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "request window stalled past the write deadline",
+                    )));
+                }
+                let (guard, _) = self
+                    .shared
+                    .space_cv
+                    .wait_timeout(inner, write_deadline - now)
+                    .expect("reactor lock");
+                inner = guard;
+                if let Some(dead) = &inner.dead {
+                    return Err(dead.to_error());
+                }
+            }
+            let seq = inner.next_seq;
+            inner.next_seq = inner.next_seq.wrapping_add(1);
+            let slot = Arc::new(Slot::default());
+            inner.pending.insert(seq, Arc::clone(&slot));
+            inner.inflight += 1;
+            inner.submitted += 1;
+            let [prefix, body] = Message::windowed_segments(seq, frame);
+            queued.push(prefix);
+            queued.push(body);
+            slots.push((seq, slot));
+        }
+        if !queued.is_empty() {
+            inner = self.flush(inner, &mut queued);
+            if let Some(dead) = &inner.dead {
+                return Err(dead.to_error());
+            }
+        }
+        drop(inner);
+        Ok(PendingReplies {
+            shared: Arc::clone(&self.shared),
+            read_timeout: self.config.read_timeout,
+            slots,
+            taken: 0,
+        })
+    }
+
+    /// Releases the lock, writes the queued segments to the socket, and
+    /// re-acquires the lock; a write failure kills the connection (the
+    /// caller observes `inner.dead`). See [`write_segments`] for why the
+    /// write must not happen under the lock.
+    fn flush<'a>(
+        &'a self,
+        inner: MutexGuard<'a, Inner>,
+        queued: &mut Vec<Bytes>,
+    ) -> MutexGuard<'a, Inner> {
+        drop(inner);
+        let result = match &self.stream {
+            Some(stream) => write_segments(stream, queued),
+            // No stream means the handshake failed and `dead` is already
+            // installed; the caller's dead-check surfaces it.
+            None => Ok(()),
+        };
+        queued.clear();
+        let mut inner = self.shared.lock();
+        if let Err(e) = result {
+            mark_dead(
+                &mut inner,
+                Dead::Io(e.kind(), e.to_string()),
+                &self.shared.space_cv,
+            );
+        }
+        inner
+    }
+
+    /// Current window counters.
+    pub fn stats(&self) -> WindowStats {
+        let inner = self.shared.lock();
+        WindowStats {
+            window: inner.window,
+            inflight: inner.inflight,
+            stalls: inner.stalls,
+            submitted: inner.submitted,
+            completed: inner.completed,
+            late_replies: inner.late_replies,
+            wakeups: self.shared.wakeups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ServerTransport for WindowedTransport {
+    fn call(&mut self, msg: &Message) -> Result<Message> {
+        let replies = self.submit(std::slice::from_ref(msg))?.wait_all()?;
+        replies
+            .into_iter()
+            .next()
+            .ok_or_else(|| RmpError::Protocol("windowed call yielded no reply".into()))
+    }
+
+    fn call_pipelined(&mut self, msgs: &[Message]) -> Result<Vec<Message>> {
+        self.submit(msgs)?.wait_all()
+    }
+
+    fn send_only(&mut self, msg: &Message) -> Result<()> {
+        // Bare frame, no envelope: used for crash injection, where no
+        // reply will come and no window slot should be held.
+        {
+            let inner = self.shared.lock();
+            if let Some(dead) = &inner.dead {
+                return Err(dead.to_error());
+            }
+        }
+        let Some(stream) = &self.stream else {
+            return Err(RmpError::Protocol("no stream on a live transport".into()));
+        };
+        if let Err(e) = write_segments(stream, &[msg.encode()]) {
+            let mut inner = self.shared.lock();
+            let dead = Dead::Io(e.kind(), e.to_string());
+            mark_dead(&mut inner, dead, &self.shared.space_cv);
+            return Err(RmpError::Io(e));
+        }
+        Ok(())
+    }
+
+    fn reconnect(&mut self) -> Result<()> {
+        self.teardown();
+        self.establish()
+    }
+
+    fn submit(&mut self, msgs: &[Message]) -> Option<Result<PendingReplies>> {
+        Some(WindowedTransport::submit(self, msgs))
+    }
+
+    fn window_stats(&self) -> Option<WindowStats> {
+        Some(self.stats())
+    }
+}
+
+impl Drop for WindowedTransport {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}

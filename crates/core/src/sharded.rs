@@ -28,6 +28,38 @@
 //! them while they work, so no application thread can interleave a write
 //! with a half-done recovery pass. Anything locking more than one shard
 //! must take them in ascending order.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmp_cluster::{Registry, ServerInfo};
+//! use rmp_core::ShardedPager;
+//! use rmp_server::{MemoryServer, ServerConfig};
+//! use rmp_types::{Page, PageId, PagerConfig, Policy, ServerId};
+//!
+//! let mut registry = Registry::new();
+//! let mut handles = Vec::new();
+//! for i in 0..2u32 {
+//!     let h = MemoryServer::spawn(ServerConfig::default()).unwrap();
+//!     registry
+//!         .add(ServerInfo {
+//!             id: ServerId(i),
+//!             addr: h.addr().to_string(),
+//!             link_cost: 1.0,
+//!         })
+//!         .unwrap();
+//!     handles.push(h);
+//! }
+//!
+//! // Two shards, each a complete pager with its own connections; pages
+//! // round-robin across them by id, and callers share one `&self` API.
+//! let config = PagerConfig::new(Policy::Mirroring).with_shard_count(2);
+//! let pager = ShardedPager::connect(config, &registry).unwrap();
+//! pager.page_out(PageId(1), &Page::filled(9)).unwrap();
+//! pager.page_out(PageId(2), &Page::filled(4)).unwrap();
+//! assert_eq!(pager.page_in(PageId(1)).unwrap(), Page::filled(9));
+//! assert_eq!(pager.page_in(PageId(2)).unwrap(), Page::filled(4));
+//! ```
 
 use parking_lot::Mutex;
 use rmp_blockdev::PagingDevice;

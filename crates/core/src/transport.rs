@@ -57,6 +57,22 @@ pub trait ServerTransport: Send {
     fn reconnect(&mut self) -> Result<()> {
         Err(RmpError::Unsupported("transport cannot reconnect"))
     }
+
+    /// Submits `msgs` onto this transport's request window without
+    /// waiting for the replies, returning a handle the caller completes
+    /// later (see [`crate::reactor::PendingReplies`]). `None` when the
+    /// transport has no window — blocking TCP, in-process fakes — in
+    /// which case callers fall back to the synchronous paths.
+    fn submit(&mut self, msgs: &[Message]) -> Option<Result<crate::reactor::PendingReplies>> {
+        let _ = msgs;
+        None
+    }
+
+    /// Cumulative request-window counters, when this transport runs a
+    /// reactor; `None` for blocking transports and fakes.
+    fn window_stats(&self) -> Option<crate::reactor::WindowStats> {
+        None
+    }
 }
 
 /// TCP transport — "the RMP connects to the remote memory servers using
@@ -114,7 +130,7 @@ impl TcpTransport {
     }
 }
 
-fn dial(addr: &str, config: &TransportConfig) -> Result<TcpStream> {
+pub(crate) fn dial(addr: &str, config: &TransportConfig) -> Result<TcpStream> {
     let socket_addr = addr
         .to_socket_addrs()?
         .next()

@@ -731,6 +731,7 @@ fn silent_server_cannot_block_the_paging_path() {
             max_backoff: Duration::from_millis(2),
             jitter: 0.0,
         },
+        ..TransportConfig::default()
     };
     let mut pool = ServerPool::with_transport_config(cfg.clone());
     let transport = TcpTransport::connect_with(&addr, &cfg).expect("connect");

@@ -1,0 +1,380 @@
+//! Integration tests of the windowed (reactor) transport: out-of-order
+//! completion, deadline expiry, reconnect, the pool's call budget, and
+//! the pager running end to end over a windowed pool.
+
+use std::time::{Duration, Instant};
+
+use rmp_blockdev::{PagingDevice, RamDisk};
+use rmp_cluster::{Registry, ServerInfo};
+use rmp_core::{Pager, ServerPool, ServerTransport, WindowedTransport};
+use rmp_proto::Message;
+use rmp_server::{MemoryServer, ServerConfig, ServerHandle};
+use rmp_types::{
+    Page, PageId, PagerConfig, Policy, Result, RetryPolicy, RmpError, ServerId, StoreKey,
+    TransportConfig,
+};
+
+fn spawn_server(capacity: usize) -> ServerHandle {
+    MemoryServer::spawn(ServerConfig {
+        capacity_pages: capacity,
+        overflow_fraction: 0.10,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server")
+}
+
+fn page_out(key: StoreKey, page: &Page) -> Message {
+    Message::PageOut {
+        id: key,
+        checksum: page.checksum(),
+        page: page.clone(),
+    }
+}
+
+#[test]
+fn handshake_negotiates_window() {
+    let server = spawn_server(64);
+    let cfg = TransportConfig {
+        window_max_inflight: 16,
+        ..TransportConfig::default()
+    };
+    let t = WindowedTransport::connect_with(&server.addr().to_string(), &cfg).expect("connect");
+    assert_eq!(t.granted_window(), 16, "server grants the asked window");
+    server.shutdown();
+}
+
+#[test]
+fn batch_larger_than_window_drains_through_the_stall_path() {
+    // A 64-frame batch at window=1 forces submit() to stall on window
+    // space 63 times. Regression: each stall iteration must flush the
+    // frame it just enqueued and wake the driver — an earlier version
+    // slept without doing either, so an idle driver parked ~100ms per
+    // frame and the batch blew the 2s write deadline.
+    let server = spawn_server(256);
+    let cfg = TransportConfig {
+        window_max_inflight: 1,
+        ..TransportConfig::default()
+    };
+    let mut t = WindowedTransport::connect_with(&server.addr().to_string(), &cfg).expect("connect");
+    assert_eq!(t.granted_window(), 1);
+
+    let msgs: Vec<Message> = (0..64u64)
+        .map(|i| page_out(StoreKey(i), &Page::deterministic(i)))
+        .collect();
+    let started = Instant::now();
+    let pending = WindowedTransport::submit(&mut t, &msgs).expect("submit");
+    let replies = pending.wait_all().expect("replies");
+    let elapsed = started.elapsed();
+    assert_eq!(replies.len(), 64);
+    for r in &replies {
+        assert!(matches!(r, Message::PageOutAck { .. }), "ack, got {r:?}");
+    }
+    assert!(
+        elapsed < Duration::from_millis(1500),
+        "64 frames through a window of 1 took {elapsed:?}; the stall \
+         path must flush and wake the driver each iteration"
+    );
+    let stats = t.stats();
+    assert_eq!(stats.submitted, 64);
+    assert_eq!(stats.completed, 64);
+    assert!(stats.stalls >= 1, "the window genuinely stalled");
+    server.shutdown();
+}
+
+#[test]
+fn overlapping_submissions_complete_out_of_order() {
+    let server = spawn_server(64);
+    let mut t =
+        WindowedTransport::connect_with(&server.addr().to_string(), &TransportConfig::default())
+            .expect("connect");
+
+    // Store pages, then submit a mixed burst: the server answers control
+    // ops before data ops, so replies genuinely arrive out of order and
+    // the seq matching must reassemble submission order.
+    for i in 0..8u64 {
+        let page = Page::deterministic(i);
+        let reply = t.call(&page_out(StoreKey(i), &page)).expect("store");
+        assert!(matches!(reply, Message::PageOutAck { .. }));
+    }
+    let mut msgs = Vec::new();
+    for i in 0..8u64 {
+        msgs.push(Message::PageIn { id: StoreKey(i) });
+    }
+    msgs.push(Message::LoadQuery);
+    let pending = WindowedTransport::submit(&mut t, &msgs).expect("submit");
+    let replies = pending.wait_all().expect("replies");
+    assert_eq!(replies.len(), 9);
+    for (i, reply) in replies[..8].iter().enumerate() {
+        let Message::PageInReply { id, page, .. } = reply else {
+            panic!("expected PageInReply at {i}, got {reply:?}");
+        };
+        assert_eq!(*id, StoreKey(i as u64));
+        assert_eq!(*page, Page::deterministic(i as u64), "page {i} contents");
+    }
+    assert!(matches!(replies[8], Message::LoadReport { .. }));
+
+    let stats = t.stats();
+    assert_eq!(stats.submitted, 8 + 9, "all frames were submitted");
+    assert_eq!(stats.completed, 8 + 9, "all replies matched a waiter");
+    assert_eq!(stats.inflight, 0, "window fully drained");
+    server.shutdown();
+}
+
+#[test]
+fn single_thread_keeps_many_frames_in_flight() {
+    let server = spawn_server(256);
+    // A long stall on every request: with a blocking transport these 8
+    // fetches would serialize into >= 8 stalls; the window overlaps them.
+    server.set_stall(Duration::from_millis(40));
+    let mut t =
+        WindowedTransport::connect_with(&server.addr().to_string(), &TransportConfig::default())
+            .expect("connect");
+    let msgs: Vec<Message> = (0..8u64)
+        .map(|i| Message::PageIn { id: StoreKey(i) })
+        .collect();
+    let start = Instant::now();
+    let pending = WindowedTransport::submit(&mut t, &msgs).expect("submit");
+    let replies = pending.wait_all().expect("replies");
+    let elapsed = start.elapsed();
+    assert_eq!(replies.len(), 8);
+    // Serialized, 8 x 40ms = 320ms minimum. Overlapped on one connection
+    // the stalls still serialize *server-side* per session in the read
+    // loop, but all 8 frames ship in one burst — allow generous slack and
+    // only require better than fully-serialized round trips.
+    assert!(
+        elapsed < Duration::from_millis(1500),
+        "8 overlapped fetches took {elapsed:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn reply_past_deadline_times_out_and_is_dropped_late() {
+    let server = spawn_server(64);
+    let cfg = TransportConfig {
+        read_timeout: Duration::from_millis(80),
+        ..TransportConfig::default()
+    };
+    let mut t = WindowedTransport::connect_with(&server.addr().to_string(), &cfg).expect("connect");
+    server.set_stall(Duration::from_millis(300));
+    let err = t
+        .call(&Message::PageIn { id: StoreKey(1) })
+        .expect_err("reply is 300ms away, deadline is 80ms");
+    assert!(err.is_timeout(), "classified as a timeout: {err:?}");
+    assert!(
+        err.is_server_failure(),
+        "timeouts count as server failures for the retry loop: {err:?}"
+    );
+    server.set_stall(Duration::ZERO);
+    // The abandoned seq's reply arrives eventually and is dropped as
+    // late; the connection itself stays usable.
+    std::thread::sleep(Duration::from_millis(400));
+    let reply = t.call(&Message::LoadQuery).expect("connection survived");
+    assert!(matches!(reply, Message::LoadReport { .. }));
+    assert_eq!(t.stats().late_replies, 1, "the stale reply was discarded");
+    server.shutdown();
+}
+
+#[test]
+fn transport_reconnect_revives_a_restarted_server() {
+    let server = spawn_server(64);
+    let mut t =
+        WindowedTransport::connect_with(&server.addr().to_string(), &TransportConfig::default())
+            .expect("connect");
+    t.call(&page_out(StoreKey(1), &Page::filled(7)))
+        .expect("store");
+    server.crash();
+    assert!(
+        t.call(&Message::LoadQuery).is_err(),
+        "crash severs the reactor connection"
+    );
+    server.restart();
+    t.reconnect().expect("redial");
+    let reply = t.call(&Message::LoadQuery).expect("fresh session");
+    assert!(matches!(reply, Message::LoadReport { .. }));
+    server.shutdown();
+}
+
+#[test]
+fn pool_batches_ride_the_window() {
+    let server = spawn_server(256);
+    let mut registry = Registry::new();
+    registry
+        .add(ServerInfo {
+            id: ServerId(0),
+            addr: server.addr().to_string(),
+            link_cost: 1.0,
+        })
+        .expect("register");
+    let mut pool = ServerPool::connect(&registry).expect("connect");
+    let pages: Vec<(StoreKey, Page)> = (0..40u64)
+        .map(|i| (pool.fresh_key(), Page::deterministic(i)))
+        .collect();
+    pool.page_out_batch(ServerId(0), &pages).expect("batch out");
+    let keys: Vec<StoreKey> = pages.iter().map(|(k, _)| *k).collect();
+
+    // Async spawn/finish: the fetch overlaps with this thread's other
+    // work (here, a demand call on the same connection).
+    let pending = pool
+        .spawn_page_in_batch(ServerId(0), &keys)
+        .expect("windowed transport accepts async batches");
+    assert_eq!(pending.server(), ServerId(0));
+    assert!(pending.contains(keys[0]));
+    let reply = pool.query_load(ServerId(0)).expect("demand call overlaps");
+    assert!(reply.1 > 0, "server reports stored pages");
+    let fetched = pool.finish_page_in_batch(pending).expect("collect");
+    for (i, page) in fetched.iter().take(16).enumerate() {
+        assert_eq!(
+            page.as_ref().expect("present"),
+            &Page::deterministic(i as u64),
+            "page {i} contents"
+        );
+    }
+    server.shutdown();
+}
+
+/// A transport where every call burns `delay` and then fails as a
+/// timeout — the pathological slow-failing server of the call-budget
+/// regression.
+struct SlowFailTransport {
+    delay: Duration,
+}
+
+impl ServerTransport for SlowFailTransport {
+    fn call(&mut self, _msg: &Message) -> Result<Message> {
+        std::thread::sleep(self.delay);
+        Err(RmpError::Io(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "slow fail",
+        )))
+    }
+
+    fn send_only(&mut self, _msg: &Message) -> Result<()> {
+        Ok(())
+    }
+
+    fn reconnect(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn call_budget_bounds_the_whole_retry_loop() {
+    // Generous attempts and backoffs, tiny budget: without the entry-time
+    // deadline each attempt would inherit a fresh budget and the call
+    // would run ~10 x (50ms + 100ms) = 1.5s. The budget must cut it off.
+    let cfg = TransportConfig {
+        read_timeout: Duration::from_millis(50),
+        retry: RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.0,
+        },
+        call_budget: Some(Duration::from_millis(150)),
+        ..TransportConfig::default()
+    };
+    let mut pool = ServerPool::with_transport_config(cfg);
+    pool.add_transport(
+        ServerId(0),
+        Box::new(SlowFailTransport {
+            delay: Duration::from_millis(50),
+        }),
+        1.0,
+    );
+    let start = Instant::now();
+    let err = pool
+        .page_in(ServerId(0), StoreKey(1))
+        .expect_err("every attempt fails");
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(err, RmpError::Timeout(ServerId(0))),
+        "budget expiry surfaces as the typed timeout: {err:?}"
+    );
+    // One attempt (50ms) + clamped backoff (<= 100ms remaining) + one
+    // more attempt (50ms) at most ~250ms; give scheduling slack but stay
+    // far under the unbudgeted 1.5s.
+    assert!(
+        elapsed < Duration::from_millis(700),
+        "call returned in ~budget time, took {elapsed:?}"
+    );
+    assert!(
+        pool.last_call_attempts() < 10,
+        "the budget, not the attempt count, ended the loop"
+    );
+}
+
+#[test]
+fn pager_pages_through_a_windowed_pool() {
+    let mut handles = Vec::new();
+    let mut registry = Registry::new();
+    for i in 0..2 {
+        let handle = spawn_server(4096);
+        registry
+            .add(ServerInfo {
+                id: ServerId(i as u32),
+                addr: handle.addr().to_string(),
+                link_cost: 1.0,
+            })
+            .expect("register");
+        handles.push(handle);
+    }
+    let pool = ServerPool::connect(&registry).expect("connect");
+    let config = PagerConfig::new(Policy::Mirroring).with_prefetch_window(8);
+    let mut pager = Pager::builder(config)
+        .pool(pool)
+        .disk(Box::new(RamDisk::unbounded()))
+        .build()
+        .expect("build pager");
+    for i in 0..120u64 {
+        pager
+            .page_out(PageId(i), &Page::deterministic(i))
+            .expect("pageout");
+    }
+    // A sequential sweep: the stride detector locks on and the prefetcher
+    // issues async batches that overlap the demand faults.
+    for i in 0..120u64 {
+        assert_eq!(
+            pager.page_in(PageId(i)).expect("pagein"),
+            Page::deterministic(i),
+            "page {i} contents"
+        );
+    }
+    let hits = pager.metrics().counter("pager_prefetch_hits_total").get();
+    assert!(hits > 0, "sequential sweep produced prefetch hits");
+    let issued = pager.metrics().counter("pager_prefetch_issued_total").get();
+    assert!(issued > 0, "prefetch batches were issued");
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn window_metrics_surface_depth_and_stalls() {
+    let server = spawn_server(256);
+    let mut registry = Registry::new();
+    registry
+        .add(ServerInfo {
+            id: ServerId(0),
+            addr: server.addr().to_string(),
+            link_cost: 1.0,
+        })
+        .expect("register");
+    let mut pool = ServerPool::connect(&registry).expect("connect");
+    let metrics = std::sync::Arc::new(rmp_types::metrics::MetricsRegistry::new());
+    pool.set_metrics(std::sync::Arc::clone(&metrics));
+    let pages: Vec<(StoreKey, Page)> = (0..20u64)
+        .map(|i| (StoreKey(i), Page::deterministic(i)))
+        .collect();
+    pool.page_out_batch(ServerId(0), &pages).expect("batch");
+    let json = metrics.snapshot_json();
+    assert!(
+        json.contains("pool_window_depth"),
+        "window depth gauge registered: {json}"
+    );
+    assert!(
+        json.contains("pool_window_stalls_total"),
+        "window stall counter registered"
+    );
+    server.shutdown();
+}

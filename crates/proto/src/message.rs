@@ -261,6 +261,30 @@ pub enum Message {
         /// One outcome per requested item, in order.
         items: Vec<BatchItem>,
     },
+    /// Opens a windowed session: the client advertises how many
+    /// seq-tagged frames it wants outstanding at once. Sent first on a
+    /// fresh connection, before any [`Message::Windowed`] traffic.
+    Hello {
+        /// Requested window (outstanding-frame limit), at least 1.
+        window: u32,
+    },
+    /// Grants a request window: the minimum of the client's ask and the
+    /// server's per-session cap, never below 1.
+    HelloReply {
+        /// Granted window.
+        window: u32,
+    },
+    /// One seq-tagged frame of a windowed session. `inner` is a complete
+    /// ordinary message (its own header included on the wire); the reply
+    /// echoes `seq`, so the client can keep a window of requests in
+    /// flight and match replies arriving out of order. Envelopes do not
+    /// nest.
+    Windowed {
+        /// Client-chosen tag echoed by the reply.
+        seq: u32,
+        /// The enveloped request or reply.
+        inner: Box<Message>,
+    },
 }
 
 /// Largest JSON payload a [`Message::StatsReply`] can carry and still fit
@@ -297,6 +321,9 @@ impl Message {
             Message::PageOutBatch { .. } => Opcode::PageOutBatch,
             Message::PageInBatch { .. } => Opcode::PageInBatch,
             Message::BatchReply { .. } => Opcode::BatchReply,
+            Message::Hello { .. } => Opcode::Hello,
+            Message::HelloReply { .. } => Opcode::HelloReply,
+            Message::Windowed { .. } => Opcode::Windowed,
         }
     }
 
@@ -309,6 +336,9 @@ impl Message {
     /// `GetStats` promptly while dropping every `PageIn` must not be
     /// re-promoted on the strength of its stats endpoint.
     pub fn is_data_op(&self) -> bool {
+        if let Message::Windowed { inner, .. } = self {
+            return inner.is_data_op();
+        }
         matches!(
             self,
             Message::PageOut { .. }
@@ -353,6 +383,7 @@ impl Message {
                 }
                 false
             }
+            Message::Windowed { inner, .. } => inner.flip_payload_bit(byte, bit),
             _ => false,
         }
     }
@@ -470,6 +501,15 @@ impl Message {
                         BatchItem::Err(code) => payload.put_u8(code.to_u8()),
                     }
                 }
+            }
+            Message::Hello { window } | Message::HelloReply { window } => {
+                payload.put_u32_le(*window);
+            }
+            Message::Windowed { seq, inner } => {
+                let inner_frame = inner.encode();
+                payload.reserve(4 + inner_frame.len());
+                payload.put_u32_le(*seq);
+                payload.put_slice(&inner_frame);
             }
         }
         let mut frame = BytesMut::with_capacity(HEADER_LEN + payload.len());
@@ -723,6 +763,33 @@ impl Message {
                 }
                 Message::BatchReply { seq, hint, items }
             }
+            Opcode::Hello => {
+                need(&buf, 4, "Hello")?;
+                Message::Hello {
+                    window: buf.get_u32_le(),
+                }
+            }
+            Opcode::HelloReply => {
+                need(&buf, 4, "HelloReply")?;
+                Message::HelloReply {
+                    window: buf.get_u32_le(),
+                }
+            }
+            Opcode::Windowed => {
+                need(&buf, 4 + HEADER_LEN, "Windowed")?;
+                let seq = buf.get_u32_le();
+                let hdr = FrameHeader::decode(&mut buf)?;
+                if hdr.opcode == Opcode::Windowed {
+                    return Err(RmpError::Protocol("nested windowed envelope".into()));
+                }
+                need(&buf, hdr.len as usize, "Windowed inner payload")?;
+                let inner_payload = buf.copy_to_bytes(hdr.len as usize);
+                let inner = Message::decode(hdr.opcode, inner_payload)?;
+                Message::Windowed {
+                    seq,
+                    inner: Box::new(inner),
+                }
+            }
         };
         if buf.has_remaining() {
             return Err(RmpError::Protocol(format!(
@@ -732,6 +799,24 @@ impl Message {
             )));
         }
         Ok(msg)
+    }
+
+    /// Builds a windowed envelope around an already-encoded inner frame
+    /// as two segments that share the inner frame's storage: a 12-byte
+    /// envelope prefix (outer header + seq) and the inner frame itself,
+    /// to be written back to back. This is the reactor's zero-copy
+    /// submission path — encoding the equivalent [`Message::Windowed`]
+    /// via [`Message::encode`] would copy the inner frame into the
+    /// envelope payload.
+    pub fn windowed_segments(seq: u32, inner_frame: Bytes) -> [Bytes; 2] {
+        let mut prefix = BytesMut::with_capacity(HEADER_LEN + 4);
+        FrameHeader {
+            opcode: Opcode::Windowed,
+            len: (4 + inner_frame.len()) as u32,
+        }
+        .encode(&mut prefix);
+        prefix.put_u32_le(seq);
+        [prefix.freeze(), inner_frame]
     }
 }
 
@@ -862,6 +947,82 @@ mod tests {
             hint: LoadHint::Ok,
             items: Vec::new(),
         });
+        round_trip(Message::Hello { window: 32 });
+        round_trip(Message::HelloReply { window: 16 });
+        round_trip(Message::Windowed {
+            seq: 77,
+            inner: Box::new(Message::PageIn { id: StoreKey(9) }),
+        });
+        round_trip(Message::Windowed {
+            seq: u32::MAX,
+            inner: Box::new(Message::Error {
+                code: ErrorCode::Overloaded,
+                message: "worker queue full".into(),
+            }),
+        });
+    }
+
+    #[test]
+    fn windowed_full_batch_fits_one_frame() {
+        use crate::wire::{MAX_BATCH_PAGES, MAX_PAYLOAD};
+        // The envelope must be able to carry the largest inner frame (a
+        // full pageout batch) without tripping the payload cap.
+        let msg = Message::Windowed {
+            seq: 3,
+            inner: Box::new(Message::PageOutBatch {
+                seq: 3,
+                pages: (0..MAX_BATCH_PAGES as u64)
+                    .map(|i| BatchPage {
+                        id: StoreKey(i),
+                        checksum: Page::deterministic(i).checksum(),
+                        page: Page::deterministic(i),
+                    })
+                    .collect(),
+            }),
+        };
+        let bytes = msg.encode();
+        assert!(bytes.len() - HEADER_LEN <= MAX_PAYLOAD);
+        let mut buf = bytes.clone();
+        let hdr = FrameHeader::decode(&mut buf).expect("header");
+        assert_eq!(Message::decode(hdr.opcode, buf).expect("payload"), msg);
+    }
+
+    #[test]
+    fn nested_windowed_envelope_rejected() {
+        let inner = Message::Windowed {
+            seq: 1,
+            inner: Box::new(Message::LoadQuery),
+        };
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(2);
+        payload.put_slice(&inner.encode());
+        assert!(Message::decode(Opcode::Windowed, payload.freeze()).is_err());
+    }
+
+    #[test]
+    fn windowed_segments_match_envelope_encoding() {
+        let inner = Message::PageIn { id: StoreKey(41) };
+        let envelope = Message::Windowed {
+            seq: 9,
+            inner: Box::new(inner.clone()),
+        };
+        let [prefix, body] = Message::windowed_segments(9, inner.encode());
+        let mut joined = Vec::from(&prefix[..]);
+        joined.extend_from_slice(&body);
+        assert_eq!(&joined[..], &envelope.encode()[..]);
+    }
+
+    #[test]
+    fn truncated_windowed_inner_rejected() {
+        let envelope = Message::Windowed {
+            seq: 5,
+            inner: Box::new(Message::PageIn { id: StoreKey(1) }),
+        };
+        let bytes = envelope.encode();
+        let mut buf = bytes.clone();
+        let hdr = FrameHeader::decode(&mut buf).expect("header");
+        let truncated = buf.slice(..buf.len() - 1);
+        assert!(Message::decode(hdr.opcode, truncated).is_err());
     }
 
     #[test]

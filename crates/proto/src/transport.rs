@@ -98,6 +98,85 @@ impl<S: Read + Write> Framed<S> {
     }
 }
 
+/// Incremental frame decoder for nonblocking streams.
+///
+/// A nonblocking socket hands back bytes in arbitrary chunks — half a
+/// header here, three frames and a tail there. [`Framed::recv`] cannot be
+/// used on such a stream: its `read_exact` would corrupt the decode state
+/// when a partial frame arrives. `FrameAccumulator` buffers whatever
+/// bytes are available and yields complete [`Message`]s as soon as they
+/// materialize; both the client reactor and the server's windowed session
+/// loop drain their sockets through one of these.
+///
+/// # Examples
+///
+/// ```
+/// use rmp_proto::{FrameAccumulator, Message};
+///
+/// let frame = Message::LoadQuery.encode();
+/// let (head, tail) = frame.split_at(3);
+/// let mut acc = FrameAccumulator::new();
+/// acc.extend(head);
+/// assert!(acc.next_frame().unwrap().is_none()); // partial header buffered
+/// acc.extend(tail);
+/// assert_eq!(acc.next_frame().unwrap(), Some(Message::LoadQuery));
+/// ```
+#[derive(Default)]
+pub struct FrameAccumulator {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        FrameAccumulator::default()
+    }
+
+    /// Appends freshly-read bytes to the internal buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing, bounding the buffer to
+        // the unconsumed tail plus this read.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered bytes not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decodes the next complete frame, if one is fully buffered.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed. Header validation
+    /// (magic, version, opcode, payload cap) happens as soon as the
+    /// header is buffered, so garbage fails fast instead of waiting for a
+    /// bogus payload length to fill.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmpError::Protocol`] on malformed headers or payloads;
+    /// the stream is unrecoverable after an error.
+    pub fn next_frame(&mut self) -> Result<Option<Message>> {
+        if self.buffered() < HEADER_LEN {
+            return Ok(None);
+        }
+        let mut hdr_slice: &[u8] = &self.buf[self.pos..self.pos + HEADER_LEN];
+        let hdr = FrameHeader::decode(&mut hdr_slice)?;
+        let frame_len = HEADER_LEN + hdr.len as usize;
+        if self.buffered() < frame_len {
+            return Ok(None);
+        }
+        let payload_start = self.pos + HEADER_LEN;
+        let payload = bytes::Bytes::copy_from_slice(&self.buf[payload_start..self.pos + frame_len]);
+        self.pos += frame_len;
+        Message::decode(hdr.opcode, payload).map(Some)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,5 +286,72 @@ mod tests {
             other => panic!("expected typed remote error, got {other:?}"),
         }
         assert!(err.to_string().contains("denied"));
+    }
+
+    #[test]
+    fn accumulator_reassembles_byte_by_byte() {
+        let page = Page::deterministic(4);
+        let msg = Message::PageOut {
+            id: StoreKey(11),
+            checksum: page.checksum(),
+            page,
+        };
+        let frame = msg.encode();
+        let mut acc = FrameAccumulator::new();
+        for (i, b) in frame.iter().enumerate() {
+            acc.extend(std::slice::from_ref(b));
+            let got = acc.next_frame().expect("valid stream");
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "frame complete early at byte {i}");
+            } else {
+                assert_eq!(got, Some(msg.clone()));
+            }
+        }
+        assert_eq!(acc.buffered(), 0);
+    }
+
+    #[test]
+    fn accumulator_yields_burst_of_frames_in_order() {
+        let msgs = vec![
+            Message::Windowed {
+                seq: 1,
+                inner: Box::new(Message::PageIn { id: StoreKey(1) }),
+            },
+            Message::Windowed {
+                seq: 2,
+                inner: Box::new(Message::LoadQuery),
+            },
+            Message::Shutdown,
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&m.encode());
+        }
+        let mut acc = FrameAccumulator::new();
+        acc.extend(&wire);
+        for m in &msgs {
+            assert_eq!(acc.next_frame().expect("valid"), Some(m.clone()));
+        }
+        assert_eq!(acc.next_frame().expect("drained"), None);
+    }
+
+    #[test]
+    fn accumulator_rejects_garbage_header_early() {
+        let mut acc = FrameAccumulator::new();
+        // Bad magic with a huge bogus length: must fail as soon as the
+        // header is buffered, not wait for 4 GiB of payload.
+        acc.extend(&[0xDE, 0xAD, 2, 5, 0xFF, 0xFF, 0xFF, 0xFF]);
+        assert!(acc.next_frame().is_err());
+    }
+
+    #[test]
+    fn accumulator_compacts_consumed_prefix() {
+        let frame = Message::LoadQuery.encode();
+        let mut acc = FrameAccumulator::new();
+        for _ in 0..1000 {
+            acc.extend(&frame);
+            assert!(acc.next_frame().expect("valid").is_some());
+        }
+        assert_eq!(acc.buffered(), 0);
     }
 }

@@ -85,6 +85,16 @@ pub enum Opcode {
     PageInBatch = 24,
     /// Server answers a batch request with per-item results.
     BatchReply = 25,
+    /// Client opens a windowed session, advertising the request window
+    /// it wants (sent first on a fresh connection).
+    Hello = 26,
+    /// Server grants a request window: the minimum of the client's ask
+    /// and its own per-session cap.
+    HelloReply = 27,
+    /// Envelope carrying one seq-tagged inner frame of a windowed
+    /// session; the reply echoes the same seq, so many requests can be
+    /// outstanding and answered out of order on one connection.
+    Windowed = 28,
 }
 
 impl Opcode {
@@ -120,6 +130,9 @@ impl Opcode {
             23 => Opcode::PageOutBatch,
             24 => Opcode::PageInBatch,
             25 => Opcode::BatchReply,
+            26 => Opcode::Hello,
+            27 => Opcode::HelloReply,
+            28 => Opcode::Windowed,
             other => return Err(RmpError::Protocol(format!("unknown opcode {other}"))),
         })
     }
@@ -237,9 +250,10 @@ mod tests {
 
     #[test]
     fn all_opcodes_round_trip() {
-        for code in 1..=25u8 {
+        for code in 1..=28u8 {
             let op = Opcode::from_u8(code).expect("valid opcode");
             assert_eq!(op as u8, code);
         }
+        assert!(Opcode::from_u8(29).is_err());
     }
 }

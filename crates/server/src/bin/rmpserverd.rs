@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! rmpserverd [--port P] [--capacity-mb MB] [--overflow FRACTION]
-//!            [--worker-min N] [--worker-max N]
+//!            [--worker-min N] [--worker-max N] [--window-cap N]
 //! ```
 //!
 //! It prints its registry line (`<id> <host:port> <link-cost>`) on
@@ -26,6 +26,7 @@ struct Args {
     id: u32,
     worker_min: usize,
     worker_max: usize,
+    window_cap: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         id: 0,
         worker_min: defaults.worker_min,
         worker_max: defaults.worker_max,
+        window_cap: defaults.window_cap,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,10 +70,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--worker-max: {e}"))?
             }
+            "--window-cap" => {
+                args.window_cap = value("--window-cap")?
+                    .parse()
+                    .map_err(|e| format!("--window-cap: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: rmpserverd [--id N] [--port P] [--capacity-mb MB] [--overflow F] \
-                     [--worker-min N] [--worker-max N]"
+                     [--worker-min N] [--worker-max N] [--window-cap N]"
                 );
                 std::process::exit(0);
             }
@@ -108,6 +115,7 @@ fn main() {
         simulated_cpu_permille: 0,
         worker_min: args.worker_min,
         worker_max: args.worker_max,
+        window_cap: args.window_cap,
     }) {
         Ok(h) => h,
         Err(e) => {

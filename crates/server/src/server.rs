@@ -8,7 +8,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use rmp_proto::{Framed, LoadHint, Message};
+use rmp_proto::{FrameAccumulator, Framed, LoadHint, Message};
 use rmp_types::metrics::{Counter, Histogram, MetricsRegistry};
 use rmp_types::{ErrorCode, Result, RmpError};
 
@@ -34,6 +34,11 @@ pub struct ServerConfig {
     /// further connections; beyond that the server refuses with a typed
     /// `Overloaded` error instead of spawning unbounded threads.
     pub worker_max: usize,
+    /// Per-session cap on the request window granted to windowed
+    /// (`Hello`-handshaking) clients: a client asking for more in-flight
+    /// frames than this is granted exactly this many. Bounds the memory
+    /// a single session's burst can pin on the server.
+    pub window_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +49,7 @@ impl Default for ServerConfig {
             simulated_cpu_permille: 0,
             worker_min: 2,
             worker_max: 64,
+            window_cap: 64,
         }
     }
 }
@@ -272,42 +278,21 @@ fn session_loop(stream: TcpStream, shared: Arc<Shared>, sid: u64) {
             Ok(m) => m,
             Err(_) => break,
         };
-        let start = Instant::now();
-        // The stall lands inside the timed window on purpose: a gray
-        // server's own busy fraction and latency histogram should show
-        // the degradation, exactly as a thrashing host's would.
-        let stall = shared.stall_nanos.load(Ordering::Relaxed);
-        if stall > 0 {
-            std::thread::sleep(std::time::Duration::from_nanos(stall));
-        }
-        match &msg {
-            Message::PageOut { .. } | Message::PageOutDelta { .. } => {
-                shared.metrics.pageouts.inc();
+        if let Message::Hello { window } = msg {
+            // Upgrade to a windowed session: grant at most our cap, then
+            // switch to the burst-draining loop that may answer frames
+            // out of order.
+            let granted = window.max(1).min(shared.config.window_cap.max(1) as u32);
+            if framed
+                .send(&Message::HelloReply { window: granted })
+                .is_ok()
+            {
+                session_loop_windowed(framed.into_inner(), &shared, scope);
             }
-            Message::PageIn { .. } => shared.metrics.pageins.inc(),
-            Message::PageOutBatch { pages, .. } => {
-                shared.metrics.pageouts.add(pages.len() as u64);
-            }
-            Message::PageInBatch { ids, .. } => {
-                shared.metrics.pageins.add(ids.len() as u64);
-            }
-            _ => {}
+            shared.sessions.lock().remove(&sid);
+            return;
         }
-        let reply = handle_message(&shared, scope, msg);
-        // One sample serves both sinks: sampling `elapsed()` twice made
-        // busy-fraction accounting and the latency histogram disagree
-        // about the same request.
-        let elapsed = start.elapsed();
-        shared
-            .busy_nanos
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-        shared.served_requests.fetch_add(1, Ordering::Relaxed);
-        shared.metrics.requests.inc();
-        shared.metrics.latency.record(elapsed);
-        if matches!(&reply, SessionAction::Reply(Message::Error { .. })) {
-            shared.metrics.error_replies.inc();
-        }
-        match reply {
+        match serve_one(&shared, scope, msg) {
             SessionAction::Reply(reply) => {
                 if framed.send(&reply).is_err() {
                     break;
@@ -324,6 +309,175 @@ fn session_loop(stream: TcpStream, shared: Arc<Shared>, sid: u64) {
     // its tracked stream so long-lived servers don't accumulate one fd
     // per client that ever connected.
     shared.sessions.lock().remove(&sid);
+}
+
+/// Serves one decoded request: applies the configured stall, bumps the
+/// data-path metrics, dispatches, and accounts the service time. Shared
+/// by the blocking and windowed session loops (the windowed loop hands
+/// in the *inner* message, already unwrapped from its envelope).
+fn serve_one(shared: &Shared, scope: SessionScope, msg: Message) -> SessionAction {
+    let start = Instant::now();
+    // The stall lands inside the timed window on purpose: a gray
+    // server's own busy fraction and latency histogram should show
+    // the degradation, exactly as a thrashing host's would.
+    let stall = shared.stall_nanos.load(Ordering::Relaxed);
+    if stall > 0 {
+        std::thread::sleep(std::time::Duration::from_nanos(stall));
+    }
+    match &msg {
+        Message::PageOut { .. } | Message::PageOutDelta { .. } => {
+            shared.metrics.pageouts.inc();
+        }
+        Message::PageIn { .. } => shared.metrics.pageins.inc(),
+        Message::PageOutBatch { pages, .. } => {
+            shared.metrics.pageouts.add(pages.len() as u64);
+        }
+        Message::PageInBatch { ids, .. } => {
+            shared.metrics.pageins.add(ids.len() as u64);
+        }
+        _ => {}
+    }
+    let reply = handle_message(shared, scope, msg);
+    // One sample serves both sinks: sampling `elapsed()` twice made
+    // busy-fraction accounting and the latency histogram disagree
+    // about the same request.
+    let elapsed = start.elapsed();
+    shared
+        .busy_nanos
+        .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    shared.served_requests.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.requests.inc();
+    shared.metrics.latency.record(elapsed);
+    if matches!(&reply, SessionAction::Reply(Message::Error { .. })) {
+        shared.metrics.error_replies.inc();
+    }
+    reply
+}
+
+/// Windowed session mode: after the `Hello`/`HelloReply` handshake the
+/// client ships seq-tagged [`Message::Windowed`] envelopes and is owed
+/// one enveloped reply per seq — in whatever order the server produces
+/// them. The loop drains the socket in bursts (blocking for the first
+/// byte, then nonblocking until dry) through a [`FrameAccumulator`], and
+/// answers control frames before data frames within each burst: legal
+/// because every frame is seq-tagged, and it keeps a cheap `LoadQuery`
+/// or `GetStats` from queueing behind a 64-page batch. Relative order
+/// *within* each class is preserved, so same-key data operations never
+/// reorder. Bare (unenveloped) frames are still served and answered
+/// bare — crash injection uses them.
+/// Replies accumulated before the windowed session loop flushes them to
+/// the socket mid-burst. Small enough to keep completions flowing back
+/// (so the client refills the window while the burst is still being
+/// served), large enough to amortize the per-write syscall and client
+/// reactor wakeup over several frames.
+const REPLY_FLUSH_FRAMES: usize = 8;
+
+fn session_loop_windowed(mut stream: TcpStream, shared: &Shared, scope: SessionScope) {
+    use std::io::{Read, Write};
+    let mut acc = FrameAccumulator::new();
+    let mut rbuf = vec![0u8; 256 * 1024];
+    // Replies for the whole burst accumulate here and leave in one
+    // write: per-reply write_all costs a syscall *and* a client-reactor
+    // wakeup each (~4-6 µs per frame on loopback), which starves this
+    // thread's read loop and caps the whole windowed data path.
+    let mut wbuf: Vec<u8> = Vec::new();
+    'session: loop {
+        if shared.crashed.load(Ordering::SeqCst) || shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        // Block until the burst's first bytes arrive...
+        let n = match stream.read(&mut rbuf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        acc.extend(&rbuf[..n]);
+        // ...then opportunistically drain whatever else is already here.
+        let mut eof = false;
+        if stream.set_nonblocking(true).is_ok() {
+            loop {
+                match stream.read(&mut rbuf) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => acc.extend(&rbuf[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        eof = true;
+                        break;
+                    }
+                }
+            }
+            if stream.set_nonblocking(false).is_err() {
+                break;
+            }
+        }
+        let mut burst = Vec::new();
+        loop {
+            match acc.next_frame() {
+                Ok(Some(m)) => burst.push(m),
+                Ok(None) => break,
+                Err(_) => break 'session,
+            }
+        }
+        let (data, control): (Vec<_>, Vec<_>) = burst.into_iter().partition(|m| m.is_data_op());
+        wbuf.clear();
+        let mut served_since_flush = 0usize;
+        let mut action_after_flush: Option<SessionAction> = None;
+        for msg in control.into_iter().chain(data) {
+            let (seq, inner) = match msg {
+                Message::Windowed { seq, inner } => (Some(seq), *inner),
+                bare => (None, bare),
+            };
+            match serve_one(shared, scope, inner) {
+                SessionAction::Reply(reply) => {
+                    let reply = match seq {
+                        Some(seq) => Message::Windowed {
+                            seq,
+                            inner: Box::new(reply),
+                        },
+                        None => reply,
+                    };
+                    wbuf.extend_from_slice(&reply.encode());
+                    served_since_flush += 1;
+                    // Flush every few replies instead of at burst end:
+                    // replies flowing back mid-burst let the client free
+                    // window slots and inject the next frames while this
+                    // thread is still serving — withholding the whole
+                    // burst serializes the pipeline into lockstep.
+                    if served_since_flush >= REPLY_FLUSH_FRAMES {
+                        if stream.write_all(&wbuf).is_err() {
+                            break 'session;
+                        }
+                        wbuf.clear();
+                        served_since_flush = 0;
+                    }
+                }
+                // Replies already produced this burst still go out
+                // before the session ends — matching the per-reply
+                // write behavior this batch replaced.
+                action => {
+                    action_after_flush = Some(action);
+                    break;
+                }
+            }
+        }
+        if !wbuf.is_empty() && stream.write_all(&wbuf).is_err() {
+            break;
+        }
+        match action_after_flush {
+            Some(SessionAction::Crash) => {
+                crash_now(shared);
+                break;
+            }
+            Some(_) => break,
+            None => {}
+        }
+        if eof {
+            break;
+        }
+    }
 }
 
 enum SessionAction {
@@ -1346,6 +1500,150 @@ mod tests {
         };
         assert_eq!(ga, 6);
         assert_eq!(gb, 2, "only 2 frames remained");
+        server.shutdown();
+    }
+
+    /// Perform the Hello handshake and return the framed stream plus the
+    /// granted window.
+    fn windowed_connect(handle: &ServerHandle, ask: u32) -> (Framed<TcpStream>, u32) {
+        let mut c = connect(handle);
+        let reply = c.call(&Message::Hello { window: ask }).expect("hello");
+        let Message::HelloReply { window } = reply else {
+            panic!("expected HelloReply, got {reply:?}");
+        };
+        (c, window)
+    }
+
+    fn windowed(seq: u32, inner: Message) -> Message {
+        Message::Windowed {
+            seq,
+            inner: Box::new(inner),
+        }
+    }
+
+    #[test]
+    fn hello_grants_window_capped_by_config() {
+        let server = MemoryServer::spawn(ServerConfig {
+            capacity_pages: 8,
+            window_cap: 4,
+            ..ServerConfig::default()
+        })
+        .expect("spawn");
+        let (_c, granted) = windowed_connect(&server, 1000);
+        assert_eq!(granted, 4, "grant is clamped to the session cap");
+        let (_c2, granted) = windowed_connect(&server, 2);
+        assert_eq!(granted, 2, "smaller asks pass through");
+        server.shutdown();
+    }
+
+    #[test]
+    fn windowed_round_trip_preserves_seq() {
+        let server = small_server();
+        let (mut c, granted) = windowed_connect(&server, 8);
+        assert!(granted >= 1);
+        let page = Page::deterministic(7);
+        let reply = c
+            .call(&windowed(42, page_out(StoreKey(5), page.clone())))
+            .expect("windowed pageout");
+        let Message::Windowed { seq, inner } = reply else {
+            panic!("expected enveloped reply, got {reply:?}");
+        };
+        assert_eq!(seq, 42, "reply carries the request seq");
+        assert!(matches!(*inner, Message::PageOutAck { .. }));
+        let reply = c
+            .call(&windowed(43, Message::PageIn { id: StoreKey(5) }))
+            .expect("windowed pagein");
+        let Message::Windowed { seq, inner } = reply else {
+            panic!("expected enveloped reply, got {reply:?}");
+        };
+        assert_eq!(seq, 43);
+        let Message::PageInReply { page: got, .. } = *inner else {
+            panic!("expected PageInReply");
+        };
+        assert_eq!(got, page);
+        server.shutdown();
+    }
+
+    #[test]
+    fn windowed_burst_replies_control_before_data() {
+        use std::io::Write;
+        let server = small_server();
+        let (c, _) = windowed_connect(&server, 8);
+        let mut stream = c.into_inner();
+        // One write carrying a data op first, then a control op. The
+        // windowed loop reorders control ahead of data, so the LoadQuery
+        // reply (seq 1) must come back before the PageIn reply (seq 0) —
+        // a genuinely out-of-order completion that only the seq tags make
+        // legal.
+        let mut burst = Vec::new();
+        burst.extend_from_slice(&windowed(0, Message::PageIn { id: StoreKey(9) }).encode());
+        burst.extend_from_slice(&windowed(1, Message::LoadQuery).encode());
+        stream.write_all(&burst).expect("burst write");
+        let mut c = Framed::new(stream);
+        let first = c.recv().expect("first reply");
+        let Message::Windowed { seq, inner } = first else {
+            panic!("expected enveloped reply");
+        };
+        assert_eq!(seq, 1, "control reply overtakes the data op");
+        assert!(matches!(*inner, Message::LoadReport { .. }));
+        let second = c.recv().expect("second reply");
+        let Message::Windowed { seq, inner } = second else {
+            panic!("expected enveloped reply");
+        };
+        assert_eq!(seq, 0);
+        assert!(matches!(*inner, Message::PageInMiss { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn windowed_session_survives_many_interleaved_ops() {
+        let server = small_server();
+        let (mut c, _) = windowed_connect(&server, 16);
+        for round in 0..50u64 {
+            let key = StoreKey(round % 8);
+            let page = Page::deterministic(round);
+            let reply = c
+                .call(&windowed(round as u32, page_out(key, page)))
+                .expect("pageout");
+            let Message::Windowed { inner, .. } = reply else {
+                panic!("expected enveloped reply");
+            };
+            assert!(matches!(*inner, Message::PageOutAck { .. }));
+        }
+        assert_eq!(server.stored_pages(), 8);
+        server.shutdown();
+    }
+
+    #[test]
+    fn crash_severs_windowed_session() {
+        let server = small_server();
+        let (mut c, _) = windowed_connect(&server, 8);
+        c.call(&windowed(0, page_out(StoreKey(1), Page::filled(3))))
+            .expect("store");
+        server.crash();
+        // The next windowed exchange fails: the session is severed.
+        let res = c.call(&windowed(1, Message::PageIn { id: StoreKey(1) }));
+        assert!(res.is_err(), "crash severs windowed sessions");
+        server.shutdown();
+    }
+
+    #[test]
+    fn enveloped_hello_is_rejected_not_fatal() {
+        let server = small_server();
+        let (mut c, _) = windowed_connect(&server, 8);
+        let reply = c
+            .call(&windowed(0, Message::Hello { window: 4 }))
+            .expect("call");
+        let Message::Windowed { inner, .. } = reply else {
+            panic!("expected enveloped reply");
+        };
+        assert!(
+            matches!(*inner, Message::Error { .. }),
+            "a second in-band Hello is an error reply, not a session kill"
+        );
+        // Session still serves afterwards.
+        let reply = c.call(&windowed(1, Message::LoadQuery)).expect("still up");
+        assert!(matches!(reply, Message::Windowed { .. }));
         server.shutdown();
     }
 }

@@ -77,6 +77,17 @@ pub struct TransportConfig {
     pub write_timeout: Duration,
     /// Retry/backoff behaviour on transient failures.
     pub retry: RetryPolicy,
+    /// Request window per server connection: how many seq-tagged frames
+    /// the windowed (reactor) transport keeps outstanding at once. The
+    /// server may grant less (its per-session cap). `1` falls back to
+    /// the blocking request/response transport.
+    pub window_max_inflight: usize,
+    /// Total wall-clock budget for one logical pool call, spanning every
+    /// retry attempt, backoff sleep, and reconnect dial. `None` derives a
+    /// cap from the per-attempt deadlines and the retry policy, so a
+    /// logical call can never run unbounded even when each attempt
+    /// re-arms fresh socket timeouts.
+    pub call_budget: Option<Duration>,
 }
 
 impl Default for TransportConfig {
@@ -86,6 +97,8 @@ impl Default for TransportConfig {
             read_timeout: Duration::from_millis(2000),
             write_timeout: Duration::from_millis(2000),
             retry: RetryPolicy::default(),
+            window_max_inflight: 32,
+            call_budget: None,
         }
     }
 }
@@ -118,7 +131,35 @@ impl TransportConfig {
         if self.retry.max_backoff < self.retry.base_backoff {
             return Err(RmpError::Config("max backoff below base backoff".into()));
         }
+        if self.window_max_inflight == 0 {
+            return Err(RmpError::Config("request window must be at least 1".into()));
+        }
+        if self.call_budget.is_some_and(|b| b.is_zero()) {
+            return Err(RmpError::Config("call budget must be positive".into()));
+        }
         Ok(())
+    }
+
+    /// The wall-clock budget one logical pool call may consume across
+    /// all retry attempts: the explicit [`TransportConfig::call_budget`]
+    /// when set, otherwise the worst case the per-attempt knobs already
+    /// imply — every attempt exhausting its write and read deadlines,
+    /// every reconnect its dial deadline, plus maximally-jittered
+    /// backoff sleeps between attempts.
+    pub fn effective_call_budget(&self) -> Duration {
+        if let Some(budget) = self.call_budget {
+            return budget;
+        }
+        let attempts = self.retry.max_attempts.max(1);
+        let per_attempt = self.write_timeout + self.read_timeout + self.connect_timeout;
+        let mut total = per_attempt * attempts;
+        for attempt in 0..attempts.saturating_sub(1) {
+            total += self
+                .retry
+                .backoff_for(attempt)
+                .mul_f64(1.0 + self.retry.jitter);
+        }
+        total
     }
 }
 
@@ -301,6 +342,20 @@ impl PagerConfig {
     /// are hedged through the degraded path (`f64::INFINITY` disables).
     pub fn with_hedge_suspicion_threshold(mut self, score: f64) -> Self {
         self.hedge_suspicion_threshold = score;
+        self
+    }
+
+    /// Sets the per-connection request window of the windowed transport
+    /// (`1` falls back to the blocking request/response transport).
+    pub fn with_window_max_inflight(mut self, window: usize) -> Self {
+        self.transport.window_max_inflight = window;
+        self
+    }
+
+    /// Sets an explicit total wall-clock budget per logical pool call,
+    /// spanning retries, backoff, and reconnects.
+    pub fn with_call_budget(mut self, budget: Duration) -> Self {
+        self.transport.call_budget = Some(budget);
         self
     }
 
@@ -569,5 +624,52 @@ mod tests {
         assert!(cfg.validate().is_err());
 
         assert!(PagerConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn window_knob() {
+        let cfg = PagerConfig::default();
+        assert_eq!(cfg.transport.window_max_inflight, 32);
+        assert!(PagerConfig::default()
+            .with_window_max_inflight(1)
+            .validate()
+            .is_ok());
+        assert!(PagerConfig::default()
+            .with_window_max_inflight(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn call_budget_knob() {
+        let cfg = PagerConfig::default();
+        assert_eq!(cfg.transport.call_budget, None);
+        assert!(PagerConfig::default()
+            .with_call_budget(Duration::from_millis(500))
+            .validate()
+            .is_ok());
+        assert!(PagerConfig::default()
+            .with_call_budget(Duration::ZERO)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn explicit_call_budget_wins() {
+        let cfg = PagerConfig::default().with_call_budget(Duration::from_millis(123));
+        assert_eq!(
+            cfg.transport.effective_call_budget(),
+            Duration::from_millis(123)
+        );
+    }
+
+    #[test]
+    fn derived_call_budget_covers_worst_case_attempts() {
+        // Default retry: 3 attempts, 10/20 ms backoffs, 20 % jitter.
+        // Per attempt: 2 s write + 2 s read + 1 s reconnect dial.
+        let cfg = TransportConfig::default();
+        let budget = cfg.effective_call_budget();
+        assert!(budget >= Duration::from_secs(15), "budget {budget:?}");
+        assert!(budget <= Duration::from_secs(16), "budget {budget:?}");
     }
 }
