@@ -872,7 +872,9 @@ fn endurance_transport_config() -> TransportConfig {
 /// context to replay from `seed`.
 pub fn run_schedule(policy: Policy, seed: u64) -> ScheduleOutcome {
     let n_servers = match policy {
-        Policy::BasicParity | Policy::ParityLogging => 3,
+        // Parity wants data + dedicated parity; erasure coding wants
+        // k + r = 3 distinct servers for its default 2 + 1 stripe.
+        Policy::BasicParity | Policy::ParityLogging | Policy::ErasureCoded => 3,
         _ => 2,
     };
     let cluster = ChaosCluster::new(n_servers, FaultPlan::random(seed, n_servers));

@@ -1,0 +1,554 @@
+//! The ERASURE-CODED policy: k data + r parity splits per page.
+//!
+//! The Hydra-style generalisation of the paper's parity schemes: every
+//! page is cut into `k` equal splits, `r` Reed–Solomon parity splits are
+//! computed over them ([`rmp_parity::rs`]), and the `k + r` splits are
+//! placed on `k + r` *distinct* servers — a placement group per page, so
+//! no single crash can take out more than one split of any stripe. Any
+//! `k` surviving splits reconstruct the page, which makes the degraded
+//! read cost `k` split fetches (against the paper's `S` full pages for
+//! the parity policies) and the pageout cost `k + r` split-sized wire
+//! messages, i.e. `(k + r)/k` page-equivalents of traffic.
+//!
+//! Splits travel and rest inside ordinary page frames (the wire and the
+//! servers know nothing about sub-page objects); the split payload
+//! occupies the frame's prefix. This keeps every server "by no means
+//! different than a memory server" while the *placement* unit shrinks
+//! below a page for the first time.
+
+use std::collections::{HashMap, VecDeque};
+
+use rmp_parity::rs::{split_page, RsCode, RsError};
+use rmp_types::metrics::EventKind;
+use rmp_types::{Page, PageId, Policy, Result, RmpError, ServerId, StoreKey, PAGE_SIZE};
+
+use crate::engine::{Ctx, Engine};
+use crate::recovery::RecoveryStep;
+
+/// Where one split of a stripe lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SplitLoc {
+    server: ServerId,
+    key: StoreKey,
+}
+
+/// Placement of one logical page.
+#[derive(Clone, Debug)]
+enum EcEntry {
+    /// `k + r` splits on distinct servers, data splits first.
+    Striped(Vec<SplitLoc>),
+    /// The whole page fell back to the local disk (cluster too small or
+    /// too full for a full placement group).
+    Disk,
+}
+
+/// The erasure-coded engine. See the module docs for the layout.
+#[derive(Debug)]
+pub struct ErasureCoded {
+    code: RsCode,
+    map: HashMap<PageId, EcEntry>,
+    /// Pages awaiting split re-encoding after a crash.
+    rebuild_queue: VecDeque<PageId>,
+}
+
+impl ErasureCoded {
+    /// Creates the engine for `k` data and `r` parity splits per page.
+    ///
+    /// # Errors
+    ///
+    /// [`RmpError::Config`] for geometries the codec rejects or a `k`
+    /// that does not divide the page size.
+    pub fn new(k: usize, r: usize) -> Result<Self> {
+        if k == 0 || !PAGE_SIZE.is_multiple_of(k) {
+            return Err(RmpError::Config(format!(
+                "ec_data_splits {k} must divide the page size ({PAGE_SIZE})"
+            )));
+        }
+        let code = RsCode::new(k, r).map_err(|e| RmpError::Config(e.to_string()))?;
+        Ok(ErasureCoded {
+            code,
+            map: HashMap::new(),
+            rebuild_queue: VecDeque::new(),
+        })
+    }
+
+    fn k(&self) -> usize {
+        self.code.data_splits()
+    }
+
+    fn split_len(&self) -> usize {
+        PAGE_SIZE / self.k()
+    }
+
+    /// Splits and encodes `page` into `k + r` frame-padded split pages.
+    fn encode_page(&self, ctx: &Ctx<'_>, page: &Page) -> Result<Vec<Page>> {
+        let data = split_page(page, self.k());
+        let parity = self
+            .code
+            .encode(&data)
+            .map_err(|e| RmpError::Unrecoverable(e.to_string()))?;
+        ctx.count("engine_ec_encodes_total");
+        Ok(data
+            .iter()
+            .chain(parity.iter())
+            .map(|bytes| {
+                let mut frame = Page::zeroed();
+                frame.as_mut()[..bytes.len()].copy_from_slice(bytes);
+                frame
+            })
+            .collect())
+    }
+
+    /// Reassembles a page from fetched split frames (data splits only).
+    fn join_frames(&self, frames: &[Page]) -> Page {
+        let len = self.split_len();
+        let mut page = Page::zeroed();
+        for (i, f) in frames.iter().enumerate() {
+            page.as_mut()[i * len..(i + 1) * len].copy_from_slice(&f.as_ref()[..len]);
+        }
+        page
+    }
+
+    /// Pages with at least one split on `server`.
+    fn pages_on(&self, server: ServerId) -> Vec<PageId> {
+        self.map
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e, EcEntry::Striped(locs) if locs.iter().any(|l| l.server == server))
+            })
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Best-effort release of stale splits: crashes and timeouts are
+    /// swallowed (the holder is gone along with the blob), everything
+    /// else propagates.
+    fn free_splits(ctx: &mut Ctx<'_>, locs: &[SplitLoc]) -> Result<()> {
+        for loc in locs {
+            if !ctx.pool.view().is_alive(loc.server) {
+                continue;
+            }
+            match ctx.pool.free(loc.server, loc.key) {
+                Ok(()) | Err(RmpError::ServerCrashed(_) | RmpError::Timeout(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Places one split frame on a live server outside `exclude`,
+    /// walking the promise order on denial. `None` when no server can
+    /// take it (the caller falls back to the disk).
+    fn place_split(
+        ctx: &mut Ctx<'_>,
+        frame: &Page,
+        exclude: &mut Vec<ServerId>,
+    ) -> Result<Option<SplitLoc>> {
+        while let Some(server) = ctx.pick_server(exclude) {
+            let key = ctx.pool.fresh_key();
+            match ctx.reserve_and_page_out(server, key, frame) {
+                Ok(_hint) => {
+                    exclude.push(server);
+                    return Ok(Some(SplitLoc { server, key }));
+                }
+                Err(RmpError::NoSpace(_) | RmpError::ServerCrashed(_) | RmpError::Timeout(_)) => {
+                    exclude.push(server);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Places a full stripe on `k + r` distinct servers. On a partial
+    /// placement the already-placed splits are released and `None` comes
+    /// back so the caller can take the disk path.
+    fn place_stripe(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        frames: &[Page],
+    ) -> Result<Option<Vec<SplitLoc>>> {
+        let mut exclude: Vec<ServerId> = Vec::new();
+        let mut placed: Vec<SplitLoc> = Vec::new();
+        for frame in frames {
+            match Self::place_split(ctx, frame, &mut exclude) {
+                Ok(Some(loc)) => placed.push(loc),
+                Ok(None) => {
+                    Self::free_splits(ctx, &placed)?;
+                    return Ok(None);
+                }
+                Err(e) => {
+                    Self::free_splits(ctx, &placed)?;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Some(placed))
+    }
+
+    /// Writes the whole page to the local disk and records the entry,
+    /// releasing any previous stripe.
+    fn store_on_disk(&mut self, ctx: &mut Ctx<'_>, id: PageId, page: &Page) -> Result<()> {
+        if !ctx.has_disk() {
+            return Err(RmpError::ClusterFull);
+        }
+        ctx.disk_write(id, page)?;
+        if let Some(EcEntry::Striped(old)) = self.map.insert(id, EcEntry::Disk) {
+            Self::free_splits(ctx, &old)?;
+        }
+        Ok(())
+    }
+
+    /// Reconstructs the page of `locs` from any `k` splits, skipping
+    /// servers in `avoid` and dead servers. Returns the page plus the
+    /// full shard set (every slot filled) for callers that re-place
+    /// splits afterwards.
+    fn reconstruct_from(
+        &self,
+        ctx: &mut Ctx<'_>,
+        id: PageId,
+        locs: &[SplitLoc],
+        avoid: &[ServerId],
+    ) -> Result<(Page, Vec<Vec<u8>>)> {
+        let k = self.k();
+        let usable: Vec<usize> = (0..locs.len())
+            .filter(|&i| {
+                !avoid.contains(&locs[i].server) && ctx.pool.view().is_alive(locs[i].server)
+            })
+            .collect();
+        if usable.len() < k {
+            return Err(RmpError::Unrecoverable(format!(
+                "{id}: only {} of the {k} splits needed for reconstruction remain",
+                usable.len()
+            )));
+        }
+        // Data splits first keeps the common case decode-free.
+        let chosen: Vec<usize> = usable.into_iter().take(k).collect();
+        let reads: Vec<(ServerId, StoreKey)> = chosen
+            .iter()
+            .map(|&i| (locs[i].server, locs[i].key))
+            .collect();
+        let frames = ctx.fetch_batch(&reads)?;
+        let len = self.split_len();
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; self.code.total_splits()];
+        for (&i, frame) in chosen.iter().zip(&frames) {
+            shards[i] = Some(frame.as_ref()[..len].to_vec());
+        }
+        if shards[..k].iter().any(std::option::Option::is_none) {
+            self.code.reconstruct(&mut shards).map_err(|e| match e {
+                RsError::TooFewShards { .. } => {
+                    RmpError::Unrecoverable(format!("{id}: erasure decode failed: {e}"))
+                }
+                other => RmpError::Unrecoverable(other.to_string()),
+            })?;
+            ctx.count("engine_ec_reconstructs_total");
+        } else {
+            // All data splits present; still fill the parity slots for
+            // callers that need the full shard set.
+            self.code
+                .reconstruct(&mut shards)
+                .map_err(|e| RmpError::Unrecoverable(e.to_string()))?;
+        }
+        let data: Vec<Vec<u8>> = shards
+            .into_iter()
+            .map(|s| s.expect("reconstruct fills every slot"))
+            .collect();
+        let page = {
+            let mut p = Page::zeroed();
+            for (i, s) in data[..k].iter().enumerate() {
+                p.as_mut()[i * len..(i + 1) * len].copy_from_slice(s);
+            }
+            p
+        };
+        Ok((page, data))
+    }
+}
+
+impl Engine for ErasureCoded {
+    fn page_out(&mut self, ctx: &mut Ctx<'_>, id: PageId, page: &Page) -> Result<()> {
+        ctx.stats.pageouts += 1;
+        if ctx.prefer_disk && ctx.has_disk() {
+            return self.store_on_disk(ctx, id, page);
+        }
+        let frames = self.encode_page(ctx, page)?;
+        match self.place_stripe(ctx, &frames)? {
+            Some(locs) => {
+                ctx.stats.net_data_transfers += self.k() as u64;
+                ctx.stats.net_parity_transfers += self.code.parity_splits() as u64;
+                match self.map.insert(id, EcEntry::Striped(locs)) {
+                    Some(EcEntry::Striped(old)) => Self::free_splits(ctx, &old)?,
+                    Some(EcEntry::Disk) => ctx.disk_free(id)?,
+                    None => {}
+                }
+                Ok(())
+            }
+            None => self.store_on_disk(ctx, id, page),
+        }
+    }
+
+    fn page_in(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<Page> {
+        ctx.stats.pageins += 1;
+        let entry = self.map.get(&id).ok_or(RmpError::PageNotFound(id))?;
+        match entry {
+            EcEntry::Disk => ctx.disk_read(id),
+            EcEntry::Striped(locs) => {
+                let k = self.k();
+                // Surface the first dead holder: the pager serves the
+                // read through `degraded_read` and schedules the rebuild.
+                for loc in &locs[..k] {
+                    if !ctx.pool.view().is_alive(loc.server) {
+                        return Err(RmpError::ServerCrashed(loc.server));
+                    }
+                }
+                let reads: Vec<(ServerId, StoreKey)> =
+                    locs[..k].iter().map(|l| (l.server, l.key)).collect();
+                match ctx.fetch_batch(&reads) {
+                    Ok(frames) => Ok(self.join_frames(&frames)),
+                    Err(RmpError::ServerCrashed(s) | RmpError::Timeout(s)) => {
+                        Err(RmpError::ServerCrashed(s))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    fn free(&mut self, ctx: &mut Ctx<'_>, id: PageId) -> Result<()> {
+        match self.map.remove(&id) {
+            None => Ok(()),
+            Some(EcEntry::Disk) => ctx.disk_free(id),
+            Some(EcEntry::Striped(locs)) => Self::free_splits(ctx, &locs),
+        }
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    fn degraded_read(&mut self, ctx: &mut Ctx<'_>, id: PageId, dead: ServerId) -> Result<Page> {
+        let entry = self
+            .map
+            .get(&id)
+            .cloned()
+            .ok_or(RmpError::PageNotFound(id))?;
+        match entry {
+            EcEntry::Disk => ctx.disk_read(id),
+            EcEntry::Striped(locs) => {
+                let (page, _) = self.reconstruct_from(ctx, id, &locs, &[dead])?;
+                ctx.trace(
+                    EventKind::DegradedRead,
+                    Some(dead),
+                    Some(Policy::ErasureCoded),
+                    "reconstructed",
+                );
+                Ok(page)
+            }
+        }
+    }
+
+    fn primary_location(&self, id: PageId) -> Option<(ServerId, StoreKey)> {
+        match self.map.get(&id)? {
+            EcEntry::Striped(locs) => locs.first().map(|l| (l.server, l.key)),
+            EcEntry::Disk => None,
+        }
+    }
+
+    fn prefetch_location(&self, _id: PageId) -> Option<(ServerId, StoreKey)> {
+        // No single key holds a whole page — a keyed read returns one
+        // split frame, which must never enter the whole-page prefetch
+        // cache.
+        None
+    }
+
+    fn fault_domains(&self, id: PageId) -> Vec<ServerId> {
+        // A demand read joins only the data splits, so when the joined
+        // page fails the writer's checksum the bad bytes sit under one
+        // of the data-split holders.
+        match self.map.get(&id) {
+            Some(EcEntry::Striped(locs)) => locs[..self.code.data_splits()]
+                .iter()
+                .map(|l| l.server)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn plan_recovery(&mut self, _ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {
+        self.rebuild_queue = self.pages_on(server).into();
+        Ok(self.rebuild_queue.len() as u64)
+    }
+
+    fn recovery_step(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        server: ServerId,
+        page_budget: usize,
+    ) -> Result<RecoveryStep> {
+        let mut step = RecoveryStep::default();
+        // Claim up to `page_budget` queued pages that still need work.
+        let mut work: Vec<(PageId, Vec<SplitLoc>)> = Vec::new();
+        while work.len() < page_budget {
+            let Some(id) = self.rebuild_queue.pop_front() else {
+                break;
+            };
+            let Some(EcEntry::Striped(locs)) = self.map.get(&id).cloned() else {
+                continue;
+            };
+            // Splits lost to *any* dead server rebuild in this pass, so a
+            // second crash does not leave half-healed stripes behind.
+            if locs
+                .iter()
+                .any(|l| l.server == server || !ctx.pool.view().is_alive(l.server))
+            {
+                work.push((id, locs));
+            }
+        }
+        let requeue_from = |queue: &mut VecDeque<PageId>, rest: &[(PageId, Vec<SplitLoc>)]| {
+            for (id, _) in rest.iter().rev() {
+                queue.push_front(*id);
+            }
+        };
+        for (slot, (id, locs)) in work.iter().enumerate() {
+            // Reconstruct the full shard set from the survivors, then
+            // re-place every lost split on a live server outside the
+            // surviving stripe. Any transport failure requeues this page
+            // and the unprocessed rest for the replanned retry.
+            let outcome: Result<()> = (|| {
+                // `server` may have rejoined (alive but empty) by the time
+                // the rebuild runs: its blobs are gone either way, so it
+                // is never a reconstruction source — only a target.
+                let (page, shards) = self.reconstruct_from(ctx, *id, locs, &[server])?;
+                step.transfers += self.k() as u64;
+                let len = self.split_len();
+                let mut new_locs = locs.clone();
+                let mut exclude: Vec<ServerId> = locs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, l)| l.server != server && ctx.pool.view().is_alive(l.server))
+                    .map(|(_, l)| l.server)
+                    .collect();
+                let mut placed_parity = false;
+                for (i, loc) in locs.iter().enumerate() {
+                    if loc.server != server && ctx.pool.view().is_alive(loc.server) {
+                        continue;
+                    }
+                    let mut frame = Page::zeroed();
+                    frame.as_mut()[..len].copy_from_slice(&shards[i]);
+                    match Self::place_split(ctx, &frame, &mut exclude)? {
+                        Some(new_loc) => {
+                            new_locs[i] = new_loc;
+                            step.transfers += 1;
+                            if i >= self.k() {
+                                placed_parity = true;
+                            }
+                        }
+                        None => {
+                            // No server can take the split without
+                            // doubling up: park the whole page on disk.
+                            self.store_on_disk(ctx, *id, &page)?;
+                            step.pages_rebuilt += 1;
+                            return Ok(());
+                        }
+                    }
+                }
+                self.map.insert(*id, EcEntry::Striped(new_locs));
+                step.pages_rebuilt += 1;
+                if placed_parity {
+                    step.parity_rebuilt += 1;
+                }
+                Ok(())
+            })();
+            if let Err(e) = outcome {
+                if matches!(e, RmpError::Unrecoverable(_)) {
+                    // The stripe is gone for good; requeueing it would
+                    // wedge recovery behind a page nothing can restore.
+                    requeue_from(&mut self.rebuild_queue, &work[slot + 1..]);
+                } else {
+                    requeue_from(&mut self.rebuild_queue, &work[slot..]);
+                }
+                return Err(e);
+            }
+        }
+        step.remaining = self.rebuild_queue.len() as u64;
+        Ok(step)
+    }
+
+    fn migrate_from(&mut self, ctx: &mut Ctx<'_>, server: ServerId) -> Result<u64> {
+        let mut moved = 0;
+        let ids = self.pages_on(server);
+        let chunk_size = ctx.pool.batch_max_pages().max(1);
+        for chunk in ids.chunks(chunk_size) {
+            // One pipelined frame fetches every leaving split off the
+            // loaded server.
+            let mut work: Vec<(PageId, usize, Vec<SplitLoc>)> = Vec::new();
+            for &id in chunk {
+                let Some(EcEntry::Striped(locs)) = self.map.get(&id).cloned() else {
+                    continue;
+                };
+                let Some(idx) = locs.iter().position(|l| l.server == server) else {
+                    continue;
+                };
+                work.push((id, idx, locs));
+            }
+            let reads: Vec<(ServerId, StoreKey)> = work
+                .iter()
+                .map(|(_, idx, locs)| (server, locs[*idx].key))
+                .collect();
+            let frames = ctx.fetch_batch(&reads)?;
+            for ((id, idx, locs), frame) in work.into_iter().zip(frames) {
+                let mut exclude: Vec<ServerId> = locs.iter().map(|l| l.server).collect();
+                let Some(new_loc) = Self::place_split(ctx, &frame, &mut exclude)? else {
+                    // Nowhere to move this split without doubling up;
+                    // leave it — migration is advisory, not durability.
+                    continue;
+                };
+                match ctx.pool.free(server, locs[idx].key) {
+                    Ok(()) | Err(RmpError::ServerCrashed(_) | RmpError::Timeout(_)) => {}
+                    Err(e) => return Err(e),
+                }
+                let mut new_locs = locs;
+                new_locs[idx] = new_loc;
+                self.map.insert(id, EcEntry::Striped(new_locs));
+                ctx.stats.migrations += 1;
+                moved += 1;
+            }
+        }
+        if moved > 0 {
+            ctx.count("engine_migrations_total");
+            ctx.trace(
+                EventKind::Migration,
+                Some(server),
+                Some(Policy::ErasureCoded),
+                "resplit",
+            );
+        }
+        Ok(moved)
+    }
+
+    fn rebalance(&mut self, ctx: &mut Ctx<'_>) -> Result<u64> {
+        let candidates: Vec<PageId> = self
+            .map
+            .iter()
+            .filter(|(_, e)| matches!(e, EcEntry::Disk))
+            .map(|(&id, _)| id)
+            .collect();
+        let width = self.code.total_splits();
+        let mut promoted = 0;
+        for id in candidates {
+            if ctx.pool.view().live_servers().len() < width {
+                break;
+            }
+            let page = ctx.disk_read(id)?;
+            let frames = self.encode_page(ctx, &page)?;
+            match self.place_stripe(ctx, &frames)? {
+                Some(locs) => {
+                    ctx.disk_free(id)?;
+                    self.map.insert(id, EcEntry::Striped(locs));
+                    promoted += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(promoted)
+    }
+}

@@ -7,6 +7,7 @@
 
 pub mod basic;
 pub mod diskonly;
+pub mod erasure;
 pub mod mirror;
 pub mod norel;
 pub mod paritylog;
@@ -307,6 +308,28 @@ pub trait Engine: Send {
     /// lives only on the local disk.
     fn primary_location(&self, _id: PageId) -> Option<(ServerId, StoreKey)> {
         None
+    }
+
+    /// Servers whose stored bytes contribute to a demand read of `id` —
+    /// the candidate fault domains when the assembled page fails the
+    /// writer's checksum and the corrupt copy must be located by
+    /// exclusion. Defaults to the primary copy's holder; striped engines
+    /// list every contributing server, since the checksum covers the
+    /// whole page and cannot name the bad fragment.
+    fn fault_domains(&self, id: PageId) -> Vec<ServerId> {
+        self.primary_location(id)
+            .map(|(s, _)| s)
+            .into_iter()
+            .collect()
+    }
+
+    /// Where a *whole-page* copy of `id` can be fetched ahead of demand
+    /// with a plain keyed read, for the stride prefetcher. Defaults to
+    /// the primary copy; engines whose placement unit is smaller than a
+    /// page (erasure coding) return `None` — no single key yields the
+    /// page, so read-ahead must go through the demand path.
+    fn prefetch_location(&self, id: PageId) -> Option<(ServerId, StoreKey)> {
+        self.primary_location(id)
     }
 
     /// Plans incremental recovery from the crash of `server`: enumerates

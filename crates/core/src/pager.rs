@@ -11,12 +11,29 @@ use rmp_types::{
 };
 
 use crate::engine::{
-    basic::BasicParity, diskonly::DiskOnly, mirror::Mirroring, norel::NoReliability,
-    paritylog::ParityLogging, writethrough::WriteThrough, Ctx, Engine,
+    basic::BasicParity, diskonly::DiskOnly, erasure::ErasureCoded, mirror::Mirroring,
+    norel::NoReliability, paritylog::ParityLogging, writethrough::WriteThrough, Ctx, Engine,
 };
 use crate::pool::ServerPool;
 use crate::prefetch::{PrefetchCache, StrideDetector};
 use crate::recovery::{RecoveryPlan, RecoveryReport};
+
+/// Checks, at construction time, that a striping policy's redundancy
+/// group fits the cluster: `needed` *live* servers must exist for every
+/// stripe member to land on a distinct machine. Rejecting here turns
+/// what used to be a first-pageout failure (a group wider than the live
+/// cluster) into a typed [`RmpError::Config`] before any page is at
+/// risk. Shared by the parity policies (group of `S` data servers plus
+/// the parity server) and the erasure-coded policy (`k + r` splits).
+fn check_stripe_width(policy: Policy, needed: usize, live: usize) -> Result<()> {
+    if live < needed {
+        return Err(RmpError::Config(format!(
+            "{} stripes each page across {needed} distinct servers, but only {live} are live",
+            policy.label()
+        )));
+    }
+    Ok(())
+}
 
 /// Floor on the expected-latency gate of a hedged pagein, µs. Even a
 /// maximally suspect primary is not worth hedging around when it is
@@ -210,6 +227,16 @@ impl Pager {
         let registry = Arc::new(MetricsRegistry::new());
         pool.set_metrics(Arc::clone(&registry));
         let ids = pool.server_ids();
+        // Stripe members are drawn from the live servers only: a pool
+        // seeded with dead connections must fail construction, not the
+        // first pageout.
+        let live: Vec<ServerId> = {
+            let alive = pool.view().live_servers();
+            ids.iter()
+                .copied()
+                .filter(|id| alive.contains(id))
+                .collect()
+        };
         let engine: Box<dyn Engine> = match config.policy {
             Policy::NoReliability => {
                 if ids.len() < config.servers {
@@ -228,15 +255,11 @@ impl Pager {
                 Box::new(Mirroring::new())
             }
             Policy::BasicParity | Policy::ParityLogging => {
-                if ids.len() < config.servers + 1 {
-                    return Err(RmpError::Config(format!(
-                        "parity policies want {} data servers plus a parity server, pool has {}",
-                        config.servers,
-                        ids.len()
-                    )));
-                }
-                let data: Vec<ServerId> = ids[..config.servers].to_vec();
-                let parity = ids[ids.len() - 1];
+                // A group of S data pages plus its parity page spans
+                // S + 1 distinct live servers.
+                check_stripe_width(config.policy, config.servers + 1, live.len())?;
+                let data: Vec<ServerId> = live[..config.servers].to_vec();
+                let parity = live[live.len() - 1];
                 if config.policy == Policy::BasicParity {
                     Box::new(BasicParity::new(data, parity)?)
                 } else {
@@ -254,6 +277,14 @@ impl Pager {
                     return Err(RmpError::Config("disk paging needs a local disk".into()));
                 }
                 Box::new(DiskOnly::new())
+            }
+            Policy::ErasureCoded => {
+                let width = config.ec_data_splits + config.ec_parity_splits;
+                check_stripe_width(config.policy, width, live.len())?;
+                Box::new(ErasureCoded::new(
+                    config.ec_data_splits,
+                    config.ec_parity_splits,
+                )?)
             }
         };
         // Twice the issue window: the cache can hold the in-flight
@@ -790,10 +821,10 @@ impl Pager {
             if self.prefetch.contains(pid) || self.prefetch_inflight(pid) {
                 continue;
             }
-            // Only pages whose primary copy sits in remote memory are
-            // worth fetching ahead: disk-backed and unknown pages fall
-            // through to the demand path as usual.
-            let Some((server, key)) = self.engine.primary_location(pid) else {
+            // Only pages with a whole-page copy in remote memory are
+            // worth fetching ahead: disk-backed, unknown, and sub-page
+            // (erasure-coded) placements fall through to the demand path.
+            let Some((server, key)) = self.engine.prefetch_location(pid) else {
                 continue;
             };
             by_server.entry(server).or_default().push((pid, key));
@@ -1006,11 +1037,27 @@ impl Pager {
                 }
                 // The copy we read is provably wrong (wire or store): pull
                 // the page from redundancy instead.
-                RmpError::CorruptPage { server, .. } => match self.degraded_read(id, server) {
-                    Ok(page) => return Ok(page),
-                    Err(RmpError::Unsupported(_)) => return Err(err),
-                    Err(e) => return Err(e),
-                },
+                // The writer's checksum covers the whole page, so for
+                // striped placements the error can only name the first
+                // fragment's holder — search every contributing server
+                // until one exclusion yields a verified reconstruction.
+                RmpError::CorruptPage { server, .. } => {
+                    let mut candidates = self.engine.fault_domains(id);
+                    candidates.retain(|&s| s != server);
+                    candidates.insert(0, server);
+                    let mut last = err;
+                    for suspect in candidates {
+                        match self.degraded_read(id, suspect) {
+                            Ok(page) => return Ok(page),
+                            Err(RmpError::Unsupported(_)) => return Err(last),
+                            Err(e @ (RmpError::CorruptPage { .. } | RmpError::Corrupt(_))) => {
+                                last = e;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    return Err(last);
+                }
                 e => return Err(e),
             }
         }

@@ -701,7 +701,17 @@ impl ServerPool {
                         // Best-effort: an unsupported or failed redial
                         // leaves the old transport in place, and the next
                         // attempt decides whether the server is back.
-                        let _ = t.reconnect();
+                        if t.reconnect().is_ok() {
+                            // A fresh connection restarts the transport's
+                            // cumulative window counters at zero; drop the
+                            // old stall baseline with it, or every stall on
+                            // the new connection below the old total would
+                            // be silently swallowed by the delta mirror in
+                            // `publish_window_stats`. A failed redial keeps
+                            // the old transport *and* its counters, so the
+                            // baseline must survive too.
+                            self.window_stalls_seen.remove(&id);
+                        }
                     }
                 }
                 e => {

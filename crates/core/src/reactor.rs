@@ -663,8 +663,23 @@ impl WindowedTransport {
                     return Err(dead.to_error());
                 }
             }
-            let seq = inner.next_seq;
-            inner.next_seq = inner.next_seq.wrapping_add(1);
+            // Skip sequence numbers still occupied by an in-flight
+            // (possibly abandoned) request: after the u32 counter wraps,
+            // reusing a live seq would overwrite its pending slot and
+            // let the *old* request's reply complete the new slot with
+            // the wrong payload. Terminates because `pending` never
+            // holds more than `window` entries.
+            // Skip sequence numbers still occupied by an in-flight
+            // (possibly abandoned) request: after the u32 counter wraps,
+            // reusing a live seq would overwrite its pending slot and
+            // let the *old* request's reply complete the new slot with
+            // the wrong payload. Terminates because `pending` never
+            // holds more than `window` entries.
+            let mut seq = inner.next_seq;
+            while inner.pending.contains_key(&seq) {
+                seq = seq.wrapping_add(1);
+            }
+            inner.next_seq = seq.wrapping_add(1);
             let slot = Arc::new(Slot::default());
             inner.pending.insert(seq, Arc::clone(&slot));
             inner.inflight += 1;
@@ -715,6 +730,13 @@ impl WindowedTransport {
             );
         }
         inner
+    }
+
+    /// Pins the next sequence number, so tests can stage a wrap-around
+    /// onto a seq that is still in flight. Not part of the public API.
+    #[doc(hidden)]
+    pub fn force_next_seq(&mut self, seq: u32) {
+        self.shared.lock().next_seq = seq;
     }
 
     /// Current window counters.

@@ -20,11 +20,12 @@ use rmp_core::{Pager, ShardedPager};
 use rmp_proto::Opcode;
 use rmp_types::{Page, PageId, PagerConfig, Policy, RetryPolicy, ServerId, TransportConfig};
 
-const POLICIES: [Policy; 5] = [
+const POLICIES: [Policy; 6] = [
     Policy::NoReliability,
     Policy::Mirroring,
     Policy::BasicParity,
     Policy::ParityLogging,
+    Policy::ErasureCoded,
     Policy::WriteThrough,
 ];
 
@@ -42,7 +43,7 @@ fn fast_transport() -> TransportConfig {
 
 // --- the endurance sweep ---------------------------------------------------
 
-/// ≥20 distinct seeded schedules across all five policies. Every
+/// ≥20 distinct seeded schedules across all six policies. Every
 /// schedule's outcome is printed with its seed; a violation fails the
 /// test with the exact seeds to replay (`run_schedule(policy, seed)`).
 /// Scale up with `CHAOS_SEEDS=<n>` (seeds per policy, default 4).

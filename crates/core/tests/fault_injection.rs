@@ -497,6 +497,18 @@ fn parity_logging_heals_wire_level_bit_flips() {
 }
 
 #[test]
+fn erasure_coded_heals_store_level_bit_flips() {
+    // Default 2 + 1 stripe across three servers. The corrupt split may
+    // be any data split, so the heal path must locate it by exclusion.
+    assert_bit_flip_healed(Policy::ErasureCoded, 2, 3, Fault::BitFlipStore);
+}
+
+#[test]
+fn erasure_coded_heals_wire_level_bit_flips() {
+    assert_bit_flip_healed(Policy::ErasureCoded, 2, 3, Fault::BitFlipWire);
+}
+
+#[test]
 fn write_through_heals_store_level_bit_flips() {
     assert_bit_flip_healed(Policy::WriteThrough, 2, 2, Fault::BitFlipStore);
 }

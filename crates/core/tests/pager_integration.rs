@@ -33,11 +33,16 @@ fn cluster(n: usize, capacity: usize) -> (Vec<ServerHandle>, ServerPool) {
 
 fn pager(policy: Policy, servers: usize, handles_capacity: usize) -> (Vec<ServerHandle>, Pager) {
     let pool_size = match policy {
-        Policy::BasicParity | Policy::ParityLogging => servers + 1,
+        // Parity needs the dedicated parity server; erasure coding needs
+        // k + 1 distinct servers for its default r = 1 stripe.
+        Policy::BasicParity | Policy::ParityLogging | Policy::ErasureCoded => servers + 1,
         _ => servers,
     };
     let (handles, pool) = cluster(pool_size, handles_capacity);
-    let config = PagerConfig::new(policy).with_servers(servers);
+    let config = match policy {
+        Policy::ErasureCoded => PagerConfig::new(policy).with_ec_splits(servers, 1),
+        _ => PagerConfig::new(policy).with_servers(servers),
+    };
     let pager = Pager::builder(config)
         .pool(pool)
         .disk(Box::new(RamDisk::unbounded()))
@@ -427,4 +432,74 @@ fn stats_track_both_directions() {
     assert_eq!(s.net_data_transfers, 30);
     assert_eq!(s.net_fetches, 30);
     assert_eq!(s.total_net_transfers(), 60);
+}
+
+/// Builds an erasure-coded pager over `n` servers with a `k` + `r`
+/// stripe (bypasses the generic helper, which pins the stripe width to
+/// the cluster size).
+fn ec_pager(n: usize, k: usize, r: usize) -> (Vec<ServerHandle>, Pager) {
+    let (handles, pool) = cluster(n, 4096);
+    let config = PagerConfig::new(Policy::ErasureCoded).with_ec_splits(k, r);
+    let pager = Pager::builder(config)
+        .pool(pool)
+        .disk(Box::new(RamDisk::unbounded()))
+        .build()
+        .expect("build pager");
+    (handles, pager)
+}
+
+#[test]
+fn erasure_coded_transfer_overhead_counts_split_frames() {
+    let (_handles, mut pager) = ec_pager(3, 2, 1);
+    fill(&mut pager, 100);
+    let s = pager.stats();
+    // k + r = 3 split-sized frames leave the client per pageout.
+    assert!(
+        (s.outbound_transfers_per_pageout() - 3.0).abs() < 1e-9,
+        "got {}",
+        s.outbound_transfers_per_pageout()
+    );
+}
+
+#[test]
+fn erasure_coded_survives_any_single_server_crash() {
+    // Placement puts every split of a page on a distinct server, so no
+    // matter which server dies, each page loses at most one split — and
+    // one parity split covers that. A doubled-up placement would make
+    // some victim unrecoverable.
+    for victim in 0..3usize {
+        let (handles, mut pager) = ec_pager(3, 2, 1);
+        fill(&mut pager, 60);
+        assert!(
+            handles[victim].stored_pages() > 0,
+            "srv{victim} holds splits, so the crash actually loses data"
+        );
+        handles[victim].crash();
+        verify(&mut pager, 60);
+    }
+}
+
+#[test]
+fn erasure_coded_rebuilds_lost_splits_onto_a_spare() {
+    let (handles, mut pager) = ec_pager(4, 2, 1);
+    fill(&mut pager, 120);
+    handles[0].crash();
+    let report = pager.recover_from_crash(ServerId(0)).expect("recovery");
+    assert!(report.pages_rebuilt > 0, "server 0 held splits");
+    verify(&mut pager, 120);
+    // Redundancy was restored onto the spare: a second, different crash
+    // is survivable too.
+    handles[1].crash();
+    pager.recover_from_crash(ServerId(1)).expect("second crash");
+    verify(&mut pager, 120);
+}
+
+#[test]
+fn erasure_coded_wide_stripe_survives_r_crashes() {
+    let (handles, mut pager) = ec_pager(6, 4, 2);
+    fill(&mut pager, 40);
+    // r = 2 parity splits tolerate two lost servers at once.
+    handles[0].crash();
+    handles[3].crash();
+    verify(&mut pager, 40);
 }

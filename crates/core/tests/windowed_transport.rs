@@ -378,3 +378,187 @@ fn window_metrics_surface_depth_and_stalls() {
     );
     server.shutdown();
 }
+
+#[test]
+fn wrapped_seq_skips_slots_still_in_flight() {
+    // Regression: the seq allocator handed out `next_seq` unconditionally,
+    // so after the u32 counter wrapped onto a seq whose request was still
+    // awaiting its reply (slow server, or a slot abandoned past its read
+    // deadline), the new request *replaced* the old pending slot — and the
+    // old request's reply then completed the new slot with the wrong
+    // payload. A scripted peer stages the collision deterministically by
+    // withholding the first reply until both requests are on the wire.
+    use rmp_proto::{Framed, LoadHint};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let peer = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut framed = Framed::new(stream);
+        let hello = framed.recv().expect("hello");
+        assert!(matches!(hello, Message::Hello { .. }), "got {hello:?}");
+        framed
+            .send(&Message::HelloReply { window: 8 })
+            .expect("hello reply");
+        let Message::Windowed { seq: seq_a, .. } = framed.recv().expect("request A") else {
+            panic!("expected windowed frame");
+        };
+        let Message::Windowed { seq: seq_b, .. } = framed.recv().expect("request B") else {
+            panic!("expected windowed frame");
+        };
+        // Answer A first: with the pre-fix allocator seq_b == seq_a, and
+        // this reply lands in B's slot as B's (wrong) answer.
+        framed
+            .send(&Message::Windowed {
+                seq: seq_a,
+                inner: Box::new(Message::LoadReport {
+                    free_pages: 1,
+                    stored_pages: 0,
+                    cpu_permille: 0,
+                    hint: LoadHint::Ok,
+                }),
+            })
+            .expect("reply A");
+        framed
+            .send(&Message::Windowed {
+                seq: seq_b,
+                inner: Box::new(Message::PageInMiss { id: StoreKey(7) }),
+            })
+            .expect("reply B");
+        (seq_a, seq_b)
+    });
+
+    let mut t =
+        WindowedTransport::connect_with(&addr, &TransportConfig::default()).expect("connect");
+    // Request A occupies the last seq before the wrap...
+    t.force_next_seq(u32::MAX);
+    let pending_a = WindowedTransport::submit(&mut t, &[Message::LoadQuery]).expect("submit A");
+    // ...and the counter "wraps" back onto it while A is still in flight.
+    t.force_next_seq(u32::MAX);
+    let pending_b = WindowedTransport::submit(&mut t, &[Message::PageIn { id: StoreKey(7) }])
+        .expect("submit B");
+
+    let (seq_a, seq_b) = peer.join().expect("peer");
+    assert_ne!(seq_a, seq_b, "B must not reuse a seq that is in flight");
+    let replies_a = pending_a.wait_all().expect("A completes");
+    assert!(
+        matches!(replies_a[0], Message::LoadReport { .. }),
+        "A got its own reply: {:?}",
+        replies_a[0]
+    );
+    let replies_b = pending_b.wait_all().expect("B completes");
+    assert!(
+        matches!(replies_b[0], Message::PageInMiss { .. }),
+        "B got its own reply, not A's: {:?}",
+        replies_b[0]
+    );
+}
+
+/// A transport whose window-stall counter is scripted: `call` fails with
+/// one timeout when told to, and `reconnect` starts a "fresh connection"
+/// whose cumulative [`rmp_core::reactor::WindowStats`] restart from zero
+/// — exactly as the real windowed reactor's counters do.
+struct ScriptedWindowState {
+    stalls: u64,
+    stalls_after_reconnect: u64,
+    fail_next: bool,
+}
+
+struct ScriptedWindow(std::sync::Arc<std::sync::Mutex<ScriptedWindowState>>);
+
+impl ServerTransport for ScriptedWindow {
+    fn call(&mut self, msg: &Message) -> Result<Message> {
+        let mut st = self.0.lock().expect("state");
+        if st.fail_next {
+            st.fail_next = false;
+            return Err(RmpError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "scripted timeout",
+            )));
+        }
+        match msg {
+            Message::PageIn { id } => {
+                let page = Page::deterministic(id.0);
+                Ok(Message::PageInReply {
+                    id: *id,
+                    checksum: page.checksum(),
+                    page,
+                })
+            }
+            other => Err(RmpError::Protocol(format!(
+                "scripted transport: unexpected {:?}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    fn send_only(&mut self, _msg: &Message) -> Result<()> {
+        Ok(())
+    }
+
+    fn reconnect(&mut self) -> Result<()> {
+        let mut st = self.0.lock().expect("state");
+        st.stalls = st.stalls_after_reconnect;
+        Ok(())
+    }
+
+    fn window_stats(&self) -> Option<rmp_core::reactor::WindowStats> {
+        let st = self.0.lock().expect("state");
+        Some(rmp_core::reactor::WindowStats {
+            stalls: st.stalls,
+            ..Default::default()
+        })
+    }
+}
+
+#[test]
+fn window_stall_counter_survives_midcall_reconnect() {
+    // Regression: `call_many`'s retry path rebuilds the transport via
+    // reconnect(), restarting its cumulative WindowStats at zero, but the
+    // pool kept the old per-server stall baseline — so every stall the
+    // fresh connection accumulated below the old total was silently
+    // swallowed by the delta mirror and `pool_window_stalls_total`
+    // under-reported.
+    use std::sync::{Arc, Mutex};
+
+    let cfg = TransportConfig {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+        },
+        ..TransportConfig::default()
+    };
+    let mut pool = ServerPool::with_transport_config(cfg);
+    let state = Arc::new(Mutex::new(ScriptedWindowState {
+        stalls: 5,
+        stalls_after_reconnect: 3,
+        fail_next: false,
+    }));
+    pool.add_transport(
+        ServerId(0),
+        Box::new(ScriptedWindow(Arc::clone(&state))),
+        1.0,
+    );
+    let registry = Arc::new(rmp_types::metrics::MetricsRegistry::new());
+    pool.set_metrics(Arc::clone(&registry));
+    let stalls_total = registry.counter("pool_window_stalls_total");
+
+    // First connection stalled 5 times; a healthy call mirrors them.
+    pool.page_in(ServerId(0), StoreKey(1)).expect("read");
+    assert_eq!(stalls_total.get(), 5);
+
+    // The next call times out once; the retry redials (the fresh
+    // connection restarts at zero and then stalls 3 more times) and
+    // succeeds.
+    state.lock().expect("state").fail_next = true;
+    pool.page_in(ServerId(0), StoreKey(2))
+        .expect("read after retry");
+    assert_eq!(
+        stalls_total.get(),
+        8,
+        "stalls on the post-reconnect connection must not be swallowed \
+         by the stale baseline"
+    );
+}

@@ -16,6 +16,9 @@
 //!   should compact.
 //! * [`basic::BasicParityMap`] — the RAID-style fixed-group layout of the
 //!   "Parity" policy the paper compares against.
+//! * [`rs`] — the GF(2^8) Reed–Solomon codec behind the erasure-coded
+//!   policy: `k` data splits plus `r` parity splits per page, any `k` of
+//!   which reconstruct it (XOR is the `r = 1` special case).
 //!
 //! All types here are pure data structures: they decide *what* to transfer
 //! and free; `rmp-core` executes those decisions against real servers.
@@ -23,8 +26,10 @@
 pub mod basic;
 pub mod buffer;
 pub mod group;
+pub mod rs;
 pub mod xor;
 
 pub use basic::BasicParityMap;
 pub use buffer::{ParityBuffer, SealedGroup};
 pub use group::{GcPlan, GroupMember, GroupState, GroupTable, PageLocation};
+pub use rs::{RsCode, RsError};

@@ -83,7 +83,9 @@ pub struct PolicyProbe {
 pub fn expected_degraded_transfers(policy: Policy, s: usize) -> Option<f64> {
     match policy {
         Policy::Mirroring => Some(1.0),
-        Policy::BasicParity | Policy::ParityLogging => Some(s as f64),
+        // Erasure coding reconstructs from any `k` survivors; the probe
+        // runs it with `k = s` data splits, so the count matches parity.
+        Policy::BasicParity | Policy::ParityLogging | Policy::ErasureCoded => Some(s as f64),
         Policy::WriteThrough => Some(0.0),
         Policy::NoReliability | Policy::DiskOnly => None,
     }
@@ -100,14 +102,16 @@ pub fn expected_degraded_transfers(policy: Policy, s: usize) -> Option<f64> {
 pub fn probe_policy(policy: Policy, pages: usize) -> Result<PolicyProbe> {
     let s = PROBE_DATA_SERVERS;
     let cluster_n = match policy {
-        // One extra workstation for the dedicated parity server.
-        Policy::BasicParity | Policy::ParityLogging => s + 1,
+        // One extra workstation for the dedicated parity server, or for
+        // the single parity split (`r = 1`) of the erasure-coded stripe.
+        Policy::BasicParity | Policy::ParityLogging | Policy::ErasureCoded => s + 1,
         Policy::DiskOnly => 1,
         _ => s,
     };
     let cluster = LocalCluster::spawn(cluster_n, pages * 4)?;
     let config = match policy {
         Policy::BasicParity | Policy::ParityLogging => PagerConfig::new(policy).with_servers(s),
+        Policy::ErasureCoded => PagerConfig::new(policy).with_ec_splits(s, 1),
         _ => PagerConfig::new(policy),
     };
     let mut pager = cluster.pager(config)?;
@@ -126,18 +130,30 @@ pub fn probe_policy(policy: Policy, pages: usize) -> Result<PolicyProbe> {
     let mut degraded_reads = 0;
     let mut measured_degraded = 0.0;
     if policy.survives_single_crash() && policy != Policy::DiskOnly {
-        let wire_before = pager.pool().wire_transfers();
         cluster.handles()[0].crash();
+        // Warm-up read so the pool discovers the crash before the
+        // baseline is taken: engines that gather several splits per
+        // read waste the partial batch issued against the dead server,
+        // which would otherwise pollute the steady-state degraded cost.
+        pager.page_in(PageId(0))?;
+        let baseline = pager.stats();
+        let wire_before = pager.pool().wire_transfers();
         for i in 0..pages {
             pager.page_in(PageId(i as u64))?;
         }
         let after = pager.stats();
-        degraded_reads = after.degraded_reads - healthy.degraded_reads;
+        degraded_reads = after.degraded_reads - baseline.degraded_reads;
         let wire_delta = pager.pool().wire_transfers() - wire_before;
         let healthy_reads = pages as u64 - degraded_reads;
+        // Healthy pageins cost one wire fetch — except erasure coding,
+        // whose demand path always gathers the `k` data splits.
+        let healthy_cost = match policy {
+            Policy::ErasureCoded => s as u64,
+            _ => 1,
+        };
         if degraded_reads > 0 {
-            measured_degraded =
-                wire_delta.saturating_sub(healthy_reads) as f64 / degraded_reads as f64;
+            measured_degraded = wire_delta.saturating_sub(healthy_reads * healthy_cost) as f64
+                / degraded_reads as f64;
         }
     }
 
@@ -169,7 +185,13 @@ pub fn probe_policy(policy: Policy, pages: usize) -> Result<PolicyProbe> {
         servers: s,
         pageouts: healthy.pageouts,
         measured_transfers_per_pageout: healthy.outbound_transfers_per_pageout(),
-        expected_transfers_per_pageout: policy.transfers_per_pageout(s),
+        // Closed-form costs count page-sized transfers; erasure coding
+        // moves `k + r` split-sized frames per pageout, and the wire
+        // stats count messages, so its expectation is quoted in frames.
+        expected_transfers_per_pageout: match policy {
+            Policy::ErasureCoded => (s + 1) as f64,
+            _ => policy.transfers_per_pageout(s),
+        },
         degraded_reads,
         measured_degraded_transfers: measured_degraded,
         expected_degraded_transfers: expected_degraded_transfers(policy, s),
@@ -197,6 +219,7 @@ pub fn probe_all(pages: usize) -> Result<Vec<PolicyProbe>> {
         Policy::Mirroring,
         Policy::BasicParity,
         Policy::ParityLogging,
+        Policy::ErasureCoded,
         Policy::WriteThrough,
         Policy::DiskOnly,
     ]
@@ -278,6 +301,10 @@ mod tests {
             Some(4.0)
         );
         assert_eq!(
+            expected_degraded_transfers(Policy::ErasureCoded, 4),
+            Some(4.0)
+        );
+        assert_eq!(
             expected_degraded_transfers(Policy::WriteThrough, 4),
             Some(0.0)
         );
@@ -322,6 +349,24 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"suspicion\": {\"srv0\": "), "{json}");
+    }
+
+    #[test]
+    fn erasure_probe_matches_closed_form() {
+        let probe = probe_policy(Policy::ErasureCoded, 16).expect("probe");
+        assert!(
+            (probe.measured_transfers_per_pageout - 5.0).abs() < 1e-9,
+            "k = 4 data + 1 parity split frames per pageout: {}",
+            probe.measured_transfers_per_pageout
+        );
+        assert!(probe.degraded_reads > 0, "crash produced degraded reads");
+        assert!(
+            (probe.measured_degraded_transfers - 4.0).abs() < 1e-9,
+            "degraded read gathers any k = 4 survivors: {}",
+            probe.measured_degraded_transfers
+        );
+        let json = probe_to_json(&probe);
+        assert!(json.contains("\"policy\": \"Erasure coded\""), "{json}");
     }
 
     #[test]

@@ -198,6 +198,24 @@ impl PipelineSim {
                             result.net_wait_ms += done - start;
                             done
                         }
+                        Policy::ErasureCoded => {
+                            // k + 1 split-sized messages serialized on the
+                            // link (the simulator's `servers` knob plays
+                            // `k` with the single-parity r = 1 default):
+                            // each pays the full per-message protocol time
+                            // but only 1/k of a page of wire time.
+                            let k = self.config.servers.max(1);
+                            let split_wire = hw.wire_ms_per_page / k as f64;
+                            let mut done = now;
+                            for _ in 0..k + 1 {
+                                inject_background(&mut link, done, &mut rng);
+                                let wire_done = link.serve(done, split_wire);
+                                done = wire_done + hw.pptime_ms;
+                                result.transfers += 1;
+                            }
+                            result.net_wait_ms += done - start;
+                            done
+                        }
                         Policy::WriteThrough => {
                             // The network copy and the disk write proceed
                             // in parallel; the client resumes at the later

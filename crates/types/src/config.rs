@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use crate::error::{Result, RmpError};
+use crate::page::PAGE_SIZE;
 use crate::policy::Policy;
 
 /// Bounded-retry policy applied by the server pool before a server is
@@ -234,6 +235,16 @@ pub struct PagerConfig {
     /// is the failure detector's accrual value (one deadline miss ≈ 2.0,
     /// decays on clean replies); `f64::INFINITY` disables hedging.
     pub hedge_suspicion_threshold: f64,
+    /// Data splits per page under the erasure-coded policy (`k`): each
+    /// page is cut into `k` equal splits of `PAGE_SIZE / k` bytes, so `k`
+    /// must divide the page size. A degraded read costs `k` split
+    /// fetches, against the parity policies' `S` full pages.
+    pub ec_data_splits: usize,
+    /// Parity splits per page under the erasure-coded policy (`r`): the
+    /// Reed–Solomon redundancy on top of the `k` data splits. The page
+    /// survives any `r` simultaneous split losses; `r = 1` degenerates to
+    /// plain XOR parity.
+    pub ec_parity_splits: usize,
 }
 
 impl PagerConfig {
@@ -259,6 +270,8 @@ impl PagerConfig {
             prefetch_window: 8,
             shard_count: 8,
             hedge_suspicion_threshold: 3.0,
+            ec_data_splits: 2,
+            ec_parity_splits: 1,
         }
     }
 
@@ -345,6 +358,15 @@ impl PagerConfig {
         self
     }
 
+    /// Sets the erasure-code geometry: `k` data splits and `r` parity
+    /// splits per page (`k` must divide the page size; placement needs
+    /// `k + r` distinct live servers).
+    pub fn with_ec_splits(mut self, data: usize, parity: usize) -> Self {
+        self.ec_data_splits = data;
+        self.ec_parity_splits = parity;
+        self
+    }
+
     /// Sets the per-connection request window of the windowed transport
     /// (`1` falls back to the blocking request/response transport).
     pub fn with_window_max_inflight(mut self, window: usize) -> Self {
@@ -389,6 +411,25 @@ impl PagerConfig {
             return Err(RmpError::Config(
                 "parity group size must be positive".into(),
             ));
+        }
+        if self.policy == Policy::ErasureCoded {
+            let (k, r) = (self.ec_data_splits, self.ec_parity_splits);
+            if k == 0 || r == 0 {
+                return Err(RmpError::Config(format!(
+                    "erasure coding needs k >= 1 data and r >= 1 parity splits, got k={k} r={r}"
+                )));
+            }
+            if !PAGE_SIZE.is_multiple_of(k) {
+                return Err(RmpError::Config(format!(
+                    "ec_data_splits {k} must divide the page size ({PAGE_SIZE})"
+                )));
+            }
+            if k + r > 32 {
+                return Err(RmpError::Config(format!(
+                    "erasure-code stripe width k + r = {} exceeds the placement cap of 32",
+                    k + r
+                )));
+            }
         }
         if self.recovery_page_budget == 0 {
             return Err(RmpError::Config(
@@ -575,6 +616,42 @@ mod tests {
             .with_hedge_suspicion_threshold(f64::NAN)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn erasure_code_knobs() {
+        let cfg = PagerConfig::new(Policy::ErasureCoded);
+        assert_eq!(cfg.ec_data_splits, 2);
+        assert_eq!(cfg.ec_parity_splits, 1);
+        assert!(cfg.validate().is_ok());
+        assert!(PagerConfig::new(Policy::ErasureCoded)
+            .with_ec_splits(4, 2)
+            .validate()
+            .is_ok());
+        // k must divide PAGE_SIZE.
+        assert!(PagerConfig::new(Policy::ErasureCoded)
+            .with_ec_splits(3, 1)
+            .validate()
+            .is_err());
+        // k and r must be at least one.
+        assert!(PagerConfig::new(Policy::ErasureCoded)
+            .with_ec_splits(0, 1)
+            .validate()
+            .is_err());
+        assert!(PagerConfig::new(Policy::ErasureCoded)
+            .with_ec_splits(4, 0)
+            .validate()
+            .is_err());
+        // Stripe width is capped.
+        assert!(PagerConfig::new(Policy::ErasureCoded)
+            .with_ec_splits(32, 4)
+            .validate()
+            .is_err());
+        // Other policies ignore the knobs entirely.
+        assert!(PagerConfig::new(Policy::Mirroring)
+            .with_ec_splits(0, 0)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -5,13 +5,17 @@ use rmp::workloads::{Fft, Gauss, Mvec, Qsort, Workload};
 
 fn run_workload<W: Workload>(w: &W, policy: Policy, servers: usize, frames: usize) {
     let pool_size = match policy {
-        Policy::BasicParity | Policy::ParityLogging => servers + 1,
+        // Parity needs the dedicated parity server; erasure coding needs
+        // k + 1 distinct servers for its default r = 1 stripe.
+        Policy::BasicParity | Policy::ParityLogging | Policy::ErasureCoded => servers + 1,
         _ => servers,
     };
     let cluster = LocalCluster::spawn(pool_size, 16 * 4096).expect("cluster");
-    let pager = cluster
-        .pager(PagerConfig::new(policy).with_servers(servers))
-        .expect("pager");
+    let config = match policy {
+        Policy::ErasureCoded => PagerConfig::new(policy).with_ec_splits(servers, 1),
+        _ => PagerConfig::new(policy).with_servers(servers),
+    };
+    let pager = cluster.pager(config).expect("pager");
     let mut vm = PagedMemory::new(pager, VmConfig::with_frames(frames));
     let report = w.run(&mut vm).unwrap_or_else(|e| panic!("{policy}: {e}"));
     assert!(report.verified, "{policy}: output verified");
